@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+``BENCH_SCALE`` can be overridden via the ``ERBIUM_BENCH_SCALE`` environment
+variable to run the experiments closer to the paper's data volume (the paper
+uses ≈5M rows; the default here keeps the whole suite in seconds on a laptop —
+see DESIGN.md's substitution table).
+"""
+
+import os
+
+import pytest
+
+from repro.bench import get_suite
+
+BENCH_SCALE = int(os.environ.get("ERBIUM_BENCH_SCALE", "400"))
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """Six mapped and loaded Figure 4 databases (M1..M6), built once."""
+
+    return get_suite(scale=BENCH_SCALE)

@@ -1,0 +1,51 @@
+"""Experiments E5–E6 (paper Section 6): type-hierarchy layouts.
+
+E5: listing all information for the R3 entities — delta layout (M1) pays a
+three-way join, single-table (M3) a type filter, disjoint (M4) a plain scan of
+one table.  E6: a selective R ⋈ S join where M1 and M4 land close together
+despite M4's five-relation union.
+"""
+
+from repro.bench.experiments import get_experiment
+from repro.bench.reporting import evaluate_claim
+
+
+class TestE5SubclassScan:
+    def test_e5_m1_delta_join(self, suite, benchmark):
+        experiment = get_experiment("E5")
+        benchmark(lambda: suite.run_query("M1", experiment.query))
+
+    def test_e5_m3_single_table(self, suite, benchmark):
+        experiment = get_experiment("E5")
+        benchmark(lambda: suite.run_query("M3", experiment.query))
+
+    def test_e5_m4_disjoint(self, suite, benchmark):
+        experiment = get_experiment("E5")
+        benchmark(lambda: suite.run_query("M4", experiment.query))
+
+    def test_e5_directions(self, suite):
+        experiment = get_experiment("E5")
+        results = experiment.run(suite, repeats=3)
+        outcomes = [evaluate_claim(c, results, experiment) for c in experiment.claims]
+        assert all(o.direction_reproduced for o in outcomes), [o.describe() for o in outcomes]
+
+    def test_e5_same_answer_everywhere(self, suite):
+        experiment = get_experiment("E5")
+        counts = {m: suite.run_query(m, experiment.query) for m in experiment.mappings}
+        assert len(set(counts.values())) == 1
+
+
+class TestE6JoinWithPredicates:
+    def test_e6_m1(self, suite, benchmark):
+        experiment = get_experiment("E6")
+        benchmark(lambda: suite.run_query("M1", experiment.query))
+
+    def test_e6_m4_union_join(self, suite, benchmark):
+        experiment = get_experiment("E6")
+        benchmark(lambda: suite.run_query("M4", experiment.query))
+
+    def test_e6_parity(self, suite):
+        experiment = get_experiment("E6")
+        results = experiment.run(suite, repeats=3)
+        outcomes = [evaluate_claim(c, results, experiment) for c in experiment.claims]
+        assert all(o.direction_reproduced for o in outcomes), [o.describe() for o in outcomes]

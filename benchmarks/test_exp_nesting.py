@@ -1,0 +1,48 @@
+"""Experiment E7 (paper Section 6): weak entity sets folded into their owner (M5).
+
+E7a: fetching all information across S, S1 and S2 for a set of s_ids — the
+nested layout reads one document per owner, the normalized layout needs joins.
+E7b: joining S1 with R2 — the nested layout must first unnest S1 out of S.
+"""
+
+from repro.bench.experiments import get_experiment
+from repro.bench.reporting import evaluate_claim
+
+
+class TestE7aNestedFetch:
+    def test_e7a_m1_normalized(self, suite, benchmark):
+        experiment = get_experiment("E7a")
+        benchmark(lambda: experiment.operation(suite.system("M1")))
+
+    def test_e7a_m5_nested(self, suite, benchmark):
+        experiment = get_experiment("E7a")
+        benchmark(lambda: experiment.operation(suite.system("M5")))
+
+    def test_e7a_direction(self, suite):
+        experiment = get_experiment("E7a")
+        results = experiment.run(suite, repeats=3)
+        outcomes = [evaluate_claim(c, results, experiment) for c in experiment.claims]
+        assert all(o.direction_reproduced for o in outcomes), [o.describe() for o in outcomes]
+
+    def test_e7a_documents_equivalent(self, suite):
+        experiment = get_experiment("E7a")
+        m1_docs = experiment.operation(suite.system("M1"))
+        m5_docs = experiment.operation(suite.system("M5"))
+        assert len(m1_docs) == len(m5_docs)
+        assert all(len(a["S1"]) == len(b["S1"]) for a, b in zip(m1_docs, m5_docs))
+
+
+class TestE7bUnnestJoin:
+    def test_e7b_m1(self, suite, benchmark):
+        experiment = get_experiment("E7b")
+        benchmark(lambda: suite.run_query("M1", experiment.query))
+
+    def test_e7b_m5(self, suite, benchmark):
+        experiment = get_experiment("E7b")
+        benchmark(lambda: suite.run_query("M5", experiment.query))
+
+    def test_e7b_direction(self, suite):
+        experiment = get_experiment("E7b")
+        results = experiment.run(suite, repeats=3)
+        outcomes = [evaluate_claim(c, results, experiment) for c in experiment.claims]
+        assert all(o.direction_reproduced for o in outcomes), [o.describe() for o in outcomes]

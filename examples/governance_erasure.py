@@ -1,0 +1,66 @@
+"""Entity-centric governance: PII inventory, access control and right-to-erasure.
+
+Run with ``python examples/governance_erasure.py``.  This is the paper's
+Section 1 governance scenario: because the E/R layer knows where every
+attribute of a person lives (whatever the physical mapping), tagging,
+inventorying and erasing personal data are single entity-centric operations.
+"""
+
+from repro import ErbiumDB
+from repro.api import ApiService
+from repro.governance import (
+    AccessController,
+    AuditLog,
+    ErasureService,
+    PIIRegistry,
+    Policy,
+)
+from repro.workloads.university import build_university_schema, generate_university_data
+
+
+def main() -> None:
+    schema = build_university_schema()
+    data = generate_university_data(students=50, instructors=8, courses=12, seed=7)
+    system = ErbiumDB("governed-university", schema)
+    system.set_mapping()
+    system.load(data.entities, data.relationships)
+
+    # --- PII inventory ----------------------------------------------------------
+    registry = PIIRegistry(schema)
+    registry.tag("student", "tot_credits", category="academic", retention_days=3650)
+    print("PII attributes by entity set:")
+    for entity in registry.entities_with_pii():
+        print(f"  {entity}: {registry.tagged_attributes_of(entity)}")
+    print("\nWhere the PII physically lives under the active mapping:")
+    for attribute, locations in registry.physical_locations(system.active_mapping()).items():
+        print(f"  {attribute}: {locations}")
+
+    # --- access control -----------------------------------------------------------
+    audit = AuditLog()
+    access = AccessController(schema, registry, audit)
+    access.grant(Policy(role="dpo", entity="person", actions={"read", "delete", "erase"}))
+    access.grant(Policy(role="analyst", entity="student", actions={"read"}, deny_pii=True))
+    access.assign_role("dana", "dpo")
+    access.assign_role("ana", "analyst")
+    print("\nattributes visible to the analyst:", access.visible_attributes("ana", "student"))
+
+    api = ApiService(system, access=access, audit=audit)
+    subject = data.student_ids[0]
+    print("analyst reads student:", api.get(f"/entities/student/{subject}", principal="ana").status)
+    print("analyst deletes student:", api.delete(f"/entities/student/{subject}", principal="ana").status)
+
+    # --- right to erasure ------------------------------------------------------------
+    erasure = ErasureService(schema, system.active_mapping(), system.db, access=access, audit=audit)
+    print(f"\nErasure request for student {subject}")
+    print("  footprint before:", erasure.footprint("student", subject))
+    report = erasure.erase("student", subject, principal="dana")
+    print("  rows removed:", report.rows_removed, "verified:", report.verified)
+    print("  footprint after:", erasure.footprint("student", subject))
+
+    print("\nAudit trail (last 5 entries):")
+    for entry in audit.tail(5):
+        print(" ", entry.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Quickstart: define an E/R schema in ERQL DDL, map it, load data, query it.
+
+Run with ``python examples/quickstart.py``.  This walks the Figure 1 pipeline
+of the paper: DDL -> default (normalized) mapping -> CRUD -> ad-hoc ERQL
+queries with relationship joins and nested outputs.
+"""
+
+from repro import ErbiumDB
+
+DDL = """
+create entity person (
+    person_id int primary key,
+    name composite (firstname varchar, lastname varchar),
+    street varchar,
+    city varchar,
+    phone_numbers varchar[]
+);
+create entity course (course_id int primary key, title varchar, credits int);
+create weak entity section depends on course (
+    sec_id int discriminator, semester varchar, year int
+);
+create entity instructor subclass of person (rank varchar);
+create entity student subclass of person (tot_credits int);
+create relationship takes (grade varchar)
+    between student (many total) and section (many total);
+create relationship advisor between student (many) and instructor (one);
+"""
+
+
+def main() -> None:
+    system = ErbiumDB("quickstart")
+    system.execute_ddl(DDL)
+    print("schema warnings:", system.validate_schema())
+
+    # Install the default (fully normalized) mapping; the physical tables are
+    # derived automatically from the E/R schema.
+    mapping = system.set_mapping()
+    print("physical tables:", mapping.table_names())
+
+    # --- CRUD at the entity/relationship level -------------------------------
+    system.insert(
+        "instructor",
+        {
+            "person_id": 1,
+            "name": {"firstname": "Grace", "lastname": "Hopper"},
+            "city": "Arlington",
+            "phone_numbers": ["555-0100"],
+            "rank": "full",
+        },
+    )
+    system.insert(
+        "student",
+        {
+            "person_id": 2,
+            "name": {"firstname": "Alan", "lastname": "Turing"},
+            "city": "College Park",
+            "phone_numbers": ["555-0199", "555-0200"],
+            "tot_credits": 42,
+        },
+    )
+    system.insert("course", {"course_id": 101, "title": "Databases", "credits": 3})
+    system.insert(
+        "section", {"course_id": 101, "sec_id": 1, "semester": "Fall", "year": 2025}
+    )
+    system.link("takes", {"student": 2, "section": (101, 1)}, {"grade": "A"})
+    system.link("advisor", {"student": 2, "instructor": 1})
+
+    # --- ad-hoc ERQL queries ---------------------------------------------------
+    print("\nStudents and their grades (relationship join + nested output):")
+    result = system.query(
+        "select s.person_id, s.name.firstname, "
+        "array_agg(struct(sec.sec_id as sec_id, takes.grade as grade)) as sections "
+        "from student s join section sec on takes"
+    )
+    for row in result:
+        print(" ", row)
+
+    print("\nAdvisees per instructor:")
+    result = system.query(
+        "select i.person_id, count(*) as advisees from instructor i join student s on advisor"
+    )
+    for row in result:
+        print(" ", row)
+
+    print("\nUnnesting a multi-valued attribute:")
+    for row in system.query("select person_id, unnest(phone_numbers) as phone from person"):
+        print(" ", row)
+
+    print("\nPhysical plan for the nested query under this mapping:")
+    print(
+        system.explain(
+            "select s.person_id, array_agg(takes.grade) as grades "
+            "from student s join section sec on takes"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Schema evolution: E/R-level changes, query impact and native data migration.
+
+Run with ``python examples/schema_evolution.py``.  Reproduces the paper's
+Section 3 walk-through: making ``city`` multi-valued and relaxing the advisor
+relationship to many-to-many are *small* E/R changes with localized query
+impact, and the data migrates natively inside the system.
+"""
+
+from repro import ErbiumDB
+from repro.evolution import (
+    MakeAttributeMultiValued,
+    MakeRelationshipManyToMany,
+    Migrator,
+    SchemaVersionHistory,
+    analyze_query_impact,
+    impact_summary,
+)
+from repro.mapping import CrudTemplates
+from repro.workloads.university import build_university_schema, generate_university_data
+
+QUERIES = [
+    "select person_id, city from person",
+    "select person_id, street from person",
+    "select s.person_id, i.rank from student s join instructor i on advisor",
+    "select i.person_id, avg(s.tot_credits) as avg_credits from instructor i join student s on advisor",
+]
+
+
+def main() -> None:
+    schema = build_university_schema()
+    data = generate_university_data(students=60, instructors=8, courses=12, seed=9)
+    system = ErbiumDB("evolving-university", schema)
+    system.set_mapping()
+    system.load(data.entities, data.relationships)
+    history = SchemaVersionHistory(schema, mapping=system.active_mapping(), database=system.db)
+
+    # --- change 1: single-valued city becomes multi-valued ------------------------
+    change = MakeAttributeMultiValued("person", "city")
+    print("Change 1:", change.describe())
+    impacts = analyze_query_impact(schema, change, QUERIES)
+    for impact in impacts:
+        print(f"  [{impact.status:9}] {impact.query}")
+        if impact.rewritten:
+            print(f"              -> {impact.rewritten}")
+    print("  summary:", impact_summary(impacts))
+
+    migrator = Migrator(system.schema, system.active_mapping(), system.db)
+    schema_v1, mapping_v1, db_v1, report = migrator.migrate(change=change)
+    print(f"  migrated {report.entities_migrated} entities, "
+          f"{report.relationships_migrated} relationship occurrences, "
+          f"{report.entities_transformed} transformed")
+    history.commit(schema_v1, change=change, mapping=mapping_v1, database=db_v1, label="multi-city")
+
+    crud_v1 = CrudTemplates(schema_v1, mapping_v1, db_v1)
+    sample = crud_v1.entity_keys("student")[0]
+    print("  sample student city after migration:", crud_v1.get_entity("student", sample).values["city"])
+
+    # --- change 2: advisor becomes many-to-many -------------------------------------
+    change2 = MakeRelationshipManyToMany("advisor")
+    print("\nChange 2:", change2.describe())
+    impacts2 = analyze_query_impact(schema_v1, change2, QUERIES[2:])
+    print("  impact summary:", impact_summary(impacts2), "(queries keep working unmodified)")
+    migrator2 = Migrator(schema_v1, mapping_v1, db_v1)
+    schema_v2, mapping_v2, db_v2, report2 = migrator2.migrate(change=change2)
+    print("  advisor is now realized as:", mapping_v2.relationship_placement("advisor").kind)
+    history.commit(schema_v2, change=change2, mapping=mapping_v2, database=db_v2, label="co-advising")
+
+    # --- version history and rollback -------------------------------------------------
+    print("\nVersion history:")
+    for version in history.history():
+        print(" ", version)
+    print("diff v0 -> v2:", history.diff(0, 2))
+    rolled_back = history.rollback(to_version=0)
+    print("rolled back to version", rolled_back.version,
+          "- city is multi-valued there?",
+          rolled_back.schema.entity("person").attribute("city").is_multivalued())
+
+
+if __name__ == "__main__":
+    main()

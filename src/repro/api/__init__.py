@@ -1,0 +1,23 @@
+"""In-process REST-like API layer (paper Section 5's "API Calls" box).
+
+* :class:`ApiService` — request/response dispatch over an ErbiumDB instance,
+  with optional access control and auditing;
+* :class:`Router` / :class:`Route` — resource routing derived from the schema;
+* :func:`generate_openapi` — API documentation generated from the DDL's
+  descriptive text.
+"""
+
+from .openapi import entity_component_schemas, generate_openapi
+from .resources import Route, Router, default_router, parse_key
+from .service import ApiService, Response
+
+__all__ = [
+    "ApiService",
+    "Response",
+    "Router",
+    "Route",
+    "default_router",
+    "parse_key",
+    "generate_openapi",
+    "entity_component_schemas",
+]

@@ -1,0 +1,114 @@
+"""Generate API documentation from the E/R schema and the route table.
+
+The paper notes that DDL-level descriptive text "can be automatically used,
+e.g., for creating API documentations".  This module does exactly that: the
+attribute/entity descriptions written in the DDL (or on the schema objects)
+flow into an OpenAPI-like document describing every generated endpoint and
+every entity's payload shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
+
+from ..core import Attribute, ERSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..system import ErbiumDB
+    from .resources import Router
+
+
+def _attribute_schema(attribute: Attribute) -> Dict[str, Any]:
+    if attribute.is_composite():
+        return {
+            "type": "object",
+            "description": attribute.description or "",
+            "properties": {
+                c.name: _attribute_schema(c) for c in attribute.components  # type: ignore[attr-defined]
+            },
+        }
+    if attribute.is_multivalued():
+        if attribute.element_is_composite():  # type: ignore[attr-defined]
+            items: Dict[str, Any] = {
+                "type": "object",
+                "properties": {
+                    c.name: _attribute_schema(c)
+                    for c in attribute.element_components  # type: ignore[attr-defined]
+                },
+            }
+        else:
+            items = {"type": _scalar_json_type(attribute.type_name)}
+        return {"type": "array", "items": items, "description": attribute.description or ""}
+    return {
+        "type": _scalar_json_type(attribute.type_name),
+        "description": attribute.description or "",
+    }
+
+
+def _scalar_json_type(type_name: str) -> str:
+    if type_name in ("int", "bigint"):
+        return "integer"
+    if type_name in ("float", "double", "real"):
+        return "number"
+    if type_name in ("bool", "boolean"):
+        return "boolean"
+    return "string"
+
+
+def entity_component_schemas(schema: ERSchema) -> Dict[str, Any]:
+    """One JSON-schema component per entity set (including inherited attributes)."""
+
+    components: Dict[str, Any] = {}
+    for entity in schema.entities():
+        properties = {}
+        required = []
+        for attribute in schema.effective_attributes(entity.name):
+            if attribute.is_derived():
+                continue
+            properties[attribute.name] = _attribute_schema(attribute)
+            if attribute.required:
+                required.append(attribute.name)
+        components[entity.name] = {
+            "type": "object",
+            "description": entity.description or "",
+            "properties": properties,
+            "required": sorted(set(required) | set(schema.effective_key(entity.name))),
+            "x-key": schema.effective_key(entity.name),
+            "x-kind": "weak_entity" if entity.is_weak() else "entity",
+        }
+    return components
+
+
+def generate_openapi(system: "ErbiumDB", router: "Router") -> Dict[str, Any]:
+    """An OpenAPI-like description of the generated API."""
+
+    schema = system.schema
+    paths: Dict[str, Any] = {}
+    for route in router.routes():
+        entry = paths.setdefault(route.template, {})
+        entry[route.method.lower()] = {
+            "summary": route.description,
+            "operationId": route.handler,
+        }
+    relationship_docs = {
+        r.name: {
+            "kind": r.kind(),
+            "participants": [p.describe() for p in r.participants],
+            "attributes": [a.name for a in r.attributes],
+            "description": r.description or "",
+        }
+        for r in schema.relationships()
+    }
+    return {
+        "openapi": "3.0-like",
+        "info": {
+            "title": f"ErbiumDB API for schema {schema.name!r}",
+            "version": "0.1.0",
+            "description": "Generated from the E/R schema: one resource per entity set, "
+            "relationship sub-resources, and an ERQL query endpoint.",
+        },
+        "paths": paths,
+        "components": {"schemas": entity_component_schemas(schema)},
+        "x-relationships": relationship_docs,
+        "x-mapping": system.mapping.name if system.mapping is not None else None,
+    }

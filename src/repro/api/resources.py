@@ -1,0 +1,108 @@
+"""Resource routing for the in-process REST-like API.
+
+Routes are derived from the E/R schema (one resource per entity set, one
+sub-resource per relationship), mirroring the paper's plan to "support a
+RESTful API by default ... to ensure compatibility with standard application
+development practices".  A :class:`Route` matches a method + path template
+such as ``GET /entities/person/{key}`` and extracts path parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..errors import ApiError
+
+
+@dataclass
+class Route:
+    """One API route: method, path template, handler name."""
+
+    method: str
+    template: str
+    handler: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self._parts = [p for p in self.template.strip("/").split("/") if p]
+
+    def match(self, method: str, path: str) -> Optional[Dict[str, str]]:
+        """Path parameters if the route matches, else None."""
+
+        if method.upper() != self.method.upper():
+            return None
+        parts = [p for p in path.strip("/").split("/") if p]
+        if len(parts) != len(self._parts):
+            return None
+        params: Dict[str, str] = {}
+        for expected, actual in zip(self._parts, parts):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+
+class Router:
+    """Ordered route table with first-match dispatch."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(self, route: Route) -> Route:
+        self._routes.append(route)
+        return route
+
+    def routes(self) -> List[Route]:
+        return list(self._routes)
+
+    def resolve(self, method: str, path: str) -> Tuple[Route, Dict[str, str]]:
+        for route in self._routes:
+            params = route.match(method, path)
+            if params is not None:
+                return route, params
+        raise ApiError(404, f"no route matches {method.upper()} {path}")
+
+
+def default_router() -> Router:
+    """The standard ErbiumDB route table."""
+
+    router = Router()
+    router.add(Route("GET", "/schema", "describe_schema", "Describe the E/R schema"))
+    router.add(Route("GET", "/mapping", "describe_mapping", "Describe the active mapping"))
+    router.add(Route("GET", "/entities/{entity}", "list_entities", "List instances of an entity set"))
+    router.add(Route("POST", "/entities/{entity}", "create_entity", "Insert an entity instance"))
+    router.add(Route("GET", "/entities/{entity}/{key}", "get_entity", "Fetch one instance by key"))
+    router.add(Route("PATCH", "/entities/{entity}/{key}", "update_entity", "Update one instance"))
+    router.add(Route("DELETE", "/entities/{entity}/{key}", "delete_entity", "Delete one instance (entity-centric)"))
+    router.add(
+        Route(
+            "GET",
+            "/entities/{entity}/{key}/related/{relationship}",
+            "related",
+            "Keys related to the instance through a relationship",
+        )
+    )
+    router.add(Route("POST", "/relationships/{relationship}", "create_relationship", "Insert a relationship occurrence"))
+    router.add(Route("DELETE", "/relationships/{relationship}", "delete_relationship", "Delete relationship occurrences"))
+    router.add(Route("POST", "/query", "query", "Run an ERQL query"))
+    router.add(Route("GET", "/openapi", "openapi", "Generated API documentation"))
+    return router
+
+
+def parse_key(raw: str) -> Tuple[Any, ...]:
+    """Parse a path key segment: ``7`` -> (7,), ``3,2`` -> (3, 2), strings pass through."""
+
+    parts = raw.split(",")
+    out: List[Any] = []
+    for part in parts:
+        part = part.strip()
+        try:
+            out.append(int(part))
+        except ValueError:
+            try:
+                out.append(float(part))
+            except ValueError:
+                out.append(part)
+    return tuple(out)

@@ -1,0 +1,226 @@
+"""In-process REST-like API service over an :class:`~repro.system.ErbiumDB`.
+
+No sockets are involved (see the substitution table in DESIGN.md): a request
+is a method + path + optional JSON-like body, a response is a status code plus
+a JSON-serializable payload.  The translation logic — nested outputs, key
+parsing, CRUD dispatch, ERQL pass-through — is exactly what a network-facing
+implementation would run behind the socket.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ApiError, ErbiumError
+from ..governance import AccessController, AuditLog
+from ..system import ErbiumDB
+from .openapi import generate_openapi
+from .resources import Router, default_router, parse_key
+
+
+@dataclass
+class Response:
+    """An API response: status plus payload (already JSON-serializable)."""
+
+    status: int
+    body: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def json(self) -> str:
+        return json.dumps(self.body, sort_keys=True, default=str)
+
+
+class ApiService:
+    """Dispatches REST-like requests against one ErbiumDB instance."""
+
+    def __init__(
+        self,
+        system: ErbiumDB,
+        access: Optional[AccessController] = None,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        self.system = system
+        self.access = access
+        self.audit = audit
+        self.router: Router = default_router()
+
+    # -- public entry point ----------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        principal: Optional[str] = None,
+    ) -> Response:
+        """Handle one request; errors map to 4xx/5xx responses, never exceptions."""
+
+        try:
+            route, params = self.router.resolve(method, path)
+            handler = getattr(self, f"_handle_{route.handler}", None)
+            if handler is None:
+                raise ApiError(500, f"handler {route.handler!r} is not implemented")
+            response = handler(params, body or {}, principal)
+            if self.audit is not None:
+                self.audit.record(
+                    action=f"api.{route.handler}",
+                    principal=principal or "anonymous",
+                    entity=params.get("entity"),
+                    outcome=str(response.status),
+                )
+            return response
+        except ApiError as exc:
+            return Response(exc.status, {"error": exc.message})
+        except ErbiumError as exc:
+            return Response(400, {"error": str(exc)})
+
+    # shorthand helpers ---------------------------------------------------------
+
+    def get(self, path: str, principal: Optional[str] = None) -> Response:
+        return self.request("GET", path, principal=principal)
+
+    def post(self, path: str, body: Dict[str, Any], principal: Optional[str] = None) -> Response:
+        return self.request("POST", path, body, principal=principal)
+
+    def patch(self, path: str, body: Dict[str, Any], principal: Optional[str] = None) -> Response:
+        return self.request("PATCH", path, body, principal=principal)
+
+    def delete(self, path: str, body: Optional[Dict[str, Any]] = None, principal: Optional[str] = None) -> Response:
+        return self.request("DELETE", path, body, principal=principal)
+
+    # -- access-control helper --------------------------------------------------------
+
+    def _check(self, principal: Optional[str], action: str, entity: str) -> None:
+        if self.access is None:
+            return
+        if principal is None:
+            raise ApiError(401, "this deployment requires a principal")
+        try:
+            self.access.check(principal, action, entity)
+        except ErbiumError as exc:
+            raise ApiError(403, str(exc))
+
+    # -- handlers -------------------------------------------------------------------------
+
+    def _handle_describe_schema(self, params, body, principal) -> Response:
+        return Response(200, self.system.schema.describe())
+
+    def _handle_describe_mapping(self, params, body, principal) -> Response:
+        return Response(200, self.system.active_mapping().describe())
+
+    def _handle_list_entities(self, params, body, principal) -> Response:
+        entity = params["entity"]
+        if not self.system.schema.has_entity(entity):
+            raise ApiError(404, f"unknown entity set {entity!r}")
+        self._check(principal, "read", entity)
+        crud = self.system.crud
+        keys = crud.entity_keys(entity)
+        limit = int(body.get("limit", 100)) if body else 100
+        items = []
+        for key in keys[:limit]:
+            instance = crud.get_entity(entity, key)
+            if instance is None:
+                continue
+            values = instance.values
+            if self.access is not None and principal is not None:
+                values = self.access.redact(principal, instance).values
+            items.append({"key": list(key), "values": values})
+        return Response(200, {"entity": entity, "count": len(keys), "items": items})
+
+    def _handle_get_entity(self, params, body, principal) -> Response:
+        entity = params["entity"]
+        key = parse_key(params["key"])
+        if not self.system.schema.has_entity(entity):
+            raise ApiError(404, f"unknown entity set {entity!r}")
+        self._check(principal, "read", entity)
+        instance = self.system.crud.get_entity(entity, key)
+        if instance is None:
+            raise ApiError(404, f"no instance of {entity!r} with key {key}")
+        values = instance.values
+        if self.access is not None and principal is not None:
+            values = self.access.redact(principal, instance).values
+        return Response(200, {"entity": entity, "key": list(key), "values": values})
+
+    def _handle_create_entity(self, params, body, principal) -> Response:
+        entity = params["entity"]
+        if not self.system.schema.has_entity(entity):
+            raise ApiError(404, f"unknown entity set {entity!r}")
+        self._check(principal, "write", entity)
+        if not isinstance(body, dict) or not body:
+            raise ApiError(422, "request body must be a non-empty object of attribute values")
+        instance = self.system.insert(entity, body)
+        return Response(
+            201,
+            {"entity": entity, "key": list(instance.key_of(self.system.schema)), "values": instance.values},
+        )
+
+    def _handle_update_entity(self, params, body, principal) -> Response:
+        entity = params["entity"]
+        key = parse_key(params["key"])
+        self._check(principal, "write", entity)
+        if not isinstance(body, dict) or not body:
+            raise ApiError(422, "request body must be a non-empty object of attribute changes")
+        self.system.update(entity, key, body)
+        return Response(200, {"entity": entity, "key": list(key), "updated": sorted(body)})
+
+    def _handle_delete_entity(self, params, body, principal) -> Response:
+        entity = params["entity"]
+        key = parse_key(params["key"])
+        self._check(principal, "delete", entity)
+        removed = self.system.delete(entity, key)
+        return Response(200, {"entity": entity, "key": list(key), "rows_removed": removed})
+
+    def _handle_related(self, params, body, principal) -> Response:
+        entity = params["entity"]
+        key = parse_key(params["key"])
+        relationship = params["relationship"]
+        self._check(principal, "read", entity)
+        if not self.system.schema.has_relationship(relationship):
+            raise ApiError(404, f"unknown relationship {relationship!r}")
+        related = self.system.related(relationship, entity, key)
+        return Response(
+            200,
+            {
+                "entity": entity,
+                "key": list(key),
+                "relationship": relationship,
+                "related": [list(r) for r in related],
+            },
+        )
+
+    def _handle_create_relationship(self, params, body, principal) -> Response:
+        relationship = params["relationship"]
+        if not self.system.schema.has_relationship(relationship):
+            raise ApiError(404, f"unknown relationship {relationship!r}")
+        endpoints = body.get("endpoints")
+        if not isinstance(endpoints, dict) or not endpoints:
+            raise ApiError(422, "body must contain an 'endpoints' object of role -> key")
+        values = body.get("values") or {}
+        self.system.link(relationship, endpoints, values)
+        return Response(201, {"relationship": relationship, "endpoints": endpoints, "values": values})
+
+    def _handle_delete_relationship(self, params, body, principal) -> Response:
+        relationship = params["relationship"]
+        endpoints = (body or {}).get("endpoints")
+        if not isinstance(endpoints, dict) or not endpoints:
+            raise ApiError(422, "body must contain an 'endpoints' object of role -> key")
+        removed = self.system.unlink(relationship, endpoints)
+        return Response(200, {"relationship": relationship, "removed": removed})
+
+    def _handle_query(self, params, body, principal) -> Response:
+        text = (body or {}).get("query")
+        if not text:
+            raise ApiError(422, "body must contain a 'query' string")
+        result = self.system.query(text)
+        return Response(
+            200,
+            {"columns": result.columns, "rows": [dict(r) for r in result.rows], "count": len(result)},
+        )
+
+    def _handle_openapi(self, params, body, principal) -> Response:
+        return Response(200, generate_openapi(self.system, self.router))

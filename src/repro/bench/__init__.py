@@ -1,0 +1,29 @@
+"""Benchmark harness for the paper's Section 6 experiments.
+
+* :class:`SyntheticBenchmarkSuite` / :func:`get_suite` — load the Figure 4
+  dataset under each mapping once and time queries;
+* :mod:`repro.bench.experiments` — the registry of experiments E1–E8 with the
+  paper's reported outcomes;
+* :mod:`repro.bench.reporting` — claim evaluation and table rendering.
+"""
+
+from .experiments import EXPERIMENTS, Experiment, PaperClaim, all_experiments, get_experiment
+from .harness import Measurement, SyntheticBenchmarkSuite, get_suite, ratio
+from .reporting import ClaimOutcome, evaluate_claim, format_table, run_all, to_markdown
+
+__all__ = [
+    "SyntheticBenchmarkSuite",
+    "get_suite",
+    "Measurement",
+    "ratio",
+    "Experiment",
+    "PaperClaim",
+    "EXPERIMENTS",
+    "all_experiments",
+    "get_experiment",
+    "ClaimOutcome",
+    "evaluate_claim",
+    "run_all",
+    "format_table",
+    "to_markdown",
+]

@@ -1,0 +1,155 @@
+"""Benchmark harness: build mapped systems once, time queries across mappings.
+
+The harness mirrors the paper's methodology for Section 6: load the same
+synthetic dataset under each mapping (M1–M6), run each query several times and
+report the median, then compare mappings by ratio (the paper reports ratios
+because absolute numbers depend on the machine; ours additionally depend on
+the pure-Python substrate — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..system import ErbiumDB
+from ..workloads.synthetic import (
+    build_synthetic_schema,
+    generate_synthetic_data,
+    synthetic_mappings,
+)
+
+DEFAULT_SCALE = 400
+DEFAULT_REPEATS = 3
+
+
+@dataclass
+class Measurement:
+    """Timing result for one (experiment, mapping) pair."""
+
+    experiment: str
+    mapping: str
+    median_seconds: float
+    repeats: int
+    rows: int
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "mapping": self.mapping,
+            "median_seconds": self.median_seconds,
+            "repeats": self.repeats,
+            "rows": self.rows,
+        }
+
+
+class SyntheticBenchmarkSuite:
+    """Owns one loaded ErbiumDB per mapping for the Figure 4 schema."""
+
+    def __init__(
+        self,
+        scale: int = DEFAULT_SCALE,
+        seed: int = 42,
+        mappings: Sequence[str] = ("M1", "M2", "M3", "M4", "M5", "M6"),
+    ) -> None:
+        self.scale = scale
+        self.seed = seed
+        self.schema = build_synthetic_schema()
+        self.dataset = generate_synthetic_data(scale=scale, seed=seed)
+        self.systems: Dict[str, ErbiumDB] = {}
+        specs = synthetic_mappings(self.schema)
+        for label in mappings:
+            system = ErbiumDB(label, self.schema.clone(label))
+            system.set_mapping(specs[label])
+            system.load(self.dataset.entities, self.dataset.relationships)
+            self.systems[label] = system
+
+    # -- execution -------------------------------------------------------------
+
+    def system(self, mapping: str) -> ErbiumDB:
+        return self.systems[mapping]
+
+    def run_query(self, mapping: str, query: str) -> int:
+        """Execute a query once and return the number of result rows."""
+
+        return len(self.systems[mapping].query(query))
+
+    def time_query(
+        self, experiment: str, mapping: str, query: str, repeats: int = DEFAULT_REPEATS
+    ) -> Measurement:
+        """Median wall-clock time of a query under one mapping."""
+
+        times = []
+        rows = 0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            rows = self.run_query(mapping, query)
+            times.append(time.perf_counter() - start)
+        return Measurement(
+            experiment=experiment,
+            mapping=mapping,
+            median_seconds=statistics.median(times),
+            repeats=repeats,
+            rows=rows,
+        )
+
+    def time_callable(
+        self,
+        experiment: str,
+        mapping: str,
+        operation: Callable[[ErbiumDB], Any],
+        repeats: int = DEFAULT_REPEATS,
+    ) -> Measurement:
+        """Median wall-clock time of an arbitrary operation under one mapping."""
+
+        times = []
+        result: Any = None
+        system = self.systems[mapping]
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = operation(system)
+            times.append(time.perf_counter() - start)
+        rows = len(result) if hasattr(result, "__len__") else 1
+        return Measurement(
+            experiment=experiment,
+            mapping=mapping,
+            median_seconds=statistics.median(times),
+            repeats=repeats,
+            rows=rows,
+        )
+
+    def compare(
+        self, experiment: str, query: str, mappings: Sequence[str], repeats: int = DEFAULT_REPEATS
+    ) -> Dict[str, Measurement]:
+        """Run the same query under several mappings."""
+
+        return {
+            mapping: self.time_query(experiment, mapping, query, repeats=repeats)
+            for mapping in mappings
+        }
+
+
+_SUITE_CACHE: Dict[Tuple[int, int, Tuple[str, ...]], SyntheticBenchmarkSuite] = {}
+
+
+def get_suite(
+    scale: int = DEFAULT_SCALE,
+    seed: int = 42,
+    mappings: Sequence[str] = ("M1", "M2", "M3", "M4", "M5", "M6"),
+) -> SyntheticBenchmarkSuite:
+    """A cached suite (loading six mapped databases is the expensive part)."""
+
+    key = (scale, seed, tuple(mappings))
+    if key not in _SUITE_CACHE:
+        _SUITE_CACHE[key] = SyntheticBenchmarkSuite(scale=scale, seed=seed, mappings=mappings)
+    return _SUITE_CACHE[key]
+
+
+def ratio(slow: Measurement, fast: Measurement) -> float:
+    """How many times slower ``slow`` is than ``fast`` (>= 0)."""
+
+    if fast.median_seconds <= 0:
+        return float("inf")
+    return slow.median_seconds / fast.median_seconds

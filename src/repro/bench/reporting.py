@@ -1,0 +1,125 @@
+"""Reporting helpers: turn measurements into the rows the paper reports.
+
+``report_rows`` produces one row per paper claim (experiment, the two mappings
+compared, paper-reported factor, measured factor, and whether the direction —
+who wins — reproduced).  ``format_table`` renders the rows as a fixed-width
+text table; ``to_markdown`` renders the table EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .experiments import Experiment, PaperClaim, all_experiments
+from .harness import Measurement, SyntheticBenchmarkSuite, ratio
+
+
+@dataclass
+class ClaimOutcome:
+    """Measured outcome for one paper claim."""
+
+    experiment_id: str
+    title: str
+    faster_mapping: str
+    slower_mapping: str
+    reported_factor: float
+    measured_factor: float
+    faster_seconds: float
+    slower_seconds: float
+    direction_reproduced: bool
+    paper_numbers: str
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "experiment": self.experiment_id,
+            "title": self.title,
+            "faster": self.faster_mapping,
+            "slower": self.slower_mapping,
+            "reported_factor": self.reported_factor,
+            "measured_factor": round(self.measured_factor, 2),
+            "faster_seconds": round(self.faster_seconds, 6),
+            "slower_seconds": round(self.slower_seconds, 6),
+            "direction_reproduced": self.direction_reproduced,
+            "paper_numbers": self.paper_numbers,
+        }
+
+
+def evaluate_claim(claim: PaperClaim, results: Dict[str, Measurement],
+                   experiment: Experiment, tolerance: float = 0.65) -> ClaimOutcome:
+    """Compare one measured experiment against the paper's claim.
+
+    ``direction_reproduced`` is lenient for claims of parity (factor == 1.0):
+    the two mappings must be within ``1/tolerance`` of each other.
+    """
+
+    fast = results[claim.faster_mapping]
+    slow = results[claim.slower_mapping]
+    measured = ratio(slow, fast)
+    if claim.factor == 1.0:
+        direction = measured <= (1.0 / tolerance) and measured >= tolerance
+    else:
+        direction = measured > 1.0
+    return ClaimOutcome(
+        experiment_id=experiment.id,
+        title=experiment.title,
+        faster_mapping=claim.faster_mapping,
+        slower_mapping=claim.slower_mapping,
+        reported_factor=claim.factor,
+        measured_factor=measured,
+        faster_seconds=fast.median_seconds,
+        slower_seconds=slow.median_seconds,
+        direction_reproduced=direction,
+        paper_numbers=claim.paper_numbers,
+    )
+
+
+def run_all(suite: SyntheticBenchmarkSuite, repeats: int = 3,
+            experiments: Optional[Sequence[Experiment]] = None) -> List[ClaimOutcome]:
+    """Run every registered experiment and evaluate every paper claim."""
+
+    outcomes: List[ClaimOutcome] = []
+    for experiment in experiments or all_experiments():
+        results = experiment.run(suite, repeats=repeats)
+        for claim in experiment.claims:
+            outcomes.append(evaluate_claim(claim, results, experiment))
+    return outcomes
+
+
+_COLUMNS = (
+    ("experiment", 10),
+    ("faster", 8),
+    ("slower", 8),
+    ("reported_factor", 16),
+    ("measured_factor", 16),
+    ("direction_reproduced", 20),
+)
+
+
+def format_table(outcomes: Sequence[ClaimOutcome]) -> str:
+    """Fixed-width text table (what the bench harness prints)."""
+
+    header = " ".join(name.ljust(width) for name, width in _COLUMNS)
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        row = outcome.describe()
+        lines.append(
+            " ".join(str(row[name]).ljust(width) for name, width in _COLUMNS)
+        )
+    return "\n".join(lines)
+
+
+def to_markdown(outcomes: Sequence[ClaimOutcome]) -> str:
+    """Markdown table for EXPERIMENTS.md."""
+
+    lines = [
+        "| Experiment | Faster | Slower | Paper factor | Measured factor | Direction reproduced | Paper numbers |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for outcome in outcomes:
+        lines.append(
+            f"| {outcome.experiment_id} | {outcome.faster_mapping} | {outcome.slower_mapping} "
+            f"| {outcome.reported_factor}x | {outcome.measured_factor:.2f}x "
+            f"| {'yes' if outcome.direction_reproduced else 'NO'} | {outcome.paper_numbers} |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""The E/R model core: the paper's primary abstraction.
+
+Public surface:
+
+* attribute kinds: :class:`Attribute`, :class:`CompositeAttribute`,
+  :class:`MultiValuedAttribute`, :class:`DerivedAttribute`;
+* :class:`EntitySet` / :class:`WeakEntitySet` with specialization support;
+* :class:`RelationshipSet`, :class:`Participant`, :class:`Cardinality`,
+  :class:`Participation`;
+* :class:`ERSchema` — the schema container;
+* :class:`ERGraph` — the graph view used by physical mappings (Section 4);
+* instance objects and validators;
+* schema validation (:func:`validate_schema`, :func:`ensure_valid`).
+"""
+
+from .attributes import (
+    Attribute,
+    CompositeAttribute,
+    DerivedAttribute,
+    MultiValuedAttribute,
+)
+from .entities import EntitySet, WeakEntitySet
+from .graph import (
+    ERGraph,
+    attribute_node,
+    entity_node,
+    node_kind,
+    node_name,
+    relationship_node,
+)
+from .instances import (
+    EntityInstance,
+    RelationshipInstance,
+    validate_entity_instance,
+    validate_relationship_instance,
+)
+from .relationships import Cardinality, Participant, Participation, RelationshipSet
+from .schema import ERSchema
+from .validation import Finding, ensure_valid, validate_schema
+
+__all__ = [
+    "Attribute",
+    "CompositeAttribute",
+    "MultiValuedAttribute",
+    "DerivedAttribute",
+    "EntitySet",
+    "WeakEntitySet",
+    "RelationshipSet",
+    "Participant",
+    "Cardinality",
+    "Participation",
+    "ERSchema",
+    "ERGraph",
+    "entity_node",
+    "relationship_node",
+    "attribute_node",
+    "node_kind",
+    "node_name",
+    "EntityInstance",
+    "RelationshipInstance",
+    "validate_entity_instance",
+    "validate_relationship_instance",
+    "Finding",
+    "validate_schema",
+    "ensure_valid",
+]

@@ -1,0 +1,220 @@
+"""Attribute model of the (extended) E/R abstraction.
+
+The paper's DDL (Figure 1) supports three attribute shapes beyond plain
+scalars, and all three are first-class here:
+
+* **composite attributes** — ``name composite (firstname varchar, lastname varchar)``;
+* **multi-valued attributes** — ``phone_numbers varchar[]`` (sets/arrays of
+  scalars, or of composites, e.g. the ``r_mv3 {x, y}`` attribute in Figure 4);
+* **derived attributes** — computed, never stored (kept for completeness of
+  the extended E/R model).
+
+Attributes translate to relational types through :meth:`Attribute.to_datatype`
+only when a mapping chooses to inline them; normalized mappings (M1) instead
+spread multi-valued attributes into side tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import SchemaError
+from ..relational import types as rtypes
+
+
+_VALID_SCALARS = ("int", "bigint", "float", "double", "varchar", "text", "string", "bool", "boolean")
+
+
+def _check_scalar(type_name: str, context: str) -> str:
+    key = type_name.strip().lower()
+    if key not in _VALID_SCALARS:
+        raise SchemaError(f"unknown scalar type {type_name!r} for {context}")
+    return key
+
+
+@dataclass
+class Attribute:
+    """A simple (scalar) attribute."""
+
+    name: str
+    type_name: str = "varchar"
+    required: bool = False
+    description: Optional[str] = None
+    pii: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must not be empty")
+        self.type_name = _check_scalar(self.type_name, f"attribute {self.name!r}")
+
+    # -- classification ------------------------------------------------------
+
+    def is_composite(self) -> bool:
+        return False
+
+    def is_multivalued(self) -> bool:
+        return False
+
+    def is_derived(self) -> bool:
+        return False
+
+    # -- conversion ----------------------------------------------------------
+
+    def to_datatype(self) -> rtypes.DataType:
+        """The relational type used when this attribute is stored inline."""
+
+        return rtypes.scalar_type(self.type_name)
+
+    def validate_value(self, value: Any) -> Any:
+        """Validate a Python value against this attribute (None always allowed)."""
+
+        return self.to_datatype().validate(value)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": "simple",
+            "type": self.type_name,
+            "required": self.required,
+            "pii": self.pii,
+            "description": self.description,
+        }
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name}: {self.type_name})"
+
+
+@dataclass
+class CompositeAttribute(Attribute):
+    """An attribute with named sub-components (fixed-depth nesting)."""
+
+    components: List[Attribute] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must not be empty")
+        if not self.components:
+            raise SchemaError(f"composite attribute {self.name!r} needs at least one component")
+        names = [c.name for c in self.components]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate component names in composite {self.name!r}")
+        for component in self.components:
+            if component.is_composite() or component.is_multivalued():
+                raise SchemaError(
+                    f"composite attribute {self.name!r} may only contain simple components "
+                    f"(the E/R model supports fixed-depth nesting)"
+                )
+
+    def is_composite(self) -> bool:
+        return True
+
+    def component(self, name: str) -> Attribute:
+        for candidate in self.components:
+            if candidate.name == name:
+                return candidate
+        raise SchemaError(f"composite {self.name!r} has no component {name!r}")
+
+    def component_names(self) -> List[str]:
+        return [c.name for c in self.components]
+
+    def to_datatype(self) -> rtypes.DataType:
+        return rtypes.StructType(
+            [rtypes.StructField(c.name, c.to_datatype()) for c in self.components]
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": "composite",
+            "components": [c.describe() for c in self.components],
+            "required": self.required,
+            "pii": self.pii,
+            "description": self.description,
+        }
+
+    def __repr__(self) -> str:
+        inner = ", ".join(c.name for c in self.components)
+        return f"CompositeAttribute({self.name}: ({inner}))"
+
+
+@dataclass
+class MultiValuedAttribute(Attribute):
+    """An attribute holding a set/array of values.
+
+    Elements are scalars by default; pass ``element_components`` for an array
+    of composites (Figure 4's ``r_mv3 {x, y}``).
+    """
+
+    element_components: Optional[List[Attribute]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must not be empty")
+        if self.element_components is not None:
+            names = [c.name for c in self.element_components]
+            if len(set(names)) != len(names):
+                raise SchemaError(
+                    f"duplicate element component names in multi-valued {self.name!r}"
+                )
+        else:
+            self.type_name = _check_scalar(self.type_name, f"attribute {self.name!r}")
+
+    def is_multivalued(self) -> bool:
+        return True
+
+    def element_is_composite(self) -> bool:
+        return self.element_components is not None
+
+    def element_datatype(self) -> rtypes.DataType:
+        if self.element_components is not None:
+            return rtypes.StructType(
+                [rtypes.StructField(c.name, c.to_datatype()) for c in self.element_components]
+            )
+        return rtypes.scalar_type(self.type_name)
+
+    def to_datatype(self) -> rtypes.DataType:
+        return rtypes.ArrayType(self.element_datatype())
+
+    def describe(self) -> Dict[str, Any]:
+        out = {
+            "name": self.name,
+            "kind": "multivalued",
+            "required": self.required,
+            "pii": self.pii,
+            "description": self.description,
+        }
+        if self.element_components is not None:
+            out["element"] = [c.describe() for c in self.element_components]
+        else:
+            out["element"] = self.type_name
+        return out
+
+    def __repr__(self) -> str:
+        if self.element_components is not None:
+            inner = ", ".join(c.name for c in self.element_components)
+            return f"MultiValuedAttribute({self.name}: {{({inner})}})"
+        return f"MultiValuedAttribute({self.name}: {{{self.type_name}}})"
+
+
+@dataclass
+class DerivedAttribute(Attribute):
+    """A derived attribute, defined by a formula over sibling attributes.
+
+    The formula is an opaque string (documented intent); derived attributes
+    are never stored by any mapping and are excluded from CRUD templates.
+    """
+
+    formula: Optional[str] = None
+
+    def is_derived(self) -> bool:
+        return True
+
+    def describe(self) -> Dict[str, Any]:
+        out = super().describe()
+        out["kind"] = "derived"
+        out["formula"] = self.formula
+        return out
+
+    def __repr__(self) -> str:
+        return f"DerivedAttribute({self.name} = {self.formula})"

@@ -1,0 +1,142 @@
+"""Entity sets: strong entities, weak entities and specialization hierarchies.
+
+An :class:`EntitySet` owns its attributes and (for strong entities) a key.
+Subclassing (specialization) is expressed by ``parent``: a subclass contributes
+only its *additional* attributes, inherits the rest, and shares the root's key
+— exactly the semantics the paper relies on when discussing the three physical
+layout options for a hierarchy (Section 3).
+
+A :class:`WeakEntitySet` names its owning entity set and a discriminator; its
+full key is (owner key, discriminator), as in Figure 1's ``section`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import SchemaError
+from .attributes import Attribute
+
+
+@dataclass
+class EntitySet:
+    """A strong entity set (possibly a subclass of another entity set)."""
+
+    name: str
+    attributes: List[Attribute] = field(default_factory=list)
+    key: List[str] = field(default_factory=list)
+    parent: Optional[str] = None
+    specialization_total: bool = False
+    specialization_disjoint: bool = True
+    description: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("entity set name must not be empty")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in entity set {self.name!r}")
+        if self.parent is None and not self.key and not self.is_weak():
+            # Key may legitimately be filled in later by the DDL layer; the
+            # schema validator enforces its presence at validation time.
+            pass
+        for key_attr in self.key:
+            if key_attr not in names:
+                raise SchemaError(
+                    f"key attribute {key_attr!r} of entity set {self.name!r} is not declared"
+                )
+
+    # -- classification -------------------------------------------------------
+
+    def is_weak(self) -> bool:
+        return False
+
+    def is_subclass(self) -> bool:
+        return self.parent is not None
+
+    # -- attribute access ------------------------------------------------------
+
+    def attribute(self, name: str) -> Attribute:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise SchemaError(f"entity set {self.name!r} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def attribute_names(self) -> List[str]:
+        return [a.name for a in self.attributes]
+
+    def add_attribute(self, attribute: Attribute) -> None:
+        if self.has_attribute(attribute.name):
+            raise SchemaError(
+                f"entity set {self.name!r} already has attribute {attribute.name!r}"
+            )
+        self.attributes.append(attribute)
+
+    def remove_attribute(self, name: str) -> Attribute:
+        attribute = self.attribute(name)
+        if name in self.key:
+            raise SchemaError(f"cannot remove key attribute {name!r} from {self.name!r}")
+        self.attributes = [a for a in self.attributes if a.name != name]
+        return attribute
+
+    def replace_attribute(self, name: str, replacement: Attribute) -> None:
+        """Swap an attribute in place (used by schema evolution)."""
+
+        self.attribute(name)  # raises if missing
+        self.attributes = [
+            replacement if a.name == name else a for a in self.attributes
+        ]
+
+    # -- introspection -----------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": "weak_entity" if self.is_weak() else "entity",
+            "attributes": [a.describe() for a in self.attributes],
+            "key": list(self.key),
+            "parent": self.parent,
+            "description": self.description,
+        }
+
+    def __repr__(self) -> str:
+        extra = f" subclass_of={self.parent}" if self.parent else ""
+        return f"EntitySet({self.name}{extra}, attrs={self.attribute_names()})"
+
+
+@dataclass
+class WeakEntitySet(EntitySet):
+    """A weak entity set identified through its owner plus a discriminator."""
+
+    owner: str = ""
+    discriminator: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.owner:
+            raise SchemaError(f"weak entity set {self.name!r} must name its owner")
+        names = self.attribute_names()
+        for disc in self.discriminator:
+            if disc not in names:
+                raise SchemaError(
+                    f"discriminator {disc!r} of weak entity set {self.name!r} is not declared"
+                )
+
+    def is_weak(self) -> bool:
+        return True
+
+    def describe(self) -> Dict[str, Any]:
+        out = super().describe()
+        out["owner"] = self.owner
+        out["discriminator"] = list(self.discriminator)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"WeakEntitySet({self.name} depends on {self.owner}, "
+            f"discriminator={self.discriminator})"
+        )

@@ -1,0 +1,198 @@
+"""The E/R graph: the structure that physical mappings cover.
+
+Section 4 of the paper: *"we first view the E/R diagram as a graph where each
+entity, relationship, and attribute is a separate node ... A mapping to
+physical storage representation can be seen as a cover of this graph using
+connected subgraphs."*
+
+:class:`ERGraph` builds exactly that graph (on networkx) from an
+:class:`~repro.core.schema.ERSchema`:
+
+* node ids are strings: ``entity:person``, ``rel:takes``,
+  ``attr:person.name``, ``attr:takes.grade``;
+* edges connect entities to their attributes, relationships to their
+  attributes, relationships to their participants, subclasses to their
+  parents, and weak entity sets to their owners.
+
+The mapping layer uses :meth:`ERGraph.is_connected_subset` and
+:meth:`ERGraph.is_cover` to check that a proposed physical design is a valid
+cover by connected subgraphs (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..errors import UnknownElementError
+from .schema import ERSchema
+
+
+ENTITY_PREFIX = "entity:"
+RELATIONSHIP_PREFIX = "rel:"
+ATTRIBUTE_PREFIX = "attr:"
+
+
+def entity_node(name: str) -> str:
+    return f"{ENTITY_PREFIX}{name}"
+
+
+def relationship_node(name: str) -> str:
+    return f"{RELATIONSHIP_PREFIX}{name}"
+
+
+def attribute_node(owner: str, attribute: str) -> str:
+    return f"{ATTRIBUTE_PREFIX}{owner}.{attribute}"
+
+
+def node_kind(node_id: str) -> str:
+    """``"entity"`` / ``"relationship"`` / ``"attribute"`` for a node id."""
+
+    if node_id.startswith(ENTITY_PREFIX):
+        return "entity"
+    if node_id.startswith(RELATIONSHIP_PREFIX):
+        return "relationship"
+    if node_id.startswith(ATTRIBUTE_PREFIX):
+        return "attribute"
+    raise UnknownElementError(f"malformed E/R graph node id {node_id!r}")
+
+
+def node_name(node_id: str) -> str:
+    """The element name encoded in a node id (``owner.attr`` for attributes)."""
+
+    return node_id.split(":", 1)[1]
+
+
+class ERGraph:
+    """Graph view of an E/R schema, with cover-checking helpers."""
+
+    def __init__(self, schema: ERSchema) -> None:
+        self.schema = schema
+        self.graph = nx.Graph()
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        for entity in self.schema.entities():
+            e_node = entity_node(entity.name)
+            self.graph.add_node(e_node, kind="entity", name=entity.name)
+            for attribute in entity.attributes:
+                a_node = attribute_node(entity.name, attribute.name)
+                self.graph.add_node(
+                    a_node,
+                    kind="attribute",
+                    owner=entity.name,
+                    name=attribute.name,
+                    multivalued=attribute.is_multivalued(),
+                    composite=attribute.is_composite(),
+                )
+                self.graph.add_edge(e_node, a_node, kind="has_attribute")
+        for entity in self.schema.entities():
+            e_node = entity_node(entity.name)
+            if entity.parent is not None and self.schema.has_entity(entity.parent):
+                self.graph.add_edge(
+                    e_node, entity_node(entity.parent), kind="specializes"
+                )
+            if entity.is_weak():
+                owner = getattr(entity, "owner", None)
+                if owner and self.schema.has_entity(owner):
+                    self.graph.add_edge(e_node, entity_node(owner), kind="identifies")
+        for relationship in self.schema.relationships():
+            r_node = relationship_node(relationship.name)
+            self.graph.add_node(r_node, kind="relationship", name=relationship.name)
+            for participant in relationship.participants:
+                if self.schema.has_entity(participant.entity):
+                    self.graph.add_edge(
+                        r_node,
+                        entity_node(participant.entity),
+                        kind="participates",
+                        role=participant.label,
+                    )
+            for attribute in relationship.attributes:
+                a_node = attribute_node(relationship.name, attribute.name)
+                self.graph.add_node(
+                    a_node,
+                    kind="attribute",
+                    owner=relationship.name,
+                    name=attribute.name,
+                    multivalued=attribute.is_multivalued(),
+                    composite=attribute.is_composite(),
+                )
+                self.graph.add_edge(r_node, a_node, kind="has_attribute")
+
+    # -- node enumeration ------------------------------------------------------
+
+    def nodes(self, kind: Optional[str] = None) -> List[str]:
+        if kind is None:
+            return list(self.graph.nodes)
+        return [n for n, data in self.graph.nodes(data=True) if data.get("kind") == kind]
+
+    def entity_nodes(self) -> List[str]:
+        return self.nodes("entity")
+
+    def relationship_nodes(self) -> List[str]:
+        return self.nodes("relationship")
+
+    def attribute_nodes(self) -> List[str]:
+        return self.nodes("attribute")
+
+    def attributes_of(self, owner_name: str) -> List[str]:
+        """Attribute node ids attached to an entity or relationship node."""
+
+        prefix = f"{ATTRIBUTE_PREFIX}{owner_name}."
+        return [n for n in self.graph.nodes if n.startswith(prefix)]
+
+    def has_node(self, node_id: str) -> bool:
+        return self.graph.has_node(node_id)
+
+    def neighbours(self, node_id: str) -> List[str]:
+        if not self.graph.has_node(node_id):
+            raise UnknownElementError(f"unknown E/R graph node {node_id!r}")
+        return list(self.graph.neighbors(node_id))
+
+    # -- cover checking ---------------------------------------------------------
+
+    def is_connected_subset(self, nodes: Iterable[str]) -> bool:
+        """True if the node set is non-empty, known and connected in the graph."""
+
+        node_list = list(nodes)
+        if not node_list:
+            return False
+        for node in node_list:
+            if not self.graph.has_node(node):
+                return False
+        subgraph = self.graph.subgraph(node_list)
+        return nx.is_connected(subgraph)
+
+    def uncovered_nodes(self, subsets: Sequence[Iterable[str]]) -> Set[str]:
+        """Graph nodes not present in any of the given subsets."""
+
+        covered: Set[str] = set()
+        for subset in subsets:
+            covered.update(subset)
+        return set(self.graph.nodes) - covered
+
+    def is_cover(self, subsets: Sequence[Iterable[str]]) -> bool:
+        """True if every node appears in at least one connected subset."""
+
+        if not all(self.is_connected_subset(s) for s in subsets):
+            return False
+        return not self.uncovered_nodes(subsets)
+
+    # -- misc --------------------------------------------------------------------
+
+    def shortest_path(self, source: str, target: str) -> List[str]:
+        return nx.shortest_path(self.graph, source, target)
+
+    def degree(self, node_id: str) -> int:
+        return self.graph.degree[node_id]
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "entities": len(self.entity_nodes()),
+            "relationships": len(self.relationship_nodes()),
+            "attributes": len(self.attribute_nodes()),
+            "edges": self.graph.number_of_edges(),
+        }

@@ -1,0 +1,172 @@
+"""Runtime instances: the values users insert and read at the E/R level.
+
+An :class:`EntityInstance` is a bag of attribute values conforming to an
+entity set (including inherited attributes when the instance belongs to a
+subclass).  A :class:`RelationshipInstance` connects concrete entity keys
+under the roles of a relationship set and may carry relationship attributes.
+
+These objects are what the CRUD templates accept and what the reversibility
+checker reconstructs from the physical tables; they are deliberately plain so
+they serialize naturally through the API layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import InstanceError
+from .attributes import Attribute
+from .entities import WeakEntitySet
+from .schema import ERSchema
+
+
+@dataclass
+class EntityInstance:
+    """One entity: its entity-set name and attribute values."""
+
+    entity_set: str
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def key_of(self, schema: ERSchema) -> Tuple[Any, ...]:
+        """The identifying key values of this instance (per the schema)."""
+
+        key_attrs = schema.effective_key(self.entity_set)
+        missing = [k for k in key_attrs if self.values.get(k) is None]
+        if missing:
+            raise InstanceError(
+                f"instance of {self.entity_set!r} is missing key attribute(s) {missing}"
+            )
+        return tuple(self.values[k] for k in key_attrs)
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        return self.values.get(attribute, default)
+
+    def with_values(self, **changes: Any) -> "EntityInstance":
+        merged = dict(self.values)
+        merged.update(changes)
+        return EntityInstance(self.entity_set, merged)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"entity_set": self.entity_set, "values": dict(self.values)}
+
+
+@dataclass
+class RelationshipInstance:
+    """One relationship occurrence: role -> participant key, plus attributes."""
+
+    relationship_set: str
+    endpoints: Dict[str, Tuple[Any, ...]] = field(default_factory=dict)
+    values: Dict[str, Any] = field(default_factory=dict)
+
+    def endpoint(self, role: str) -> Tuple[Any, ...]:
+        if role not in self.endpoints:
+            raise InstanceError(
+                f"relationship instance of {self.relationship_set!r} has no endpoint "
+                f"for role {role!r}"
+            )
+        return self.endpoints[role]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "relationship_set": self.relationship_set,
+            "endpoints": {k: list(v) for k, v in self.endpoints.items()},
+            "values": dict(self.values),
+        }
+
+
+def _validate_attribute_value(attribute: Attribute, value: Any, context: str) -> Any:
+    if value is None:
+        if attribute.required:
+            raise InstanceError(f"{context}: attribute {attribute.name!r} is required")
+        return None
+    try:
+        return attribute.validate_value(value)
+    except Exception as exc:
+        raise InstanceError(
+            f"{context}: invalid value for attribute {attribute.name!r}: {exc}"
+        ) from exc
+
+
+def validate_entity_instance(schema: ERSchema, instance: EntityInstance) -> EntityInstance:
+    """Validate (and lightly coerce) an entity instance against the schema.
+
+    Checks that every supplied attribute exists (own or inherited), values
+    conform to the attribute types, required attributes and key attributes are
+    present, and — for weak entities — the owner key part of the composite key
+    is present.
+    """
+
+    entity = schema.entity(instance.entity_set)
+    effective = {a.name: a for a in schema.effective_attributes(instance.entity_set)}
+    context = f"instance of {instance.entity_set!r}"
+
+    extra_allowed = set()
+    if isinstance(entity, WeakEntitySet):
+        extra_allowed = set(schema.effective_key(entity.owner))
+
+    unknown = set(instance.values) - set(effective) - extra_allowed
+    if unknown:
+        raise InstanceError(f"{context}: unknown attributes {sorted(unknown)}")
+
+    validated: Dict[str, Any] = {}
+    for name, attribute in effective.items():
+        if attribute.is_derived():
+            if name in instance.values and instance.values[name] is not None:
+                raise InstanceError(
+                    f"{context}: derived attribute {name!r} cannot be supplied"
+                )
+            continue
+        validated[name] = _validate_attribute_value(
+            attribute, instance.values.get(name), context
+        )
+    for name in extra_allowed:
+        validated[name] = instance.values.get(name)
+
+    key = schema.effective_key(instance.entity_set)
+    missing_key = [k for k in key if validated.get(k) is None]
+    if missing_key:
+        raise InstanceError(f"{context}: missing key attribute(s) {missing_key}")
+    result = EntityInstance(instance.entity_set, validated)
+    return result
+
+
+def validate_relationship_instance(
+    schema: ERSchema, instance: RelationshipInstance
+) -> RelationshipInstance:
+    """Validate a relationship instance: roles, endpoint arity and attributes."""
+
+    relationship = schema.relationship(instance.relationship_set)
+    context = f"instance of relationship {instance.relationship_set!r}"
+
+    expected_roles = set(relationship.labels())
+    provided_roles = set(instance.endpoints)
+    missing = expected_roles - provided_roles
+    if missing:
+        raise InstanceError(f"{context}: missing endpoint(s) for role(s) {sorted(missing)}")
+    unknown = provided_roles - expected_roles
+    if unknown:
+        raise InstanceError(f"{context}: unknown role(s) {sorted(unknown)}")
+
+    endpoints: Dict[str, Tuple[Any, ...]] = {}
+    for participant in relationship.participants:
+        key_attrs = schema.effective_key(participant.entity)
+        value = instance.endpoints[participant.label]
+        if not isinstance(value, (tuple, list)):
+            value = (value,)
+        if len(value) != len(key_attrs):
+            raise InstanceError(
+                f"{context}: endpoint for role {participant.label!r} must supply "
+                f"{len(key_attrs)} key value(s) ({key_attrs}), got {len(value)}"
+            )
+        endpoints[participant.label] = tuple(value)
+
+    known_attrs = {a.name: a for a in relationship.attributes}
+    unknown_attrs = set(instance.values) - set(known_attrs)
+    if unknown_attrs:
+        raise InstanceError(f"{context}: unknown attributes {sorted(unknown_attrs)}")
+    validated_values = {
+        name: _validate_attribute_value(attr, instance.values.get(name), context)
+        for name, attr in known_attrs.items()
+    }
+    return RelationshipInstance(instance.relationship_set, endpoints, validated_values)

@@ -1,0 +1,191 @@
+"""Relationship sets with cardinality and participation constraints.
+
+A relationship set connects two or more entity sets.  Each participation is
+annotated with:
+
+* **cardinality** — ``ONE`` or ``MANY`` (Figure 1's ``many``/``one`` keywords),
+* **participation** — ``TOTAL`` or ``PARTIAL``,
+* an optional **role** name (needed for self-relationships such as ``prereq``
+  between courses).
+
+Relationships may carry their own descriptive attributes (``takes (grade)``).
+The mapping layer inspects :meth:`RelationshipSet.kind` to decide whether a
+relationship folds into the many side (many-to-one), needs its own table
+(many-to-many), or can be co-stored (mapping M6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import SchemaError
+from .attributes import Attribute
+
+
+class Cardinality(str, Enum):
+    ONE = "one"
+    MANY = "many"
+
+
+class Participation(str, Enum):
+    TOTAL = "total"
+    PARTIAL = "partial"
+
+
+@dataclass
+class Participant:
+    """One leg of a relationship: entity set + role + constraints."""
+
+    entity: str
+    role: Optional[str] = None
+    cardinality: Cardinality = Cardinality.MANY
+    participation: Participation = Participation.PARTIAL
+
+    def __post_init__(self) -> None:
+        if isinstance(self.cardinality, str):
+            self.cardinality = Cardinality(self.cardinality.lower())
+        if isinstance(self.participation, str):
+            self.participation = Participation(self.participation.lower())
+        if not self.entity:
+            raise SchemaError("relationship participant must name an entity set")
+
+    @property
+    def label(self) -> str:
+        """Role if given, otherwise the entity set name (must be unique per rel)."""
+
+        return self.role or self.entity
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "entity": self.entity,
+            "role": self.role,
+            "cardinality": self.cardinality.value,
+            "participation": self.participation.value,
+        }
+
+
+@dataclass
+class RelationshipSet:
+    """A named relationship set between two (or more) entity sets."""
+
+    name: str
+    participants: List[Participant] = field(default_factory=list)
+    attributes: List[Attribute] = field(default_factory=list)
+    identifying: bool = False
+    description: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relationship set name must not be empty")
+        if len(self.participants) < 2:
+            raise SchemaError(
+                f"relationship set {self.name!r} needs at least two participants"
+            )
+        labels = [p.label for p in self.participants]
+        if len(set(labels)) != len(labels):
+            raise SchemaError(
+                f"participants of relationship {self.name!r} need distinct roles "
+                f"(use explicit role names for self-relationships)"
+            )
+        attr_names = [a.name for a in self.attributes]
+        if len(set(attr_names)) != len(attr_names):
+            raise SchemaError(f"duplicate attribute names in relationship {self.name!r}")
+
+    # -- participant access -----------------------------------------------------
+
+    def participant(self, label: str) -> Participant:
+        for participant in self.participants:
+            if participant.label == label or participant.entity == label:
+                return participant
+        raise SchemaError(f"relationship {self.name!r} has no participant {label!r}")
+
+    def entity_names(self) -> List[str]:
+        return [p.entity for p in self.participants]
+
+    def labels(self) -> List[str]:
+        return [p.label for p in self.participants]
+
+    def involves(self, entity_name: str) -> bool:
+        return entity_name in self.entity_names()
+
+    def other(self, label: str) -> Participant:
+        """The other participant of a binary relationship."""
+
+        if len(self.participants) != 2:
+            raise SchemaError(
+                f"other() is only defined for binary relationships, {self.name!r} has "
+                f"{len(self.participants)} participants"
+            )
+        first, second = self.participants
+        if first.label == label or first.entity == label:
+            return second
+        if second.label == label or second.entity == label:
+            return first
+        raise SchemaError(f"relationship {self.name!r} has no participant {label!r}")
+
+    # -- attribute access ----------------------------------------------------------
+
+    def attribute(self, name: str) -> Attribute:
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise SchemaError(f"relationship {self.name!r} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def attribute_names(self) -> List[str]:
+        return [a.name for a in self.attributes]
+
+    # -- classification --------------------------------------------------------------
+
+    def is_binary(self) -> bool:
+        return len(self.participants) == 2
+
+    def kind(self) -> str:
+        """``"one_to_one"`` / ``"many_to_one"`` / ``"many_to_many"`` / ``"n_ary"``."""
+
+        if not self.is_binary():
+            return "n_ary"
+        first, second = self.participants
+        cards = (first.cardinality, second.cardinality)
+        if cards == (Cardinality.ONE, Cardinality.ONE):
+            return "one_to_one"
+        if Cardinality.ONE in cards:
+            return "many_to_one"
+        return "many_to_many"
+
+    def many_side(self) -> Participant:
+        """For a many-to-one relationship, the participant on the MANY side."""
+
+        if self.kind() != "many_to_one":
+            raise SchemaError(f"relationship {self.name!r} is not many-to-one")
+        first, second = self.participants
+        return first if first.cardinality == Cardinality.MANY else second
+
+    def one_side(self) -> Participant:
+        if self.kind() != "many_to_one":
+            raise SchemaError(f"relationship {self.name!r} is not many-to-one")
+        first, second = self.participants
+        return first if first.cardinality == Cardinality.ONE else second
+
+    # -- introspection -----------------------------------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind(),
+            "participants": [p.describe() for p in self.participants],
+            "attributes": [a.describe() for a in self.attributes],
+            "identifying": self.identifying,
+            "description": self.description,
+        }
+
+    def __repr__(self) -> str:
+        legs = " -- ".join(
+            f"{p.label}({p.cardinality.value},{p.participation.value})"
+            for p in self.participants
+        )
+        return f"RelationshipSet({self.name}: {legs})"

@@ -1,0 +1,293 @@
+"""The :class:`ERSchema`: the container for a whole E/R design.
+
+Besides storage and lookup of entity and relationship sets, the schema answers
+the structural questions that the mapping layer, the planner, schema evolution
+and governance all need:
+
+* hierarchy navigation (root, ancestors, descendants, effective attributes),
+* effective keys (strong entities, subclasses, weak entities),
+* which relationships an entity participates in,
+* a deep copy for versioning (schema evolution keeps old versions around).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import DuplicateElementError, SchemaError, UnknownElementError
+from .attributes import Attribute
+from .entities import EntitySet, WeakEntitySet
+from .relationships import RelationshipSet
+
+
+class ERSchema:
+    """An entity-relationship schema: named entity sets and relationship sets."""
+
+    def __init__(self, name: str = "schema") -> None:
+        self.name = name
+        self._entities: Dict[str, EntitySet] = {}
+        self._relationships: Dict[str, RelationshipSet] = {}
+
+    # ------------------------------------------------------------- mutation
+
+    def add_entity(self, entity: EntitySet) -> EntitySet:
+        if entity.name in self._entities:
+            raise DuplicateElementError(f"entity set {entity.name!r} already defined")
+        if entity.name in self._relationships:
+            raise DuplicateElementError(
+                f"name {entity.name!r} already used by a relationship set"
+            )
+        self._entities[entity.name] = entity
+        return entity
+
+    def add_relationship(self, relationship: RelationshipSet) -> RelationshipSet:
+        if relationship.name in self._relationships:
+            raise DuplicateElementError(
+                f"relationship set {relationship.name!r} already defined"
+            )
+        if relationship.name in self._entities:
+            raise DuplicateElementError(
+                f"name {relationship.name!r} already used by an entity set"
+            )
+        self._relationships[relationship.name] = relationship
+        return relationship
+
+    def drop_entity(self, name: str) -> EntitySet:
+        entity = self.entity(name)
+        referencing = [r.name for r in self.relationships_of(name)]
+        if referencing:
+            raise SchemaError(
+                f"cannot drop entity set {name!r}: referenced by relationships {referencing}"
+            )
+        children = [e.name for e in self.subclasses_of(name)]
+        if children:
+            raise SchemaError(
+                f"cannot drop entity set {name!r}: it has subclasses {children}"
+            )
+        dependants = [
+            e.name
+            for e in self._entities.values()
+            if isinstance(e, WeakEntitySet) and e.owner == name
+        ]
+        if dependants:
+            raise SchemaError(
+                f"cannot drop entity set {name!r}: weak entity sets {dependants} depend on it"
+            )
+        del self._entities[name]
+        return entity
+
+    def drop_relationship(self, name: str) -> RelationshipSet:
+        relationship = self.relationship(name)
+        del self._relationships[name]
+        return relationship
+
+    # ------------------------------------------------------------- lookup
+
+    def entity(self, name: str) -> EntitySet:
+        if name not in self._entities:
+            raise UnknownElementError(f"unknown entity set {name!r}")
+        return self._entities[name]
+
+    def relationship(self, name: str) -> RelationshipSet:
+        if name not in self._relationships:
+            raise UnknownElementError(f"unknown relationship set {name!r}")
+        return self._relationships[name]
+
+    def has_entity(self, name: str) -> bool:
+        return name in self._entities
+
+    def has_relationship(self, name: str) -> bool:
+        return name in self._relationships
+
+    def entities(self) -> List[EntitySet]:
+        return list(self._entities.values())
+
+    def relationships(self) -> List[RelationshipSet]:
+        return list(self._relationships.values())
+
+    def entity_names(self) -> List[str]:
+        return sorted(self._entities)
+
+    def relationship_names(self) -> List[str]:
+        return sorted(self._relationships)
+
+    # --------------------------------------------------------- hierarchy helpers
+
+    def subclasses_of(self, name: str) -> List[EntitySet]:
+        """Direct subclasses of an entity set."""
+
+        return [e for e in self._entities.values() if e.parent == name]
+
+    def descendants_of(self, name: str) -> List[EntitySet]:
+        """All transitive subclasses, in breadth-first order."""
+
+        out: List[EntitySet] = []
+        frontier = [name]
+        while frontier:
+            current = frontier.pop(0)
+            for child in self.subclasses_of(current):
+                out.append(child)
+                frontier.append(child.name)
+        return out
+
+    def ancestors_of(self, name: str) -> List[EntitySet]:
+        """Chain of parents from the immediate parent up to the hierarchy root."""
+
+        out: List[EntitySet] = []
+        current = self.entity(name)
+        seen = {name}
+        while current.parent is not None:
+            if current.parent in seen:
+                raise SchemaError(f"cycle in specialization hierarchy at {current.parent!r}")
+            parent = self.entity(current.parent)
+            out.append(parent)
+            seen.add(parent.name)
+            current = parent
+        return out
+
+    def hierarchy_root(self, name: str) -> EntitySet:
+        """The topmost ancestor (the entity itself if it has no parent)."""
+
+        ancestors = self.ancestors_of(name)
+        return ancestors[-1] if ancestors else self.entity(name)
+
+    def hierarchy_members(self, root_name: str) -> List[EntitySet]:
+        """The root plus all of its descendants."""
+
+        return [self.entity(root_name)] + self.descendants_of(root_name)
+
+    def hierarchy_roots(self) -> List[EntitySet]:
+        """Entity sets that head a specialization hierarchy (have subclasses, no parent)."""
+
+        return [
+            e
+            for e in self._entities.values()
+            if e.parent is None and self.subclasses_of(e.name)
+        ]
+
+    # --------------------------------------------------------- effective attributes
+
+    def effective_attributes(self, name: str) -> List[Attribute]:
+        """Own attributes plus all inherited attributes (root first)."""
+
+        entity = self.entity(name)
+        chain = list(reversed(self.ancestors_of(name))) + [entity]
+        out: List[Attribute] = []
+        seen = set()
+        for member in chain:
+            for attribute in member.attributes:
+                if attribute.name in seen:
+                    raise SchemaError(
+                        f"attribute {attribute.name!r} redefined along hierarchy of {name!r}"
+                    )
+                seen.add(attribute.name)
+                out.append(attribute)
+        return out
+
+    def effective_attribute(self, entity_name: str, attr_name: str) -> Attribute:
+        for attribute in self.effective_attributes(entity_name):
+            if attribute.name == attr_name:
+                return attribute
+        raise UnknownElementError(
+            f"entity set {entity_name!r} has no attribute {attr_name!r} (own or inherited)"
+        )
+
+    def owning_entity_of_attribute(self, entity_name: str, attr_name: str) -> EntitySet:
+        """Which member of the hierarchy declares ``attr_name``."""
+
+        chain = [self.entity(entity_name)] + self.ancestors_of(entity_name)
+        for member in chain:
+            if member.has_attribute(attr_name):
+                return member
+        raise UnknownElementError(
+            f"entity set {entity_name!r} has no attribute {attr_name!r} (own or inherited)"
+        )
+
+    # --------------------------------------------------------- keys
+
+    def effective_key(self, name: str) -> List[str]:
+        """The identifying attributes of an entity set.
+
+        * strong entity: its declared key;
+        * subclass: the root's key (shared identity);
+        * weak entity: owner's key attributes followed by the discriminator.
+        """
+
+        entity = self.entity(name)
+        if isinstance(entity, WeakEntitySet):
+            owner_key = self.effective_key(entity.owner)
+            return list(owner_key) + list(entity.discriminator)
+        if entity.parent is not None:
+            return self.effective_key(self.hierarchy_root(name).name)
+        return list(entity.key)
+
+    def key_attributes(self, name: str) -> List[Attribute]:
+        """Attribute objects for :meth:`effective_key` (owner attrs for weak sets)."""
+
+        entity = self.entity(name)
+        if isinstance(entity, WeakEntitySet):
+            owner_attrs = self.key_attributes(entity.owner)
+            own = [entity.attribute(d) for d in entity.discriminator]
+            return owner_attrs + own
+        root = self.hierarchy_root(name)
+        return [root.attribute(k) for k in root.key]
+
+    # --------------------------------------------------------- relationships
+
+    def relationships_of(self, entity_name: str) -> List[RelationshipSet]:
+        """Relationships in which the entity (or any of its ancestors) participates."""
+
+        family = {entity_name} | {a.name for a in self.ancestors_of(entity_name)}
+        return [
+            r
+            for r in self._relationships.values()
+            if any(e in family for e in r.entity_names())
+        ]
+
+    def relationship_between(self, first: str, second: str) -> List[RelationshipSet]:
+        """All binary relationships connecting the two entity sets (or ancestors)."""
+
+        first_family = {first} | {a.name for a in self.ancestors_of(first)}
+        second_family = {second} | {a.name for a in self.ancestors_of(second)}
+        out = []
+        for relationship in self._relationships.values():
+            if not relationship.is_binary():
+                continue
+            names = relationship.entity_names()
+            if (names[0] in first_family and names[1] in second_family) or (
+                names[0] in second_family and names[1] in first_family
+            ):
+                out.append(relationship)
+        return out
+
+    def weak_entities_of(self, owner_name: str) -> List[WeakEntitySet]:
+        return [
+            e
+            for e in self._entities.values()
+            if isinstance(e, WeakEntitySet) and e.owner == owner_name
+        ]
+
+    # --------------------------------------------------------- misc
+
+    def clone(self, name: Optional[str] = None) -> "ERSchema":
+        """Deep copy of the schema (used by versioning and evolution)."""
+
+        cloned = copy.deepcopy(self)
+        if name is not None:
+            cloned.name = name
+        return cloned
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "entities": [e.describe() for e in self._entities.values()],
+            "relationships": [r.describe() for r in self._relationships.values()],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ERSchema({self.name}: {len(self._entities)} entity sets, "
+            f"{len(self._relationships)} relationship sets)"
+        )

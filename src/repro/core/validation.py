@@ -1,0 +1,244 @@
+"""Schema validation: the "opinionated" checks the paper argues a higher-level
+model should enforce so schemas cannot quietly decay.
+
+``validate_schema`` returns a list of :class:`Finding` objects (errors and
+warnings).  ``ensure_valid`` raises :class:`~repro.errors.ValidationError` if
+any error-level finding exists.  The individual rules are small functions so
+new rules can be added and tested independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from ..errors import ValidationError
+from .entities import EntitySet, WeakEntitySet
+from .relationships import Cardinality, Participation, RelationshipSet
+from .schema import ERSchema
+
+
+@dataclass
+class Finding:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    element: str
+    message: str
+
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.element}: {self.message}"
+
+
+def _check_entity_keys(schema: ERSchema) -> List[Finding]:
+    findings = []
+    for entity in schema.entities():
+        if entity.is_weak() or entity.parent is not None:
+            continue
+        if not entity.key:
+            findings.append(
+                Finding("error", entity.name, "strong entity set has no key")
+            )
+    return findings
+
+
+def _check_subclass_parents(schema: ERSchema) -> List[Finding]:
+    findings = []
+    for entity in schema.entities():
+        if entity.parent is None:
+            continue
+        if not schema.has_entity(entity.parent):
+            findings.append(
+                Finding(
+                    "error",
+                    entity.name,
+                    f"parent entity set {entity.parent!r} is not defined",
+                )
+            )
+            continue
+        if entity.key:
+            findings.append(
+                Finding(
+                    "warning",
+                    entity.name,
+                    "subclass declares its own key; it shares the root key and the "
+                    "declared key will be ignored",
+                )
+            )
+    return findings
+
+
+def _check_hierarchy_acyclic(schema: ERSchema) -> List[Finding]:
+    findings = []
+    for entity in schema.entities():
+        seen = {entity.name}
+        current = entity
+        while current.parent is not None:
+            if current.parent in seen:
+                findings.append(
+                    Finding("error", entity.name, "cycle in specialization hierarchy")
+                )
+                break
+            if not schema.has_entity(current.parent):
+                break
+            seen.add(current.parent)
+            current = schema.entity(current.parent)
+    return findings
+
+
+def _check_attribute_shadowing(schema: ERSchema) -> List[Finding]:
+    findings = []
+    for entity in schema.entities():
+        if entity.parent is None or not schema.has_entity(entity.parent):
+            continue
+        try:
+            inherited = {
+                a.name
+                for ancestor in schema.ancestors_of(entity.name)
+                for a in ancestor.attributes
+            }
+        except Exception:
+            continue
+        for attribute in entity.attributes:
+            if attribute.name in inherited:
+                findings.append(
+                    Finding(
+                        "error",
+                        entity.name,
+                        f"attribute {attribute.name!r} shadows an inherited attribute",
+                    )
+                )
+    return findings
+
+
+def _check_weak_entities(schema: ERSchema) -> List[Finding]:
+    findings = []
+    for entity in schema.entities():
+        if not isinstance(entity, WeakEntitySet):
+            continue
+        if not schema.has_entity(entity.owner):
+            findings.append(
+                Finding(
+                    "error",
+                    entity.name,
+                    f"owner entity set {entity.owner!r} is not defined",
+                )
+            )
+        if not entity.discriminator:
+            findings.append(
+                Finding(
+                    "warning",
+                    entity.name,
+                    "weak entity set has no discriminator; instances may be ambiguous",
+                )
+            )
+        if entity.parent is not None:
+            findings.append(
+                Finding(
+                    "error",
+                    entity.name,
+                    "weak entity sets cannot also be subclasses",
+                )
+            )
+    return findings
+
+
+def _check_relationship_participants(schema: ERSchema) -> List[Finding]:
+    findings = []
+    for relationship in schema.relationships():
+        for participant in relationship.participants:
+            if not schema.has_entity(participant.entity):
+                findings.append(
+                    Finding(
+                        "error",
+                        relationship.name,
+                        f"participant entity set {participant.entity!r} is not defined",
+                    )
+                )
+    return findings
+
+
+def _check_relationship_attribute_clash(schema: ERSchema) -> List[Finding]:
+    findings = []
+    for relationship in schema.relationships():
+        for attribute in relationship.attributes:
+            for participant in relationship.participants:
+                if not schema.has_entity(participant.entity):
+                    continue
+                entity = schema.entity(participant.entity)
+                if entity.has_attribute(attribute.name):
+                    findings.append(
+                        Finding(
+                            "warning",
+                            relationship.name,
+                            f"attribute {attribute.name!r} also exists on participant "
+                            f"{participant.entity!r}; queries must qualify it",
+                        )
+                    )
+    return findings
+
+
+def _check_total_one_participation(schema: ERSchema) -> List[Finding]:
+    """A ONE-side participant with TOTAL participation is a strong dependency.
+
+    This is legal but worth surfacing: it means every instance of the other
+    side must be linked, which constrains CRUD ordering.
+    """
+
+    findings = []
+    for relationship in schema.relationships():
+        if not relationship.is_binary():
+            continue
+        for participant in relationship.participants:
+            if (
+                participant.cardinality == Cardinality.ONE
+                and participant.participation == Participation.TOTAL
+            ):
+                findings.append(
+                    Finding(
+                        "warning",
+                        relationship.name,
+                        f"participant {participant.label!r} is ONE with TOTAL participation; "
+                        "inserts on the other side must always supply this link",
+                    )
+                )
+    return findings
+
+
+_RULES: List[Callable[[ERSchema], List[Finding]]] = [
+    _check_entity_keys,
+    _check_subclass_parents,
+    _check_hierarchy_acyclic,
+    _check_attribute_shadowing,
+    _check_weak_entities,
+    _check_relationship_participants,
+    _check_relationship_attribute_clash,
+    _check_total_one_participation,
+]
+
+
+def validate_schema(schema: ERSchema) -> List[Finding]:
+    """Run every validation rule and return all findings."""
+
+    findings: List[Finding] = []
+    for rule in _RULES:
+        findings.extend(rule(schema))
+    return findings
+
+
+def ensure_valid(schema: ERSchema) -> List[Finding]:
+    """Validate and raise :class:`ValidationError` if any error exists.
+
+    Returns the (possibly non-empty) list of warnings for callers that want to
+    surface them.
+    """
+
+    findings = validate_schema(schema)
+    errors = [f for f in findings if f.is_error()]
+    if errors:
+        summary = "; ".join(str(e) for e in errors)
+        raise ValidationError(f"schema {schema.name!r} is invalid: {summary}")
+    return [f for f in findings if not f.is_error()]

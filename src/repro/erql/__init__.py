@@ -1,0 +1,28 @@
+"""ERQL: the paper's SQL-variant query language plus its DDL.
+
+Pipeline: :func:`parse_statement` / :func:`parse_query` (text -> AST),
+:func:`analyze_query` (AST -> :class:`BoundQuery`), :class:`Planner`
+(BoundQuery -> physical plan under the active mapping), and the DDL helpers
+(:func:`apply_ddl`, :func:`schema_from_ddl`) that build E/R schemas from
+``create entity`` / ``create relationship`` scripts.
+"""
+
+from .analyzer import Analyzer, analyze_query
+from .ddl import apply_ddl, apply_statement, schema_from_ddl
+from .logical import BoundQuery
+from .parser import Parser, parse_query, parse_script, parse_statement
+from .planner import Planner
+
+__all__ = [
+    "Parser",
+    "parse_statement",
+    "parse_script",
+    "parse_query",
+    "Analyzer",
+    "analyze_query",
+    "BoundQuery",
+    "Planner",
+    "apply_ddl",
+    "apply_statement",
+    "schema_from_ddl",
+]

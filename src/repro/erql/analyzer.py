@@ -1,0 +1,405 @@
+"""Semantic analysis: bind a parsed ERQL query against an E/R schema.
+
+The analyzer checks that:
+
+* the FROM entity and every joined entity exist, and each join's relationship
+  actually connects the joined entity to one of the aliases already in scope;
+* every name resolves to exactly one attribute (of an alias, of a joined
+  relationship, or of exactly one in-scope entity when unqualified), with
+  trailing parts interpreted as composite-field access;
+* aggregates are not nested, ``unnest`` is applied to multi-valued attributes
+  only, and mixed aggregate / non-aggregate select lists get their GROUP BY
+  inferred (the paper omits explicit GROUP BY for this reason);
+* ``count(*)`` and ``DISTINCT`` aggregates are well-formed.
+
+The result is a :class:`~repro.erql.logical.BoundQuery`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core import ERSchema, WeakEntitySet
+from ..errors import AnalysisError
+from ..relational.expressions import scalar_function_names
+from . import ast_nodes as ast
+from .logical import (
+    BoundAggregate,
+    BoundBinOp,
+    BoundExpr,
+    BoundFunc,
+    BoundInList,
+    BoundIsNull,
+    BoundJoin,
+    BoundLiteral,
+    BoundNot,
+    BoundOrderItem,
+    BoundQuery,
+    BoundRef,
+    BoundSelectItem,
+    BoundStruct,
+    BoundUnnest,
+)
+
+AGGREGATE_FUNCTIONS = {"count", "sum", "avg", "min", "max", "array_agg"}
+SCALAR_FUNCTIONS = set(scalar_function_names())
+
+
+class Analyzer:
+    """Binds one SELECT statement against a schema."""
+
+    def __init__(self, schema: ERSchema) -> None:
+        self.schema = schema
+
+    # -- entry point -----------------------------------------------------------
+
+    def analyze(self, statement: ast.SelectStatement) -> BoundQuery:
+        aliases, joins = self._bind_from(statement)
+        relationships = {join.relationship for join in joins}
+        context = _Scope(self.schema, aliases, relationships)
+
+        items: List[BoundSelectItem] = []
+        for index, item in enumerate(statement.items):
+            bound = self._bind_expression(item.expression, context)
+            name = item.alias or self._default_name(bound, index)
+            items.append(BoundSelectItem(name=name, expression=bound))
+        self._check_duplicate_names(items)
+
+        where = (
+            self._bind_expression(statement.where, context)
+            if statement.where is not None
+            else None
+        )
+        if where is not None and where.contains_aggregate():
+            raise AnalysisError("aggregates are not allowed in the WHERE clause")
+
+        has_aggregates = any(item.is_aggregate() for item in items)
+        group_keys = self._infer_group_keys(statement, items, context, has_aggregates)
+
+        unnest_items = [
+            item.expression
+            for item in items
+            if isinstance(item.expression, BoundUnnest)
+        ]
+        if unnest_items and has_aggregates:
+            raise AnalysisError("unnest() cannot be combined with aggregates")
+
+        order_by = self._bind_order_by(statement, items, context)
+
+        base_alias = statement.source.effective_alias
+        query = BoundQuery(
+            base_alias=base_alias,
+            base_entity=aliases[base_alias],
+            aliases=aliases,
+            joins=joins,
+            items=items,
+            where=where,
+            group_keys=group_keys,
+            order_by=order_by,
+            limit=statement.limit,
+            has_aggregates=has_aggregates,
+            unnest_items=list(unnest_items),
+        )
+        return query
+
+    # -- FROM clause -------------------------------------------------------------
+
+    def _bind_from(
+        self, statement: ast.SelectStatement
+    ) -> Tuple[Dict[str, str], List[BoundJoin]]:
+        aliases: Dict[str, str] = {}
+        source = statement.source
+        if not self.schema.has_entity(source.entity):
+            raise AnalysisError(f"unknown entity set {source.entity!r} in FROM clause")
+        aliases[source.effective_alias] = source.entity
+
+        joins: List[BoundJoin] = []
+        for join in statement.joins:
+            entity = join.entity.entity
+            alias = join.entity.effective_alias
+            if not self.schema.has_entity(entity):
+                raise AnalysisError(f"unknown entity set {entity!r} in JOIN clause")
+            if alias in aliases:
+                raise AnalysisError(f"duplicate alias {alias!r} in FROM clause")
+            if not self.schema.has_relationship(join.relationship):
+                raise AnalysisError(
+                    f"unknown relationship {join.relationship!r} in JOIN clause"
+                )
+            relationship = self.schema.relationship(join.relationship)
+            new_family = {entity} | {a.name for a in self.schema.ancestors_of(entity)}
+            if not any(e in new_family for e in relationship.entity_names()):
+                raise AnalysisError(
+                    f"entity {entity!r} does not participate in relationship "
+                    f"{join.relationship!r}"
+                )
+            # some already-bound alias must supply the other side
+            found_partner = False
+            for bound_alias, bound_entity in aliases.items():
+                family = {bound_entity} | {
+                    a.name for a in self.schema.ancestors_of(bound_entity)
+                }
+                if any(e in family for e in relationship.entity_names()):
+                    found_partner = True
+                    break
+            if not found_partner:
+                raise AnalysisError(
+                    f"relationship {join.relationship!r} does not connect {entity!r} "
+                    "to any entity already in the FROM clause"
+                )
+            aliases[alias] = entity
+            joins.append(
+                BoundJoin(
+                    alias=alias,
+                    entity=entity,
+                    relationship=join.relationship,
+                    join_type=join.join_type,
+                )
+            )
+        return aliases, joins
+
+    # -- names ----------------------------------------------------------------------
+
+    def _resolve_name(self, name: ast.Name, context: "_Scope") -> BoundRef:
+        return context.resolve(name.parts)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def _bind_expression(self, expression: ast.Expr, context: "_Scope") -> BoundExpr:
+        if isinstance(expression, ast.Literal):
+            return BoundLiteral(expression.value)
+        if isinstance(expression, ast.Name):
+            return self._resolve_name(expression, context)
+        if isinstance(expression, ast.BinOp):
+            left = self._bind_expression(expression.left, context)
+            right = self._bind_expression(expression.right, context)
+            return BoundBinOp(expression.op, left, right)
+        if isinstance(expression, ast.UnaryOp):
+            operand = self._bind_expression(expression.operand, context)
+            if expression.op == "not":
+                return BoundNot(operand)
+            if expression.op == "-":
+                return BoundBinOp("-", BoundLiteral(0), operand)
+            raise AnalysisError(f"unknown unary operator {expression.op!r}")
+        if isinstance(expression, ast.IsNull):
+            return BoundIsNull(self._bind_expression(expression.operand, context), expression.negate)
+        if isinstance(expression, ast.InList):
+            return BoundInList(self._bind_expression(expression.operand, context), list(expression.values))
+        if isinstance(expression, ast.StructCall):
+            fields = []
+            for index, (alias, field_expr) in enumerate(expression.fields):
+                bound = self._bind_expression(field_expr, context)
+                fields.append((alias or self._default_name(bound, index), bound))
+            names = [n for n, _ in fields]
+            if len(set(names)) != len(names):
+                raise AnalysisError(f"duplicate field names in struct(): {names}")
+            return BoundStruct(fields)
+        if isinstance(expression, ast.FuncCall):
+            return self._bind_function(expression, context)
+        if isinstance(expression, ast.Star):
+            raise AnalysisError("'*' is only allowed inside count(*)")
+        raise AnalysisError(f"unsupported expression {expression!r}")
+
+    def _bind_function(self, call: ast.FuncCall, context: "_Scope") -> BoundExpr:
+        name = call.name.lower()
+        if name == "unnest":
+            if len(call.args) != 1 or not isinstance(call.args[0], ast.Name):
+                raise AnalysisError("unnest() takes exactly one attribute reference")
+            ref = self._resolve_name(call.args[0], context)
+            if not ref.multivalued:
+                raise AnalysisError(
+                    f"unnest() requires a multi-valued attribute, "
+                    f"{ref.attribute!r} is not multi-valued"
+                )
+            return BoundUnnest(ref)
+        if name in AGGREGATE_FUNCTIONS:
+            if name == "count" and call.is_star():
+                return BoundAggregate("count_star", None, distinct=False)
+            if len(call.args) != 1:
+                raise AnalysisError(f"aggregate {name}() takes exactly one argument")
+            argument = self._bind_expression(call.args[0], context)
+            if argument.contains_aggregate():
+                raise AnalysisError("nested aggregates are not supported")
+            return BoundAggregate(name, argument, distinct=call.distinct)
+        if name in SCALAR_FUNCTIONS:
+            args = [self._bind_expression(a, context) for a in call.args]
+            return BoundFunc(name, args)
+        raise AnalysisError(f"unknown function {call.name!r}")
+
+    # -- group by / order by ----------------------------------------------------------------
+
+    def _infer_group_keys(
+        self,
+        statement: ast.SelectStatement,
+        items: List[BoundSelectItem],
+        context: "_Scope",
+        has_aggregates: bool,
+    ) -> List[BoundSelectItem]:
+        if statement.group_by:
+            keys = []
+            for index, expression in enumerate(statement.group_by):
+                bound = self._bind_expression(expression, context)
+                keys.append(BoundSelectItem(self._default_name(bound, index), bound))
+            return keys
+        if not has_aggregates:
+            return []
+        # The paper's convention: group keys are the non-aggregate select items.
+        return [item for item in items if not item.is_aggregate()]
+
+    def _bind_order_by(
+        self,
+        statement: ast.SelectStatement,
+        items: List[BoundSelectItem],
+        context: "_Scope",
+    ) -> List[BoundOrderItem]:
+        order: List[BoundOrderItem] = []
+        output_names = {item.name for item in items}
+        for order_item in statement.order_by:
+            expression = order_item.expression
+            if isinstance(expression, ast.Name):
+                dotted = expression.dotted()
+                last = expression.parts[-1]
+                if dotted in output_names:
+                    order.append(BoundOrderItem(dotted, order_item.ascending))
+                    continue
+                if last in output_names:
+                    order.append(BoundOrderItem(last, order_item.ascending))
+                    continue
+            raise AnalysisError(
+                "ORDER BY must reference a select-list column by name"
+            )
+        return order
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _default_name(self, expression: BoundExpr, index: int) -> str:
+        if isinstance(expression, BoundRef):
+            return expression.display_name()
+        if isinstance(expression, BoundUnnest):
+            return expression.ref.attribute
+        if isinstance(expression, BoundAggregate):
+            if expression.function == "count_star":
+                return "count"
+            if expression.argument is not None and isinstance(expression.argument, BoundRef):
+                return f"{expression.function}_{expression.argument.display_name()}"
+            return expression.function
+        if isinstance(expression, BoundFunc):
+            return expression.name
+        if isinstance(expression, BoundStruct):
+            return f"struct_{index}"
+        return f"column_{index}"
+
+    def _check_duplicate_names(self, items: List[BoundSelectItem]) -> None:
+        seen = {}
+        for item in items:
+            if item.name in seen:
+                # disambiguate silently: suffix with an index (SQL engines vary here)
+                suffix = 1
+                new_name = f"{item.name}_{suffix}"
+                while new_name in seen:
+                    suffix += 1
+                    new_name = f"{item.name}_{suffix}"
+                item.name = new_name
+            seen[item.name] = True
+
+
+class _Scope:
+    """Name-resolution scope: aliases in the FROM clause plus joined relationships."""
+
+    def __init__(self, schema: ERSchema, aliases: Dict[str, str], relationships) -> None:
+        self.schema = schema
+        self.aliases = aliases
+        self.relationships = set(relationships)
+
+    def _entity_attribute_names(self, entity: str) -> List[str]:
+        names = [a.name for a in self.schema.effective_attributes(entity)]
+        entity_obj = self.schema.entity(entity)
+        if isinstance(entity_obj, WeakEntitySet):
+            for key in self.schema.effective_key(entity):
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def _make_ref(self, alias: str, attribute: str, path: List[str]) -> BoundRef:
+        entity = self.aliases[alias]
+        entity_obj = self.schema.entity(entity)
+        multivalued = False
+        try:
+            attr = self.schema.effective_attribute(entity, attribute)
+            multivalued = attr.is_multivalued()
+            if path and not attr.is_composite() and not (
+                attr.is_multivalued() and attr.element_is_composite()  # type: ignore[attr-defined]
+            ):
+                raise AnalysisError(
+                    f"attribute {attribute!r} of {entity!r} has no component {path[0]!r}"
+                )
+        except AnalysisError:
+            raise
+        except Exception:
+            # owner-key attribute of a weak entity
+            if not (
+                isinstance(entity_obj, WeakEntitySet)
+                and attribute in self.schema.effective_key(entity)
+            ):
+                raise AnalysisError(
+                    f"entity {entity!r} (alias {alias!r}) has no attribute {attribute!r}"
+                )
+        return BoundRef(
+            alias=alias,
+            entity=entity,
+            attribute=attribute,
+            path=list(path),
+            multivalued=multivalued,
+        )
+
+    def resolve(self, parts: List[str]) -> BoundRef:
+        # 1. alias-qualified: alias.attribute[.component...]
+        if len(parts) >= 2 and parts[0] in self.aliases:
+            return self._make_ref(parts[0], parts[1], parts[2:])
+        # 2. relationship attribute: relationship.attribute
+        if len(parts) >= 2 and parts[0] in self.relationships:
+            relationship = self.schema.relationship(parts[0])
+            if not relationship.has_attribute(parts[1]):
+                raise AnalysisError(
+                    f"relationship {parts[0]!r} has no attribute {parts[1]!r}"
+                )
+            return BoundRef(
+                alias=parts[0],
+                entity=None,
+                attribute=parts[1],
+                path=parts[2:],
+                is_relationship=True,
+            )
+        # 3. unqualified: must match exactly one alias (or relationship) attribute
+        attribute = parts[0]
+        matches: List[Tuple[str, str]] = []
+        for alias, entity in self.aliases.items():
+            if attribute in self._entity_attribute_names(entity):
+                matches.append(("alias", alias))
+        for relationship_name in self.relationships:
+            relationship = self.schema.relationship(relationship_name)
+            if relationship.has_attribute(attribute):
+                matches.append(("relationship", relationship_name))
+        if not matches:
+            raise AnalysisError(f"unknown attribute {attribute!r}")
+        if len(matches) > 1:
+            described = ", ".join(f"{kind} {name!r}" for kind, name in matches)
+            raise AnalysisError(
+                f"ambiguous attribute {attribute!r}: it belongs to {described}; "
+                "qualify it with an alias"
+            )
+        kind, owner = matches[0]
+        if kind == "alias":
+            return self._make_ref(owner, attribute, parts[1:])
+        return BoundRef(
+            alias=owner,
+            entity=None,
+            attribute=attribute,
+            path=parts[1:],
+            is_relationship=True,
+        )
+
+
+def analyze_query(schema: ERSchema, statement: ast.SelectStatement) -> BoundQuery:
+    """Bind a parsed SELECT statement against a schema."""
+
+    return Analyzer(schema).analyze(statement)

@@ -1,0 +1,229 @@
+"""Abstract syntax trees for ERQL (the paper's SQL variant) and its DDL.
+
+Two statement families:
+
+* **DDL** — ``create entity``, ``create weak entity ... depends on``,
+  ``create entity ... subclass of``, ``create relationship ... between``,
+  ``drop entity`` / ``drop relationship`` (Figure 1(ii));
+* **queries** — a SELECT variant with two extensions over plain SQL
+  (Section 2): joining two entity sets *on a relationship name*, and
+  hierarchical output construction with ``struct(...)`` / ``array_agg(...)``
+  with the GROUP BY inferred from the select list (Figure 1(iii)).
+
+The AST is deliberately unresolved — names are plain strings; binding to the
+E/R schema happens in :mod:`repro.erql.analyzer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for unresolved ERQL expressions."""
+
+
+@dataclass
+class Name(Expr):
+    """A possibly-dotted name: ``city``, ``person.city``, ``p.name.firstname``."""
+
+    parts: List[str]
+
+    def dotted(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass
+class Literal(Expr):
+    """A number, string, boolean or NULL literal."""
+
+    value: Any
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operator: arithmetic, comparison, AND/OR."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    """NOT / unary minus."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class IsNull(Expr):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expr
+    negate: bool = False
+
+
+@dataclass
+class InList(Expr):
+    """``expr IN (literal, ...)``."""
+
+    operand: Expr
+    values: List[Any]
+
+
+@dataclass
+class FuncCall(Expr):
+    """Function call; covers scalar functions, aggregates and ``unnest``."""
+
+    name: str
+    args: List[Expr] = field(default_factory=list)
+    distinct: bool = False
+
+    def is_star(self) -> bool:
+        return len(self.args) == 1 and isinstance(self.args[0], Star)
+
+
+@dataclass
+class StructCall(Expr):
+    """``struct(expr [as name], ...)`` — nested output construction."""
+
+    fields: List[Tuple[Optional[str], Expr]] = field(default_factory=list)
+
+
+@dataclass
+class Star(Expr):
+    """``*`` (only valid inside ``count(*)`` and as a bare select item)."""
+
+
+# ---------------------------------------------------------------------------
+# queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    """One select-list entry with an optional alias."""
+
+    expression: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class FromEntity:
+    """A FROM-clause entity reference with an optional alias."""
+
+    entity: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.entity
+
+
+@dataclass
+class Join:
+    """``join <entity> [alias] on <relationship>`` (the paper's extension)."""
+
+    entity: FromEntity
+    relationship: str
+    join_type: str = "inner"
+
+
+@dataclass
+class OrderItem:
+    expression: Expr
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement:
+    """A full ERQL query."""
+
+    items: List[SelectItem]
+    source: FromEntity
+    joins: List[Join] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: List[Expr] = field(default_factory=list)
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AttributeDef:
+    """One attribute in a CREATE statement."""
+
+    name: str
+    type_name: str = "varchar"
+    multivalued: bool = False
+    composite: bool = False
+    components: List["AttributeDef"] = field(default_factory=list)
+    primary_key: bool = False
+    discriminator: bool = False
+    required: bool = False
+    description: Optional[str] = None
+
+
+@dataclass
+class CreateEntity:
+    """``create entity NAME (...)`` / ``create entity NAME subclass of PARENT (...)``."""
+
+    name: str
+    attributes: List[AttributeDef] = field(default_factory=list)
+    parent: Optional[str] = None
+    description: Optional[str] = None
+
+
+@dataclass
+class CreateWeakEntity:
+    """``create weak entity NAME depends on OWNER (...)``."""
+
+    name: str
+    owner: str
+    attributes: List[AttributeDef] = field(default_factory=list)
+    description: Optional[str] = None
+
+
+@dataclass
+class ParticipantDef:
+    """One relationship participant: entity, optional role, cardinality, participation."""
+
+    entity: str
+    role: Optional[str] = None
+    cardinality: str = "many"
+    participation: str = "partial"
+
+
+@dataclass
+class CreateRelationship:
+    """``create relationship NAME (attrs) between A(many total) and B(one)``."""
+
+    name: str
+    participants: List[ParticipantDef] = field(default_factory=list)
+    attributes: List[AttributeDef] = field(default_factory=list)
+    description: Optional[str] = None
+
+
+@dataclass
+class DropEntity:
+    name: str
+
+
+@dataclass
+class DropRelationship:
+    name: str
+
+
+Statement = Any  # union of the dataclasses above; kept loose for simplicity

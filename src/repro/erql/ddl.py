@@ -1,0 +1,176 @@
+"""Translate parsed DDL statements into E/R schema elements.
+
+The DDL layer is the piece of Figure 3 that "does the heavy lifting": it turns
+``create entity`` / ``create weak entity`` / ``create relationship`` ASTs into
+:class:`~repro.core.EntitySet` / :class:`~repro.core.RelationshipSet` objects,
+keeps the :class:`~repro.core.ERSchema` up to date, and (for weak entities)
+registers the implicit identifying relationship so joins between a weak entity
+and its owner can be expressed by name.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core import (
+    Attribute,
+    CompositeAttribute,
+    ERSchema,
+    EntitySet,
+    MultiValuedAttribute,
+    Participant,
+    RelationshipSet,
+    WeakEntitySet,
+)
+from ..errors import ParseError, SchemaError
+from . import ast_nodes as ast
+from .parser import parse_script, parse_statement
+
+
+def _build_attribute(definition: ast.AttributeDef) -> Attribute:
+    if definition.composite:
+        components = [
+            Attribute(
+                component.name,
+                component.type_name,
+                required=component.required,
+                description=component.description,
+            )
+            for component in definition.components
+        ]
+        return CompositeAttribute(
+            name=definition.name,
+            required=definition.required,
+            description=definition.description,
+            components=components,
+        )
+    if definition.multivalued:
+        if definition.components:
+            element_components = [
+                Attribute(component.name, component.type_name)
+                for component in definition.components
+            ]
+            return MultiValuedAttribute(
+                name=definition.name,
+                required=definition.required,
+                description=definition.description,
+                element_components=element_components,
+            )
+        return MultiValuedAttribute(
+            name=definition.name,
+            type_name=definition.type_name,
+            required=definition.required,
+            description=definition.description,
+        )
+    return Attribute(
+        name=definition.name,
+        type_name=definition.type_name,
+        required=definition.required or definition.primary_key,
+        description=definition.description,
+    )
+
+
+def apply_create_entity(schema: ERSchema, statement: ast.CreateEntity) -> EntitySet:
+    attributes = [_build_attribute(d) for d in statement.attributes]
+    key = [d.name for d in statement.attributes if d.primary_key]
+    if statement.parent is None and not key:
+        raise SchemaError(
+            f"entity {statement.name!r} needs a PRIMARY KEY attribute (or SUBCLASS OF)"
+        )
+    if statement.parent is not None and key:
+        raise SchemaError(
+            f"subclass {statement.name!r} must not declare its own primary key"
+        )
+    entity = EntitySet(
+        name=statement.name,
+        attributes=attributes,
+        key=key,
+        parent=statement.parent,
+        description=statement.description,
+    )
+    return schema.add_entity(entity)
+
+
+def apply_create_weak_entity(schema: ERSchema, statement: ast.CreateWeakEntity) -> WeakEntitySet:
+    attributes = [_build_attribute(d) for d in statement.attributes]
+    discriminator = [d.name for d in statement.attributes if d.discriminator]
+    entity = WeakEntitySet(
+        name=statement.name,
+        attributes=attributes,
+        owner=statement.owner,
+        discriminator=discriminator,
+        description=statement.description,
+    )
+    schema.add_entity(entity)
+    # Register the identifying relationship so queries can join on it by name
+    # (Figure 1 calls it "sec_course"); the convention is <weak>_<owner>.
+    identifying_name = f"{statement.name}_{statement.owner}"
+    if not schema.has_relationship(identifying_name):
+        schema.add_relationship(
+            RelationshipSet(
+                name=identifying_name,
+                participants=[
+                    Participant(statement.name, cardinality="many", participation="total"),
+                    Participant(statement.owner, cardinality="one", participation="partial"),
+                ],
+                identifying=True,
+                description=f"Identifying relationship of weak entity set {statement.name!r}",
+            )
+        )
+    return entity
+
+
+def apply_create_relationship(
+    schema: ERSchema, statement: ast.CreateRelationship
+) -> RelationshipSet:
+    participants = [
+        Participant(
+            entity=p.entity,
+            role=p.role,
+            cardinality=p.cardinality,
+            participation=p.participation,
+        )
+        for p in statement.participants
+    ]
+    attributes = [_build_attribute(d) for d in statement.attributes]
+    relationship = RelationshipSet(
+        name=statement.name,
+        participants=participants,
+        attributes=attributes,
+        description=statement.description,
+    )
+    return schema.add_relationship(relationship)
+
+
+def apply_statement(schema: ERSchema, statement) -> None:
+    """Apply one parsed DDL statement to a schema (queries are rejected)."""
+
+    if isinstance(statement, ast.CreateEntity):
+        apply_create_entity(schema, statement)
+    elif isinstance(statement, ast.CreateWeakEntity):
+        apply_create_weak_entity(schema, statement)
+    elif isinstance(statement, ast.CreateRelationship):
+        apply_create_relationship(schema, statement)
+    elif isinstance(statement, ast.DropEntity):
+        schema.drop_entity(statement.name)
+    elif isinstance(statement, ast.DropRelationship):
+        schema.drop_relationship(statement.name)
+    elif isinstance(statement, ast.SelectStatement):
+        raise ParseError("expected a DDL statement, found a SELECT query")
+    else:
+        raise ParseError(f"unsupported DDL statement {statement!r}")
+
+
+def apply_ddl(schema: ERSchema, text: str) -> ERSchema:
+    """Parse and apply a script of DDL statements to ``schema`` (in place)."""
+
+    for statement in parse_script(text):
+        apply_statement(schema, statement)
+    return schema
+
+
+def schema_from_ddl(text: str, name: str = "schema") -> ERSchema:
+    """Build a fresh schema from a DDL script."""
+
+    schema = ERSchema(name)
+    return apply_ddl(schema, text)

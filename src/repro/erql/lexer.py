@@ -1,0 +1,142 @@
+"""Tokenizer for ERQL statements.
+
+Produces a flat list of :class:`Token` objects.  Keywords are recognized
+case-insensitively; identifiers keep their original case.  Strings use single
+quotes with ``''`` as the escape for a literal quote, as in SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..errors import LexerError
+
+KEYWORDS = {
+    "select", "from", "where", "join", "on", "as", "and", "or", "not", "in",
+    "is", "null", "group", "order", "by", "asc", "desc", "limit", "distinct",
+    "create", "drop", "entity", "weak", "relationship", "between", "depends",
+    "subclass", "of", "composite", "primary", "key", "discriminator",
+    "many", "one", "total", "partial", "left", "true", "false", "struct",
+    "unnest", "array_agg", "count", "sum", "avg", "min", "max", "required",
+}
+
+PUNCTUATION = {
+    "(": "lparen",
+    ")": "rparen",
+    ",": "comma",
+    ";": "semicolon",
+    ".": "dot",
+    "*": "star",
+    "[": "lbracket",
+    "]": "rbracket",
+    "{": "lbrace",
+    "}": "rbrace",
+}
+
+OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "/", "%")
+
+
+@dataclass
+class Token:
+    """One lexical token with position information for error messages."""
+
+    kind: str  # "keyword" | "identifier" | "number" | "string" | "operator" | punctuation kind | "eof"
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "keyword" and self.value in names
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ERQL text, raising :class:`LexerError` on malformed input."""
+
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(text)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, column
+        for _ in range(count):
+            if i < length and text[i] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            i += 1
+
+    while i < length:
+        ch = text[i]
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        if ch == "-" and i + 1 < length and text[i + 1] == "-":
+            while i < length and text[i] != "\n":
+                advance(1)
+            continue
+        start_line, start_column = line, column
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            kind = "keyword" if lowered in KEYWORDS else "identifier"
+            value = lowered if kind == "keyword" else word
+            tokens.append(Token(kind, value, start_line, start_column))
+            advance(j - i)
+            continue
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < length and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # do not swallow a trailing dot used for field access (e.g. "1.x")
+                    if j + 1 >= length or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", text[i:j], start_line, start_column))
+            advance(j - i)
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < length:
+                if text[j] == "'":
+                    if j + 1 < length and text[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            if j >= length:
+                raise LexerError("unterminated string literal", start_line, start_column)
+            tokens.append(Token("string", "".join(buf), start_line, start_column))
+            advance(j + 1 - i)
+            continue
+        matched_operator = None
+        for operator in OPERATORS:
+            if text.startswith(operator, i):
+                matched_operator = operator
+                break
+        if matched_operator is not None:
+            tokens.append(Token("operator", matched_operator, start_line, start_column))
+            advance(len(matched_operator))
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token(PUNCTUATION[ch], ch, start_line, start_column))
+            advance(1)
+            continue
+        raise LexerError(f"unexpected character {ch!r}", line, column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

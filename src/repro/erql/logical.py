@@ -1,0 +1,211 @@
+"""Bound (logical) query representation produced by the analyzer.
+
+A :class:`BoundQuery` is the logical form of an ERQL SELECT: every name has
+been resolved against the E/R schema, aggregates and group keys are explicit,
+and the per-alias attribute requirements have been collected.  The planner
+(:mod:`repro.erql.planner`) consumes this representation and never looks at
+raw ERQL text or unresolved ASTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+
+class BoundExpr:
+    """Base class for resolved expressions."""
+
+    def contains_aggregate(self) -> bool:
+        return False
+
+    def refs(self) -> List["BoundRef"]:
+        """Every attribute reference in this expression (depth-first)."""
+
+        return []
+
+
+@dataclass
+class BoundRef(BoundExpr):
+    """A resolved attribute reference.
+
+    ``alias`` is the FROM-clause alias (or the relationship name when
+    ``is_relationship`` is set); ``path`` holds trailing composite-field
+    accesses (e.g. ``name.firstname`` resolves to attribute ``name`` with path
+    ``["firstname"]``).
+    """
+
+    alias: str
+    entity: Optional[str]
+    attribute: str
+    path: List[str] = field(default_factory=list)
+    is_relationship: bool = False
+    multivalued: bool = False
+
+    def refs(self) -> List["BoundRef"]:
+        return [self]
+
+    def display_name(self) -> str:
+        return self.path[-1] if self.path else self.attribute
+
+
+@dataclass
+class BoundLiteral(BoundExpr):
+    value: Any
+
+
+@dataclass
+class BoundBinOp(BoundExpr):
+    op: str
+    left: BoundExpr
+    right: BoundExpr
+
+    def contains_aggregate(self) -> bool:
+        return self.left.contains_aggregate() or self.right.contains_aggregate()
+
+    def refs(self) -> List[BoundRef]:
+        return self.left.refs() + self.right.refs()
+
+
+@dataclass
+class BoundNot(BoundExpr):
+    operand: BoundExpr
+
+    def contains_aggregate(self) -> bool:
+        return self.operand.contains_aggregate()
+
+    def refs(self) -> List[BoundRef]:
+        return self.operand.refs()
+
+
+@dataclass
+class BoundIsNull(BoundExpr):
+    operand: BoundExpr
+    negate: bool = False
+
+    def refs(self) -> List[BoundRef]:
+        return self.operand.refs()
+
+
+@dataclass
+class BoundInList(BoundExpr):
+    operand: BoundExpr
+    values: List[Any] = field(default_factory=list)
+
+    def refs(self) -> List[BoundRef]:
+        return self.operand.refs()
+
+
+@dataclass
+class BoundFunc(BoundExpr):
+    """A scalar (non-aggregate) function call."""
+
+    name: str
+    args: List[BoundExpr] = field(default_factory=list)
+
+    def contains_aggregate(self) -> bool:
+        return any(a.contains_aggregate() for a in self.args)
+
+    def refs(self) -> List[BoundRef]:
+        return [r for a in self.args for r in a.refs()]
+
+
+@dataclass
+class BoundStruct(BoundExpr):
+    """``struct(...)`` — named nested output construction."""
+
+    fields: List[Tuple[str, BoundExpr]] = field(default_factory=list)
+
+    def contains_aggregate(self) -> bool:
+        return any(e.contains_aggregate() for _, e in self.fields)
+
+    def refs(self) -> List[BoundRef]:
+        return [r for _, e in self.fields for r in e.refs()]
+
+
+@dataclass
+class BoundAggregate(BoundExpr):
+    """An aggregate call (count / sum / avg / min / max / array_agg)."""
+
+    function: str
+    argument: Optional[BoundExpr] = None
+    distinct: bool = False
+
+    def contains_aggregate(self) -> bool:
+        return True
+
+    def refs(self) -> List[BoundRef]:
+        return self.argument.refs() if self.argument is not None else []
+
+
+@dataclass
+class BoundUnnest(BoundExpr):
+    """``unnest(<multi-valued attribute>)`` — one output row per element."""
+
+    ref: BoundRef
+
+    def refs(self) -> List[BoundRef]:
+        return [self.ref]
+
+
+@dataclass
+class BoundSelectItem:
+    """One output column: a name plus the resolved expression."""
+
+    name: str
+    expression: BoundExpr
+
+    def is_aggregate(self) -> bool:
+        return self.expression.contains_aggregate()
+
+
+@dataclass
+class BoundJoin:
+    """One relationship join in the FROM clause."""
+
+    alias: str
+    entity: str
+    relationship: str
+    join_type: str = "inner"
+
+
+@dataclass
+class BoundOrderItem:
+    column: str
+    ascending: bool = True
+
+
+@dataclass
+class BoundQuery:
+    """The fully-resolved logical query."""
+
+    base_alias: str
+    base_entity: str
+    aliases: Dict[str, str] = field(default_factory=dict)
+    joins: List[BoundJoin] = field(default_factory=list)
+    items: List[BoundSelectItem] = field(default_factory=list)
+    where: Optional[BoundExpr] = None
+    group_keys: List[BoundSelectItem] = field(default_factory=list)
+    order_by: List[BoundOrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    has_aggregates: bool = False
+    unnest_items: List[BoundUnnest] = field(default_factory=list)
+
+    def attributes_by_alias(self) -> Dict[str, Set[str]]:
+        """Which attributes each alias must expose (from select + where)."""
+
+        needed: Dict[str, Set[str]] = {alias: set() for alias in self.aliases}
+        expressions: List[BoundExpr] = [item.expression for item in self.items]
+        if self.where is not None:
+            expressions.append(self.where)
+        for key in self.group_keys:
+            expressions.append(key.expression)
+        for expression in expressions:
+            for ref in expression.refs():
+                if ref.is_relationship:
+                    continue
+                needed.setdefault(ref.alias, set()).add(ref.attribute)
+        return needed
+
+    def output_columns(self) -> List[str]:
+        return [item.name for item in self.items]

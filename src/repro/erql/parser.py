@@ -1,0 +1,554 @@
+"""Recursive-descent parser for ERQL statements.
+
+Grammar highlights (see Figure 1 of the paper for concrete examples):
+
+DDL::
+
+    create entity person (
+        person_id int primary key,
+        name composite (firstname varchar, lastname varchar),
+        city varchar,
+        phone_numbers varchar[]
+    );
+    create weak entity section depends on course (
+        sec_id int discriminator, semester varchar, year int
+    );
+    create entity instructor subclass of person (rank varchar);
+    create relationship takes (grade varchar)
+        between student (many total) and section (many total);
+
+Queries::
+
+    select person_id, name.firstname,
+           array_agg(struct(course_id, grade)) as courses
+    from student join section on takes join course on sec_course
+    where city = 'College Park'
+    order by person_id limit 10;
+
+The parser produces the unresolved AST from :mod:`repro.erql.ast_nodes`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from ..errors import ParseError
+from .ast_nodes import (
+    AttributeDef,
+    BinOp,
+    CreateEntity,
+    CreateRelationship,
+    CreateWeakEntity,
+    DropEntity,
+    DropRelationship,
+    Expr,
+    FromEntity,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    Name,
+    OrderItem,
+    ParticipantDef,
+    SelectItem,
+    SelectStatement,
+    Star,
+    StructCall,
+    UnaryOp,
+)
+from .lexer import Token, tokenize
+
+AGGREGATE_NAMES = {"count", "sum", "avg", "min", "max", "array_agg"}
+
+
+class Parser:
+    """Single-use recursive-descent parser over a token list."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.current
+        if token.kind != kind or (value is not None and token.value != value):
+            expected = value or kind
+            raise ParseError(
+                f"expected {expected!r} but found {token.value!r} "
+                f"(line {token.line}, column {token.column})"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self.current
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.current.is_keyword(*names):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, name: str) -> Token:
+        if not self.current.is_keyword(name):
+            raise ParseError(
+                f"expected keyword {name!r} but found {self.current.value!r} "
+                f"(line {self.current.line})"
+            )
+        return self.advance()
+
+    def expect_name(self) -> str:
+        token = self.current
+        if token.kind in ("identifier", "keyword"):
+            self.advance()
+            return token.value
+        raise ParseError(
+            f"expected a name but found {token.value!r} (line {token.line})"
+        )
+
+    # -- entry points ------------------------------------------------------------
+
+    def parse_statement(self) -> Any:
+        if self.current.is_keyword("select"):
+            statement = self.parse_select()
+        elif self.current.is_keyword("create"):
+            statement = self.parse_create()
+        elif self.current.is_keyword("drop"):
+            statement = self.parse_drop()
+        else:
+            raise ParseError(
+                f"statement must start with SELECT, CREATE or DROP, found "
+                f"{self.current.value!r}"
+            )
+        self.accept("semicolon")
+        if self.current.kind != "eof":
+            raise ParseError(
+                f"unexpected trailing input starting at {self.current.value!r} "
+                f"(line {self.current.line})"
+            )
+        return statement
+
+    def parse_script(self) -> List[Any]:
+        """Parse several semicolon-separated statements."""
+
+        statements = []
+        while self.current.kind != "eof":
+            if self.current.is_keyword("select"):
+                statements.append(self.parse_select())
+            elif self.current.is_keyword("create"):
+                statements.append(self.parse_create())
+            elif self.current.is_keyword("drop"):
+                statements.append(self.parse_drop())
+            else:
+                raise ParseError(f"unexpected token {self.current.value!r}")
+            if not self.accept("semicolon") and self.current.kind != "eof":
+                raise ParseError("expected ';' between statements")
+        return statements
+
+    # -- DDL -----------------------------------------------------------------------
+
+    def parse_create(self) -> Any:
+        self.expect_keyword("create")
+        if self.accept_keyword("weak"):
+            self.expect_keyword("entity")
+            return self._parse_create_weak_entity()
+        if self.accept_keyword("entity"):
+            return self._parse_create_entity()
+        if self.accept_keyword("relationship"):
+            return self._parse_create_relationship()
+        raise ParseError(
+            f"expected ENTITY, WEAK ENTITY or RELATIONSHIP after CREATE, found "
+            f"{self.current.value!r}"
+        )
+
+    def parse_drop(self) -> Any:
+        self.expect_keyword("drop")
+        if self.accept_keyword("entity"):
+            return DropEntity(self.expect_name())
+        if self.accept_keyword("relationship"):
+            return DropRelationship(self.expect_name())
+        raise ParseError("expected ENTITY or RELATIONSHIP after DROP")
+
+    def _parse_create_entity(self) -> CreateEntity:
+        name = self.expect_name()
+        parent = None
+        if self.accept_keyword("subclass"):
+            self.expect_keyword("of")
+            parent = self.expect_name()
+        attributes = self._parse_attribute_defs()
+        return CreateEntity(name=name, attributes=attributes, parent=parent)
+
+    def _parse_create_weak_entity(self) -> CreateWeakEntity:
+        name = self.expect_name()
+        self.expect_keyword("depends")
+        self.expect_keyword("on")
+        owner = self.expect_name()
+        attributes = self._parse_attribute_defs()
+        return CreateWeakEntity(name=name, owner=owner, attributes=attributes)
+
+    def _parse_create_relationship(self) -> CreateRelationship:
+        name = self.expect_name()
+        attributes: List[AttributeDef] = []
+        if self.current.kind == "lparen":
+            attributes = self._parse_attribute_defs()
+        self.expect_keyword("between")
+        participants = [self._parse_participant()]
+        while self.accept_keyword("and"):
+            participants.append(self._parse_participant())
+        return CreateRelationship(name=name, participants=participants, attributes=attributes)
+
+    def _parse_participant(self) -> ParticipantDef:
+        entity = self.expect_name()
+        role = None
+        if self.current.is_keyword("as"):
+            self.advance()
+            role = self.expect_name()
+        cardinality = "many"
+        participation = "partial"
+        if self.accept("lparen"):
+            token = self.current
+            if token.is_keyword("many", "one"):
+                cardinality = token.value
+                self.advance()
+            else:
+                raise ParseError(
+                    f"expected MANY or ONE in participant constraint, found {token.value!r}"
+                )
+            if self.current.is_keyword("total", "partial"):
+                participation = self.advance().value
+            self.expect("rparen")
+        return ParticipantDef(
+            entity=entity, role=role, cardinality=cardinality, participation=participation
+        )
+
+    def _parse_attribute_defs(self) -> List[AttributeDef]:
+        self.expect("lparen")
+        attributes = [self._parse_attribute_def()]
+        while self.accept("comma"):
+            attributes.append(self._parse_attribute_def())
+        self.expect("rparen")
+        return attributes
+
+    def _parse_attribute_def(self) -> AttributeDef:
+        name = self.expect_name()
+        if self.accept_keyword("composite") or self.accept_keyword("struct"):
+            components = self._parse_attribute_defs()
+            definition = AttributeDef(name=name, composite=True, components=components)
+            if self.accept("lbracket"):
+                self.expect("rbracket")
+                definition.composite = False
+                definition.multivalued = True
+            return self._parse_attribute_flags(definition)
+        type_name = self.expect_name()
+        definition = AttributeDef(name=name, type_name=type_name)
+        if self.accept("lbracket"):
+            self.expect("rbracket")
+            definition.multivalued = True
+        return self._parse_attribute_flags(definition)
+
+    def _parse_attribute_flags(self, definition: AttributeDef) -> AttributeDef:
+        while True:
+            if self.accept_keyword("primary"):
+                self.expect_keyword("key")
+                definition.primary_key = True
+                definition.required = True
+                continue
+            if self.accept_keyword("discriminator"):
+                definition.discriminator = True
+                definition.required = True
+                continue
+            if self.accept_keyword("required"):
+                definition.required = True
+                continue
+            if self.current.kind == "string":
+                definition.description = self.advance().value
+                continue
+            return definition
+
+    # -- queries ----------------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        items = [self._parse_select_item()]
+        while self.accept("comma"):
+            items.append(self._parse_select_item())
+        self.expect_keyword("from")
+        source = self._parse_from_entity()
+        joins: List[Join] = []
+        while True:
+            join_type = "inner"
+            if self.current.is_keyword("left"):
+                self.advance()
+                join_type = "left"
+                self.expect_keyword("join")
+            elif self.current.is_keyword("join"):
+                self.advance()
+            else:
+                break
+            entity = self._parse_from_entity()
+            self.expect_keyword("on")
+            relationship = self.expect_name()
+            joins.append(Join(entity=entity, relationship=relationship, join_type=join_type))
+        where = None
+        if self.accept_keyword("where"):
+            where = self._parse_expression()
+        group_by: List[Expr] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self._parse_expression())
+            while self.accept("comma"):
+                group_by.append(self._parse_expression())
+        order_by: List[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self.accept("comma"):
+                order_by.append(self._parse_order_item())
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.expect("number")
+            limit = int(token.value)
+        return SelectStatement(
+            items=items,
+            source=source,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _parse_from_entity(self) -> FromEntity:
+        entity = self.expect_name()
+        alias = None
+        if self.current.is_keyword("as"):
+            self.advance()
+            alias = self.expect_name()
+        elif self.current.kind == "identifier":
+            alias = self.advance().value
+        return FromEntity(entity=entity, alias=alias)
+
+    def _parse_select_item(self) -> SelectItem:
+        expression = self._parse_expression()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_name()
+        return SelectItem(expression=expression, alias=alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self._parse_expression()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expression=expression, ascending=ascending)
+
+    # -- expressions ----------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.current.is_keyword("or"):
+            self.advance()
+            left = BinOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.current.is_keyword("and"):
+            self.advance()
+            left = BinOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.current.is_keyword("not"):
+            self.advance()
+            return UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_additive()
+        token = self.current
+        if token.kind == "operator" and token.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            operator = self.advance().value
+            if operator == "<>":
+                operator = "!="
+            return BinOp(operator, left, self._parse_additive())
+        if token.is_keyword("is"):
+            self.advance()
+            negate = bool(self.accept_keyword("not"))
+            self.expect_keyword("null")
+            return IsNull(left, negate=negate)
+        if token.is_keyword("in"):
+            self.advance()
+            self.expect("lparen")
+            values = [self._parse_literal_value()]
+            while self.accept("comma"):
+                values.append(self._parse_literal_value())
+            self.expect("rparen")
+            return InList(left, values)
+        if token.is_keyword("not") and self.tokens[self.position + 1].is_keyword("in"):
+            self.advance()
+            self.advance()
+            self.expect("lparen")
+            values = [self._parse_literal_value()]
+            while self.accept("comma"):
+                values.append(self._parse_literal_value())
+            self.expect("rparen")
+            return UnaryOp("not", InList(left, values))
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self.current.kind == "operator" and self.current.value in ("+", "-"):
+            operator = self.advance().value
+            left = BinOp(operator, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while (self.current.kind == "operator" and self.current.value in ("/", "%")) or (
+            self.current.kind == "star"
+        ):
+            if self.current.kind == "star":
+                self.advance()
+                operator = "*"
+            else:
+                operator = self.advance().value
+            left = BinOp(operator, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.current.kind == "operator" and self.current.value == "-":
+            self.advance()
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_literal_value(self) -> Any:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "string":
+            self.advance()
+            return token.value
+        if token.is_keyword("true"):
+            self.advance()
+            return True
+        if token.is_keyword("false"):
+            self.advance()
+            return False
+        if token.is_keyword("null"):
+            self.advance()
+            return None
+        if token.kind == "operator" and token.value == "-":
+            self.advance()
+            value = self._parse_literal_value()
+            return -value
+        raise ParseError(f"expected a literal, found {token.value!r} (line {token.line})")
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.is_keyword("true"):
+            self.advance()
+            return Literal(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return Literal(False)
+        if token.is_keyword("null"):
+            self.advance()
+            return Literal(None)
+        if token.kind == "star":
+            self.advance()
+            return Star()
+        if token.kind == "lparen":
+            self.advance()
+            inner = self._parse_expression()
+            self.expect("rparen")
+            return inner
+        if token.is_keyword("struct"):
+            self.advance()
+            return self._parse_struct_call()
+        if token.kind in ("identifier", "keyword"):
+            return self._parse_name_or_call()
+        raise ParseError(f"unexpected token {token.value!r} (line {token.line})")
+
+    def _parse_struct_call(self) -> StructCall:
+        self.expect("lparen")
+        fields: List[Tuple[Optional[str], Expr]] = []
+        while True:
+            expression = self._parse_expression()
+            alias = None
+            if self.accept_keyword("as"):
+                alias = self.expect_name()
+            fields.append((alias, expression))
+            if not self.accept("comma"):
+                break
+        self.expect("rparen")
+        return StructCall(fields=fields)
+
+    def _parse_name_or_call(self) -> Expr:
+        name = self.expect_name()
+        if self.current.kind == "lparen":
+            self.advance()
+            distinct = bool(self.accept_keyword("distinct"))
+            args: List[Expr] = []
+            if self.current.kind == "star":
+                self.advance()
+                args.append(Star())
+            elif self.current.kind != "rparen":
+                args.append(self._parse_expression())
+                while self.accept("comma"):
+                    args.append(self._parse_expression())
+            self.expect("rparen")
+            return FuncCall(name=name.lower(), args=args, distinct=distinct)
+        parts = [name]
+        while self.current.kind == "dot":
+            self.advance()
+            parts.append(self.expect_name())
+        return Name(parts=parts)
+
+
+def parse_statement(text: str) -> Any:
+    """Parse a single ERQL statement."""
+
+    return Parser(text).parse_statement()
+
+
+def parse_script(text: str) -> List[Any]:
+    """Parse a semicolon-separated sequence of ERQL statements."""
+
+    return Parser(text).parse_script()
+
+
+def parse_query(text: str) -> SelectStatement:
+    """Parse a SELECT statement, raising :class:`ParseError` for anything else."""
+
+    statement = parse_statement(text)
+    if not isinstance(statement, SelectStatement):
+        raise ParseError("expected a SELECT statement")
+    return statement

@@ -1,0 +1,176 @@
+"""Exception hierarchy shared by every ErbiumDB subsystem.
+
+Each layer raises a subclass of :class:`ErbiumError` so callers can either
+catch the broad base class or a precise error.  Keeping them in one module
+avoids circular imports between the relational substrate, the E/R core and
+the mapping layer.
+"""
+
+from __future__ import annotations
+
+
+class ErbiumError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+# --------------------------------------------------------------------------
+# Relational substrate errors
+# --------------------------------------------------------------------------
+
+
+class RelationalError(ErbiumError):
+    """Base class for errors raised by the in-memory relational engine."""
+
+
+class TypeMismatchError(RelationalError):
+    """A value does not conform to the declared column type."""
+
+
+class CatalogError(RelationalError):
+    """Unknown or duplicate table / column / index."""
+
+
+class ConstraintViolation(RelationalError):
+    """A declared integrity constraint was violated."""
+
+
+class PrimaryKeyViolation(ConstraintViolation):
+    """Duplicate primary key value."""
+
+
+class NotNullViolation(ConstraintViolation):
+    """NULL supplied for a NOT NULL column."""
+
+
+class ForeignKeyViolation(ConstraintViolation):
+    """A referenced row does not exist (or is still referenced on delete)."""
+
+
+class UniqueViolation(ConstraintViolation):
+    """Duplicate value for a UNIQUE column set."""
+
+
+class CheckViolation(ConstraintViolation):
+    """A CHECK expression evaluated to false."""
+
+
+class TransactionError(RelationalError):
+    """Misuse of the transaction API (e.g. commit without begin)."""
+
+
+class ExecutionError(RelationalError):
+    """Runtime failure while executing a physical plan."""
+
+
+class ExpressionError(RelationalError):
+    """Failure while evaluating an expression."""
+
+
+# --------------------------------------------------------------------------
+# E/R model errors
+# --------------------------------------------------------------------------
+
+
+class SchemaError(ErbiumError):
+    """Invalid E/R schema definition."""
+
+
+class UnknownElementError(SchemaError):
+    """Reference to an entity set, relationship set or attribute that does not exist."""
+
+
+class DuplicateElementError(SchemaError):
+    """An element with the same name is already defined."""
+
+
+class ValidationError(SchemaError):
+    """Schema-level validation failed (dangling relationship, bad hierarchy, ...)."""
+
+
+class InstanceError(ErbiumError):
+    """An entity or relationship instance does not conform to its schema."""
+
+
+# --------------------------------------------------------------------------
+# ERQL (DDL / query language) errors
+# --------------------------------------------------------------------------
+
+
+class ErqlError(ErbiumError):
+    """Base class for DDL / query language errors."""
+
+
+class LexerError(ErqlError):
+    """Unrecognised character or malformed literal in ERQL text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(ErqlError):
+    """Syntactically invalid ERQL statement."""
+
+
+class AnalysisError(ErqlError):
+    """Semantically invalid ERQL statement (unknown names, bad types, ...)."""
+
+
+class PlanningError(ErqlError):
+    """The planner could not produce a physical plan for a logical query."""
+
+
+# --------------------------------------------------------------------------
+# Mapping layer errors
+# --------------------------------------------------------------------------
+
+
+class MappingError(ErbiumError):
+    """Base class for logical-to-physical mapping errors."""
+
+
+class InvalidCoverError(MappingError):
+    """A proposed graph cover is not connected / not a cover / not reversible."""
+
+
+class IrreversibleMappingError(MappingError):
+    """The mapping loses information and cannot reconstruct the E/R instances."""
+
+
+class CrudTemplateError(MappingError):
+    """A CRUD operation cannot be translated under the current mapping."""
+
+
+# --------------------------------------------------------------------------
+# Evolution / governance / API errors
+# --------------------------------------------------------------------------
+
+
+class EvolutionError(ErbiumError):
+    """Invalid schema change or failed migration."""
+
+
+class MigrationError(EvolutionError):
+    """Data migration could not be completed."""
+
+
+class VersioningError(EvolutionError):
+    """Invalid version operation (unknown version, rollback past root, ...)."""
+
+
+class GovernanceError(ErbiumError):
+    """Governance subsystem error (policy, erasure, audit)."""
+
+
+class AccessDenied(GovernanceError):
+    """The principal is not allowed to perform the requested operation."""
+
+
+class ApiError(ErbiumError):
+    """API layer error; carries an HTTP-like status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message

@@ -1,0 +1,45 @@
+"""Schema evolution, data migration, versioning and query-impact analysis.
+
+Covers the paper's Section 3: schema changes are expressed at the E/R level
+(:mod:`repro.evolution.changes`), data migration happens natively by
+round-tripping through logical instances (:mod:`repro.evolution.migration`),
+versions are kept and can be rolled back (:mod:`repro.evolution.versioning`),
+and the impact of a change on existing ERQL queries can be analyzed and —
+where mechanical — auto-rewritten (:mod:`repro.evolution.query_rewrite`).
+"""
+
+from .changes import (
+    AddAttribute,
+    AddEntitySet,
+    AddRelationship,
+    AddSubclass,
+    DropAttribute,
+    DropRelationship,
+    MakeAttributeMultiValued,
+    MakeRelationshipManyToMany,
+    RenameAttribute,
+    SchemaChange,
+)
+from .migration import MigrationReport, Migrator
+from .query_rewrite import QueryImpact, analyze_query_impact, impact_summary
+from .versioning import SchemaVersion, SchemaVersionHistory
+
+__all__ = [
+    "SchemaChange",
+    "AddAttribute",
+    "DropAttribute",
+    "RenameAttribute",
+    "MakeAttributeMultiValued",
+    "MakeRelationshipManyToMany",
+    "AddEntitySet",
+    "AddSubclass",
+    "AddRelationship",
+    "DropRelationship",
+    "Migrator",
+    "MigrationReport",
+    "SchemaVersion",
+    "SchemaVersionHistory",
+    "QueryImpact",
+    "analyze_query_impact",
+    "impact_summary",
+]

@@ -1,0 +1,144 @@
+"""Query stability analysis across schema changes (paper Section 3).
+
+The paper's argument for the E/R abstraction is that schema changes cause
+*localized* query changes: making ``city`` multi-valued only affects queries
+that read ``city`` (they gain an ``unnest``), and relaxing a many-to-one
+relationship to many-to-many often requires *no* change at all to queries that
+join through the relationship by name.
+
+:func:`analyze_query_impact` classifies a set of ERQL queries against a schema
+change as ``unchanged`` / ``rewritten`` / ``broken``, and — where the rewrite
+is mechanical — produces the rewritten text.  This powers the A2 ablation
+benchmark and the schema-evolution example.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import ERSchema
+from ..errors import AnalysisError, ErbiumError
+from ..erql import analyze_query, parse_query
+from .changes import (
+    DropAttribute,
+    MakeAttributeMultiValued,
+    MakeRelationshipManyToMany,
+    RenameAttribute,
+    SchemaChange,
+)
+
+
+@dataclass
+class QueryImpact:
+    """Impact of one schema change on one query."""
+
+    query: str
+    status: str  # "unchanged" | "rewritten" | "broken"
+    rewritten: Optional[str] = None
+    reason: str = ""
+
+
+def _query_is_valid(schema: ERSchema, text: str) -> Tuple[bool, str]:
+    try:
+        analyze_query(schema, parse_query(text))
+        return True, ""
+    except ErbiumError as exc:
+        return False, str(exc)
+
+
+def _references_attribute(schema: ERSchema, text: str, entity: str, attribute: str) -> bool:
+    try:
+        bound = analyze_query(schema, parse_query(text))
+    except ErbiumError:
+        return attribute in text
+    for item in bound.items + ([] if bound.where is None else [type("w", (), {"expression": bound.where})()]):
+        expression = item.expression
+        for ref in expression.refs():
+            if ref.attribute == attribute and (ref.entity == entity or ref.entity is None):
+                return True
+    return False
+
+
+def _rewrite_for_multivalued(text: str, attribute: str) -> str:
+    """``select ..., city, ...`` -> ``select ..., unnest(city), ...`` (only in the select list)."""
+
+    pattern = re.compile(rf"(?<![\w.]){re.escape(attribute)}(?![\w(])")
+    select_end = re.search(r"\bfrom\b", text, flags=re.IGNORECASE)
+    if not select_end:
+        return text
+    head = text[: select_end.start()]
+    tail = text[select_end.start():]
+    head = pattern.sub(f"unnest({attribute})", head)
+    return head + tail
+
+
+def _rewrite_rename(text: str, old_name: str, new_name: str) -> str:
+    pattern = re.compile(rf"(?<![\w]){re.escape(old_name)}(?![\w])")
+    return pattern.sub(new_name, text)
+
+
+def analyze_query_impact(
+    schema: ERSchema, change: SchemaChange, queries: List[str]
+) -> List[QueryImpact]:
+    """Classify each query's fate under the schema change.
+
+    The old schema is used to understand the query, the evolved schema to
+    check whether the original (or mechanically rewritten) text still works.
+    """
+
+    evolved = change.apply_to_schema(schema)
+    impacts: List[QueryImpact] = []
+    for text in queries:
+        valid_before, reason_before = _query_is_valid(schema, text)
+        if not valid_before:
+            impacts.append(
+                QueryImpact(query=text, status="broken", reason=f"invalid before change: {reason_before}")
+            )
+            continue
+        # A query that reads an attribute which just became multi-valued still
+        # parses, but its result shape changes (scalar -> array); the paper's
+        # localized rewrite is to wrap the reference in unnest().
+        if isinstance(change, MakeAttributeMultiValued) and _references_attribute(
+            schema, text, change.entity, change.attribute
+        ):
+            rewritten = _rewrite_for_multivalued(text, change.attribute)
+            ok, reason = _query_is_valid(evolved, rewritten)
+            if ok and rewritten != text:
+                impacts.append(QueryImpact(query=text, status="rewritten", rewritten=rewritten))
+                continue
+        valid_after, reason_after = _query_is_valid(evolved, text)
+        if valid_after:
+            impacts.append(QueryImpact(query=text, status="unchanged"))
+            continue
+
+        rewritten: Optional[str] = None
+        if isinstance(change, MakeAttributeMultiValued):
+            rewritten = _rewrite_for_multivalued(text, change.attribute)
+        elif isinstance(change, RenameAttribute):
+            rewritten = _rewrite_rename(text, change.old_name, change.new_name)
+        elif isinstance(change, DropAttribute):
+            rewritten = None  # no mechanical fix: the data is gone
+        elif isinstance(change, MakeRelationshipManyToMany):
+            rewritten = None  # cardinality changes never invalidate name resolution
+
+        if rewritten is not None and rewritten != text:
+            ok, reason = _query_is_valid(evolved, rewritten)
+            if ok:
+                impacts.append(
+                    QueryImpact(query=text, status="rewritten", rewritten=rewritten)
+                )
+                continue
+            reason_after = reason
+        impacts.append(QueryImpact(query=text, status="broken", reason=reason_after))
+    return impacts
+
+
+def impact_summary(impacts: List[QueryImpact]) -> Dict[str, int]:
+    """Counts per status, for reports and benchmarks."""
+
+    summary = {"unchanged": 0, "rewritten": 0, "broken": 0}
+    for impact in impacts:
+        summary[impact.status] = summary.get(impact.status, 0) + 1
+    return summary

@@ -1,0 +1,179 @@
+"""Schema version history with rollback (paper Sections 1 and 3).
+
+The paper plans to "support schema evolution and versioning natively ... so
+that users can more easily experiment with schema changes and roll them back
+as needed".  :class:`SchemaVersionHistory` keeps an append-only chain of
+versions; each version stores the schema snapshot, the change that produced
+it, and (optionally) the mapped database so a rollback restores data too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import ERSchema
+from ..errors import VersioningError
+from ..mapping import Mapping
+from ..relational import Database
+from .changes import SchemaChange
+
+
+@dataclass
+class SchemaVersion:
+    """One immutable version in the history."""
+
+    version: int
+    schema: ERSchema
+    change: Optional[SchemaChange] = None
+    mapping: Optional[Mapping] = None
+    database: Optional[Database] = None
+    label: Optional[str] = None
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "label": self.label,
+            "change": self.change.describe() if self.change is not None else None,
+            "entities": self.schema.entity_names(),
+            "relationships": self.schema.relationship_names(),
+            "mapping": self.mapping.name if self.mapping is not None else None,
+        }
+
+
+class SchemaVersionHistory:
+    """Append-only schema version chain with rollback."""
+
+    def __init__(self, initial: ERSchema, mapping: Optional[Mapping] = None,
+                 database: Optional[Database] = None, label: str = "initial") -> None:
+        self._versions: List[SchemaVersion] = [
+            SchemaVersion(
+                version=0,
+                schema=initial.clone(),
+                mapping=mapping,
+                database=database,
+                label=label,
+            )
+        ]
+        self._current = 0
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def current_version(self) -> int:
+        return self._current
+
+    @property
+    def current(self) -> SchemaVersion:
+        return self._versions[self._current]
+
+    def version(self, number: int) -> SchemaVersion:
+        for candidate in self._versions:
+            if candidate.version == number:
+                return candidate
+        raise VersioningError(f"unknown schema version {number}")
+
+    def versions(self) -> List[SchemaVersion]:
+        return list(self._versions)
+
+    def history(self) -> List[Dict[str, Any]]:
+        return [v.describe() for v in self._versions]
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    # -- mutation ----------------------------------------------------------------
+
+    def commit(
+        self,
+        schema: ERSchema,
+        change: Optional[SchemaChange] = None,
+        mapping: Optional[Mapping] = None,
+        database: Optional[Database] = None,
+        label: Optional[str] = None,
+    ) -> SchemaVersion:
+        """Append a new version derived from the current one and switch to it.
+
+        Committing while an older version is checked out is rejected (linear
+        history keeps rollback semantics simple, as in the paper's versioning
+        reference [4]).
+        """
+
+        if self._current != self._versions[-1].version:
+            raise VersioningError(
+                "cannot commit: an older version is checked out (roll forward first)"
+            )
+        version = SchemaVersion(
+            version=self._versions[-1].version + 1,
+            schema=schema.clone(),
+            change=change,
+            mapping=mapping,
+            database=database,
+            label=label,
+        )
+        self._versions.append(version)
+        self._current = version.version
+        return version
+
+    def rollback(self, to_version: Optional[int] = None) -> SchemaVersion:
+        """Check out an earlier version (default: the immediately preceding one)."""
+
+        if to_version is None:
+            to_version = self._current - 1
+        if to_version < 0:
+            raise VersioningError("cannot roll back past the initial version")
+        target = self.version(to_version)
+        if to_version > self._current:
+            raise VersioningError("rollback target is newer than the current version")
+        self._current = target.version
+        return target
+
+    def roll_forward(self, to_version: Optional[int] = None) -> SchemaVersion:
+        """Move back toward the newest version after a rollback."""
+
+        newest = self._versions[-1].version
+        if to_version is None:
+            to_version = newest
+        if to_version > newest:
+            raise VersioningError(f"unknown schema version {to_version}")
+        target = self.version(to_version)
+        if target.version < self._current:
+            raise VersioningError("roll_forward target is older than the current version")
+        self._current = target.version
+        return target
+
+    def diff(self, old_version: int, new_version: int) -> Dict[str, Any]:
+        """Entity/relationship-level difference between two versions."""
+
+        old = self.version(old_version).schema
+        new = self.version(new_version).schema
+        old_entities = set(old.entity_names())
+        new_entities = set(new.entity_names())
+        changed_attributes: Dict[str, Dict[str, List[str]]] = {}
+        for entity in sorted(old_entities & new_entities):
+            old_attrs = {a.name: repr(a) for a in old.entity(entity).attributes}
+            new_attrs = {a.name: repr(a) for a in new.entity(entity).attributes}
+            added = sorted(set(new_attrs) - set(old_attrs))
+            removed = sorted(set(old_attrs) - set(new_attrs))
+            modified = sorted(
+                name
+                for name in set(old_attrs) & set(new_attrs)
+                if old_attrs[name] != new_attrs[name]
+            )
+            if added or removed or modified:
+                changed_attributes[entity] = {
+                    "added": added,
+                    "removed": removed,
+                    "modified": modified,
+                }
+        return {
+            "entities_added": sorted(new_entities - old_entities),
+            "entities_removed": sorted(old_entities - new_entities),
+            "relationships_added": sorted(
+                set(new.relationship_names()) - set(old.relationship_names())
+            ),
+            "relationships_removed": sorted(
+                set(old.relationship_names()) - set(new.relationship_names())
+            ),
+            "attributes_changed": changed_attributes,
+        }

@@ -1,0 +1,26 @@
+"""Entity-centric data governance (paper Section 1, point 2).
+
+* :class:`PIIRegistry` — tag personal data at the E/R level and locate it in
+  every physical structure of the active mapping;
+* :class:`AccessController` / :class:`Policy` — entity- and attribute-level
+  access control with per-instance conditions;
+* :class:`ErasureService` — verified right-to-erasure across all physical
+  tables, with weak-entity cascade;
+* :class:`AuditLog` — append-only audit trail of governance actions.
+"""
+
+from .access_control import AccessController, Policy
+from .audit import AuditEntry, AuditLog
+from .erasure import ErasureReport, ErasureService
+from .tags import PIIRegistry, PIITag
+
+__all__ = [
+    "PIIRegistry",
+    "PIITag",
+    "AccessController",
+    "Policy",
+    "ErasureService",
+    "ErasureReport",
+    "AuditLog",
+    "AuditEntry",
+]

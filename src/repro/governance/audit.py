@@ -1,0 +1,91 @@
+"""Append-only audit log for governance-relevant operations.
+
+Erasure requests, access-control decisions and policy changes are recorded
+with a monotonically increasing sequence number.  The log is deliberately
+simple (an in-memory list with query helpers) — what matters for the paper's
+argument is that entity-centric operations are *auditable* because they are
+expressed against the E/R schema rather than scattered over physical tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class AuditEntry:
+    """One audit record."""
+
+    sequence: int
+    action: str
+    principal: str
+    entity: Optional[str] = None
+    key: Optional[tuple] = None
+    outcome: str = "ok"
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "sequence": self.sequence,
+            "action": self.action,
+            "principal": self.principal,
+            "entity": self.entity,
+            "key": list(self.key) if self.key is not None else None,
+            "outcome": self.outcome,
+            "details": dict(self.details),
+        }
+
+
+class AuditLog:
+    """Append-only in-memory audit log."""
+
+    def __init__(self) -> None:
+        self._entries: List[AuditEntry] = []
+
+    def record(
+        self,
+        action: str,
+        principal: str,
+        entity: Optional[str] = None,
+        key: Optional[tuple] = None,
+        outcome: str = "ok",
+        **details: Any,
+    ) -> AuditEntry:
+        entry = AuditEntry(
+            sequence=len(self._entries) + 1,
+            action=action,
+            principal=principal,
+            entity=entity,
+            key=tuple(key) if key is not None else None,
+            outcome=outcome,
+            details=dict(details),
+        )
+        self._entries.append(entry)
+        return entry
+
+    def entries(
+        self,
+        action: Optional[str] = None,
+        principal: Optional[str] = None,
+        entity: Optional[str] = None,
+    ) -> List[AuditEntry]:
+        out = []
+        for entry in self._entries:
+            if action is not None and entry.action != action:
+                continue
+            if principal is not None and entry.principal != principal:
+                continue
+            if entity is not None and entry.entity != entity:
+                continue
+            out.append(entry)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[AuditEntry]:
+        return iter(self._entries)
+
+    def tail(self, count: int = 10) -> List[AuditEntry]:
+        return self._entries[-count:]

@@ -1,0 +1,223 @@
+"""Right-to-erasure: delete all data about an entity, wherever it lives.
+
+This is the paper's flagship governance operation: "ability to delete data of
+specific individuals ... requires reasoning about all the data related to an
+entity as a whole", which is hard when personal data is "spread across many
+tables, often without the foreign keys to help link the data".  Because the
+ErbiumDB mapping knows where every attribute and relationship of an entity is
+physically stored, erasure becomes a single entity-centric operation:
+
+1. find the instance (and, optionally, instances of weak entity sets owned by
+   it — e.g. a person's orders);
+2. collect the physical footprint (for the erasure report / verification);
+3. delete through the CRUD templates, which also clear relationship rows and
+   foreign-key references;
+4. verify the key no longer appears in any physical table, and write an audit
+   record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core import ERSchema, WeakEntitySet
+from ..errors import GovernanceError
+from ..mapping import CrudTemplates, Mapping
+from ..relational import Database
+from .access_control import AccessController
+from .audit import AuditLog
+
+
+@dataclass
+class ErasureReport:
+    """Outcome of one erasure request."""
+
+    entity: str
+    key: Tuple[Any, ...]
+    rows_removed: int = 0
+    dependants_erased: List[Tuple[str, Tuple[Any, ...]]] = field(default_factory=list)
+    residual_occurrences: List[str] = field(default_factory=list)
+    verified: bool = False
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "entity": self.entity,
+            "key": list(self.key),
+            "rows_removed": self.rows_removed,
+            "dependants_erased": [
+                {"entity": e, "key": list(k)} for e, k in self.dependants_erased
+            ],
+            "verified": self.verified,
+            "residual_occurrences": list(self.residual_occurrences),
+        }
+
+
+class ErasureService:
+    """Entity-centric right-to-erasure over one mapped database."""
+
+    def __init__(
+        self,
+        schema: ERSchema,
+        mapping: Mapping,
+        db: Database,
+        access: Optional[AccessController] = None,
+        audit: Optional[AuditLog] = None,
+    ) -> None:
+        self.schema = schema
+        self.mapping = mapping
+        self.db = db
+        self.crud = CrudTemplates(schema, mapping, db)
+        self.access = access
+        self.audit = audit
+
+    # -- discovery ----------------------------------------------------------------
+
+    def footprint(self, entity: str, key: Sequence[Any]) -> Dict[str, int]:
+        """How many rows in each physical table hold data about the instance.
+
+        This is the "where is this person's data" inventory.  It is driven by
+        the mapping's placement records — exactly the point the paper makes:
+        the E/R layer *knows* where every attribute, hierarchy member, side
+        table and relationship of an entity lives, so the inventory does not
+        rely on conventions or external documentation.
+        """
+
+        if not isinstance(key, (tuple, list)):
+            key = (key,)
+        key = tuple(key)
+        counts: Dict[str, int] = {}
+
+        def count_in(table_name: Optional[str], columns: Sequence[str]) -> None:
+            if not table_name or not self.db.has_table(table_name) or not columns:
+                return
+            table = self.db.catalog.table(table_name)
+            if not all(table.schema.has_column(c) for c in columns):
+                return
+            matched = 0
+            for row in table.rows():
+                if tuple(row.get(c) for c in columns) == key:
+                    matched += 1
+            if matched:
+                counts[table_name] = counts.get(table_name, 0) + matched
+
+        # base tables along the hierarchy chain (and descendants' tables)
+        chain = [entity]
+        chain += [a.name for a in self.schema.ancestors_of(entity)]
+        chain += [d.name for d in self.schema.descendants_of(entity)]
+        for member in chain:
+            placement = self.mapping.entity_placement(member)
+            if placement.kind == "nested_in_owner":
+                continue
+            count_in(placement.table, placement.key_columns[: len(key)])
+
+        # side tables of multi-valued attributes
+        for attribute in self.schema.effective_attributes(entity):
+            if not attribute.is_multivalued():
+                continue
+            declaring = self.schema.owning_entity_of_attribute(entity, attribute.name)
+            try:
+                attr_placement = self.mapping.attribute_placement(declaring.name, attribute.name)
+            except Exception:
+                continue
+            if attr_placement.kind == "side_table":
+                count_in(attr_placement.table, attr_placement.owner_key_columns[: len(key)])
+
+        # relationship structures that reference the instance
+        family = {entity} | {a.name for a in self.schema.ancestors_of(entity)}
+        for relationship in self.schema.relationships():
+            participating = [p for p in relationship.participants if p.entity in family]
+            if not participating:
+                continue
+            placement = self.mapping.relationship_placement(relationship.name)
+            if placement.kind in ("identifying", "nested"):
+                continue
+            for participant in participating:
+                columns = placement.role_columns.get(participant.label, [])
+                if placement.kind == "foreign_key":
+                    if placement.fk_side == participant.label:
+                        # the MANY side's link is its own base row, which the
+                        # hierarchy-chain pass above has already counted
+                        continue
+                    many_participant = relationship.participant(placement.fk_side)
+                    many_placement = self.mapping.entity_placement(many_participant.entity)
+                    count_in(many_placement.table, columns[: len(key)])
+                else:
+                    count_in(placement.table, columns[: len(key)])
+        return counts
+
+    def dependants(self, entity: str, key: Sequence[Any]) -> List[Tuple[str, Tuple[Any, ...]]]:
+        """Weak-entity instances owned by the given instance."""
+
+        if not isinstance(key, (tuple, list)):
+            key = (key,)
+        out: List[Tuple[str, Tuple[Any, ...]]] = []
+        owner_key_length = len(self.schema.effective_key(entity))
+        for weak in self.schema.weak_entities_of(entity):
+            for weak_key in self.crud.entity_keys(weak.name):
+                if tuple(weak_key[:owner_key_length]) == tuple(key):
+                    out.append((weak.name, tuple(weak_key)))
+        return out
+
+    # -- erasure -----------------------------------------------------------------------
+
+    def erase(
+        self,
+        entity: str,
+        key: Sequence[Any],
+        principal: Optional[str] = None,
+        cascade_weak: bool = True,
+    ) -> ErasureReport:
+        """Erase one entity instance (and optionally its weak dependants)."""
+
+        if not isinstance(key, (tuple, list)):
+            key = (key,)
+        if self.access is not None and principal is not None:
+            self.access.check(principal, "erase", entity)
+
+        if self.crud.get_entity(entity, key) is None:
+            raise GovernanceError(
+                f"no instance of {entity!r} with key {tuple(key)} exists"
+            )
+
+        report = ErasureReport(entity=entity, key=tuple(key))
+        if cascade_weak:
+            for weak_entity, weak_key in self.dependants(entity, key):
+                report.rows_removed += self.crud.delete_entity(weak_entity, weak_key)
+                report.dependants_erased.append((weak_entity, weak_key))
+        report.rows_removed += self.crud.delete_entity(entity, key)
+
+        report.residual_occurrences = self._verify(entity, key)
+        report.verified = not report.residual_occurrences
+
+        if self.audit is not None:
+            self.audit.record(
+                action="erasure",
+                principal=principal or "system",
+                entity=entity,
+                key=tuple(key),
+                outcome="verified" if report.verified else "residuals_found",
+                rows_removed=report.rows_removed,
+            )
+        return report
+
+    def _verify(self, entity: str, key: Sequence[Any]) -> List[str]:
+        """Tables in which the erased instance's key still appears as a key."""
+
+        residual = []
+        if self.crud.get_entity(entity, key) is not None:
+            residual.append(f"entity {entity!r} still reconstructible")
+        placement = self.mapping.entity_placement(entity)
+        key_columns = placement.key_columns
+        for table_name in self.mapping.table_names():
+            if not self.db.has_table(table_name):
+                continue
+            table = self.db.catalog.table(table_name)
+            columns = [c for c in key_columns if table.schema.has_column(c)]
+            if len(columns) != len(key_columns):
+                continue
+            for row in table.rows():
+                if tuple(row.get(c) for c in columns) == tuple(key):
+                    residual.append(table_name)
+                    break
+        return residual

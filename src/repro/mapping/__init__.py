@@ -1,0 +1,81 @@
+"""Logical-to-physical mapping layer (the paper's Section 4 machinery).
+
+Public surface:
+
+* :class:`MappingSpec` and the paper's named specs M1–M6
+  (:func:`named_mapping`, :func:`fully_normalized_spec`, ...);
+* :func:`compile_mapping` — spec + schema -> :class:`Mapping`;
+* :class:`AccessPathBuilder` — mapping-aware physical plan construction;
+* :class:`CrudTemplates` — entity/relationship CRUD under any mapping;
+* cover utilities (:class:`GraphCover`, :func:`validate_mapping_cover`);
+* reversibility checks (:func:`check_mapping`, :func:`assert_equivalent`);
+* the candidate enumerator and the workload-aware :class:`MappingOptimizer`.
+"""
+
+from .access import AccessPathBuilder, qualified
+from .covers import CoverElement, GraphCover, cover_of_mapping, validate_mapping_cover
+from .crud import CrudTemplates
+from .enumerator import count_candidates, enumerate_specs
+from .mapper import compile_mapping
+from .optimizer import CandidateEvaluation, MappingOptimizer, OptimizationResult
+from .physical import (
+    AttributePlacement,
+    EntityPlacement,
+    Mapping,
+    PhysicalTable,
+    RelationshipPlacement,
+)
+from .reversibility import (
+    MappingCheckResult,
+    assert_equivalent,
+    check_mapping,
+    reconstruct_instances,
+    reconstruct_relationships,
+)
+from .strategies import (
+    MappingSpec,
+    array_columns_spec,
+    co_stored_spec,
+    disjoint_tables_spec,
+    fully_normalized_spec,
+    named_mapping,
+    nested_weak_entities_spec,
+    single_table_hierarchy_spec,
+)
+from .workload import AccessPattern, Workload
+
+__all__ = [
+    "Mapping",
+    "MappingSpec",
+    "PhysicalTable",
+    "EntityPlacement",
+    "AttributePlacement",
+    "RelationshipPlacement",
+    "compile_mapping",
+    "named_mapping",
+    "fully_normalized_spec",
+    "array_columns_spec",
+    "single_table_hierarchy_spec",
+    "disjoint_tables_spec",
+    "nested_weak_entities_spec",
+    "co_stored_spec",
+    "AccessPathBuilder",
+    "qualified",
+    "CrudTemplates",
+    "GraphCover",
+    "CoverElement",
+    "cover_of_mapping",
+    "validate_mapping_cover",
+    "check_mapping",
+    "MappingCheckResult",
+    "assert_equivalent",
+    "reconstruct_instances",
+    "reconstruct_relationships",
+    "enumerate_specs",
+    "count_candidates",
+    "MappingOptimizer",
+    "OptimizationResult",
+    "CandidateEvaluation",
+    "AccessPattern",
+    "Workload",
+]

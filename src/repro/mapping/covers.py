@@ -1,0 +1,114 @@
+"""Explicit graph-cover construction and validation (paper Figure 2).
+
+A mapping is *defined* as a cover of the E/R graph by connected subgraphs.
+The compiler in :mod:`repro.mapping.mapper` produces covers implicitly; this
+module lets covers be built and inspected explicitly, which is what the
+Figure 2 reproduction and the mapping enumerator use.
+
+:class:`GraphCover` is a named list of node-id sets.  It can be checked
+against an :class:`~repro.core.ERGraph` and extracted from a compiled
+:class:`~repro.mapping.physical.Mapping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..core import ERGraph, ERSchema
+from ..errors import InvalidCoverError
+from .physical import Mapping
+
+
+@dataclass
+class CoverElement:
+    """One connected subgraph of the cover, with an optional label."""
+
+    label: str
+    nodes: Set[str] = field(default_factory=set)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.nodes
+
+
+@dataclass
+class GraphCover:
+    """A named cover of the E/R graph."""
+
+    name: str
+    elements: List[CoverElement] = field(default_factory=list)
+
+    def add(self, label: str, nodes: Iterable[str]) -> CoverElement:
+        element = CoverElement(label=label, nodes=set(nodes))
+        self.elements.append(element)
+        return element
+
+    def node_sets(self) -> List[Set[str]]:
+        return [set(e.nodes) for e in self.elements]
+
+    def element(self, label: str) -> CoverElement:
+        for element in self.elements:
+            if element.label == label:
+                return element
+        raise InvalidCoverError(f"cover {self.name!r} has no element {label!r}")
+
+    def covering_elements(self, node: str) -> List[CoverElement]:
+        """All cover elements containing a node (attributes may appear in several)."""
+
+        return [e for e in self.elements if node in e.nodes]
+
+    def validate(self, graph: ERGraph, allow_uncovered: Sequence[str] = ()) -> None:
+        """Raise :class:`InvalidCoverError` if this is not a valid cover.
+
+        ``allow_uncovered`` lists node ids that may legitimately stay uncovered
+        (e.g. derived attributes).
+        """
+
+        problems: List[str] = []
+        for element in self.elements:
+            if not element.nodes:
+                problems.append(f"cover element {element.label!r} is empty")
+                continue
+            unknown = [n for n in element.nodes if not graph.has_node(n)]
+            if unknown:
+                problems.append(
+                    f"cover element {element.label!r} references unknown nodes {unknown}"
+                )
+                continue
+            if not graph.is_connected_subset(element.nodes):
+                problems.append(f"cover element {element.label!r} is not connected")
+        uncovered = graph.uncovered_nodes(self.node_sets()) - set(allow_uncovered)
+        if uncovered:
+            problems.append(f"nodes not covered: {sorted(uncovered)}")
+        if problems:
+            raise InvalidCoverError("; ".join(problems))
+
+    def summary(self) -> Dict[str, int]:
+        return {e.label: len(e.nodes) for e in self.elements}
+
+
+def cover_of_mapping(mapping: Mapping) -> GraphCover:
+    """The graph cover induced by a compiled mapping (one element per table)."""
+
+    cover = GraphCover(name=mapping.name)
+    for table in mapping.tables.values():
+        cover.add(table.name, table.covers)
+    return cover
+
+
+def validate_mapping_cover(schema: ERSchema, mapping: Mapping) -> GraphCover:
+    """Extract and validate the cover of a mapping; returns the cover."""
+
+    graph = ERGraph(schema)
+    derived = []
+    for entity in schema.entities():
+        for attribute in entity.attributes:
+            if attribute.is_derived():
+                derived.append(f"attr:{entity.name}.{attribute.name}")
+    for relationship in schema.relationships():
+        for attribute in relationship.attributes:
+            if attribute.is_derived():
+                derived.append(f"attr:{relationship.name}.{attribute.name}")
+    cover = cover_of_mapping(mapping)
+    cover.validate(graph, allow_uncovered=derived)
+    return cover

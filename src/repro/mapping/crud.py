@@ -1,0 +1,858 @@
+"""CRUD templates: entity/relationship-level operations under any mapping.
+
+The paper's architecture (Figure 3) compiles CRUD statements against the E/R
+schema into updates on whatever physical tables the active mapping uses.  The
+:class:`CrudTemplates` class is that compiler + executor:
+
+* ``insert_entity`` may write one row (single-table hierarchy), several rows
+  (delta hierarchy + side tables for multi-valued attributes), an array append
+  (nested weak entities) or a wide-table row (co-stored participants);
+* ``get_entity`` reconstructs a full :class:`~repro.core.EntityInstance`
+  regardless of where its pieces live — this is what makes the mapping
+  *reversible* in the paper's sense, and the reversibility checker uses it;
+* ``insert_relationship`` updates foreign-key columns, inserts join-table rows
+  or merges rows of a co-stored wide table (handling the duplication the paper
+  points out);
+* ``delete_entity`` is entity-centric: it removes every physical trace of the
+  instance, including its relationship rows — the primitive that the
+  governance layer's right-to-erasure builds on.
+
+All multi-row operations run inside a transaction on the underlying database.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core import (
+    EntityInstance,
+    ERSchema,
+    RelationshipInstance,
+    WeakEntitySet,
+    validate_entity_instance,
+    validate_relationship_instance,
+)
+from ..errors import CrudTemplateError, InstanceError
+from ..relational import Database
+from .access import AccessPathBuilder, qualified
+from .physical import Mapping
+
+
+class CrudTemplates:
+    """Executable CRUD templates for one (schema, mapping, database) triple."""
+
+    def __init__(self, schema: ERSchema, mapping: Mapping, db: Database) -> None:
+        self.schema = schema
+        self.mapping = mapping
+        self.db = db
+        self.access = AccessPathBuilder(schema, mapping, db)
+
+    # ------------------------------------------------------------------ helpers
+
+    def _key_dict(self, entity: str, key: Sequence[Any]) -> Dict[str, Any]:
+        names = self.schema.effective_key(entity)
+        if not isinstance(key, (tuple, list)):
+            key = (key,)
+        if len(key) != len(names):
+            raise CrudTemplateError(
+                f"entity {entity!r} expects {len(names)} key value(s) {names}, got {len(key)}"
+            )
+        return dict(zip(names, key))
+
+    def _hierarchy_chain(self, entity: str) -> List[str]:
+        """Root-first chain of hierarchy members from the root down to ``entity``."""
+
+        chain = [a.name for a in reversed(self.schema.ancestors_of(entity))]
+        chain.append(entity)
+        return chain
+
+    def _storable_names(self, entity: str) -> List[str]:
+        return [
+            a.name
+            for a in self.schema.effective_attributes(entity)
+            if not a.is_derived()
+        ]
+
+    # -------------------------------------------------------------- entity insert
+
+    def insert_entity(self, instance: EntityInstance) -> EntityInstance:
+        """Insert an entity instance, writing every physical structure it touches."""
+
+        validated = validate_entity_instance(self.schema, instance)
+        with self.db.transaction():
+            self._insert_entity_rows(validated)
+        return validated
+
+    def _insert_entity_rows(self, instance: EntityInstance) -> None:
+        entity = instance.entity_set
+        placement = self.mapping.entity_placement(entity)
+        values = instance.values
+
+        entity_obj = self.schema.entity(entity)
+        if isinstance(entity_obj, WeakEntitySet):
+            self._require_owner(entity_obj, values)
+
+        if placement.kind == "nested_in_owner":
+            self._insert_nested(entity, placement, values)
+        elif placement.kind == "co_stored":
+            # The wide-table row holds the entity's own attributes; inherited
+            # attributes of a co-stored subclass still go to the ancestor
+            # tables, which _insert_delta_or_plain walks for us.
+            self._insert_delta_or_plain(entity, values)
+        elif placement.kind == "single_table":
+            self._insert_single_table(entity, placement, values)
+        elif placement.kind == "disjoint_table":
+            self._insert_disjoint(entity, placement, values)
+        else:
+            self._insert_delta_or_plain(entity, values)
+
+        self._insert_multivalued(entity, values)
+
+    def _require_owner(self, weak: WeakEntitySet, values: Dict[str, Any]) -> None:
+        """A weak entity instance may only exist if its owner instance does."""
+
+        owner_key_names = self.schema.effective_key(weak.owner)
+        owner_key = tuple(values.get(k) for k in owner_key_names)
+        owner_placement = self.mapping.entity_placement(weak.owner)
+        if owner_placement.table is None:
+            return
+        table = self.db.catalog.table(owner_placement.table)
+        if not table.lookup_ids(tuple(owner_placement.key_columns), owner_key):
+            raise CrudTemplateError(
+                f"cannot insert weak entity {weak.name!r}: owner {weak.owner!r} "
+                f"with key {owner_key} does not exist"
+            )
+
+    def _inline_row_for_table(
+        self, entity: str, table_name: str, values: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """The subset of ``values`` whose inline placement is ``table_name``."""
+
+        row: Dict[str, Any] = {}
+        for name in self._storable_names(entity):
+            placement = self.access._attribute_placement(entity, name)
+            if placement.kind in ("inline", "inline_array") and placement.table == table_name:
+                if name in values:
+                    row[placement.column] = values[name]
+        return row
+
+    def _insert_delta_or_plain(self, entity: str, values: Dict[str, Any]) -> None:
+        chain = self._hierarchy_chain(entity)
+        key_names = self.schema.effective_key(entity)
+        key_row = {k: values[k] for k in key_names}
+        for member in chain:
+            member_placement = self.mapping.entity_placement(member)
+            if member_placement.kind == "co_stored":
+                self._insert_co_stored_entity(member, member_placement, values, only_own=True)
+                continue
+            if member_placement.table is None:
+                continue
+            row = dict(zip(member_placement.key_columns, [values[k] for k in key_names]))
+            member_entity = self.schema.entity(member)
+            for attribute in member_entity.attributes:
+                if attribute.is_derived() or attribute.is_multivalued():
+                    continue
+                if attribute.name in key_names:
+                    continue
+                attr_placement = self.access._attribute_placement(entity, attribute.name)
+                if attr_placement.kind in ("inline", "inline_array") and attr_placement.table == member_placement.table:
+                    row[attr_placement.column] = values.get(attribute.name)
+            # array-valued attributes stored inline on this member's table
+            for attribute in member_entity.attributes:
+                if not attribute.is_multivalued():
+                    continue
+                attr_placement = self.access._attribute_placement(entity, attribute.name)
+                if attr_placement.kind == "inline_array" and attr_placement.table == member_placement.table:
+                    row[attr_placement.column] = values.get(attribute.name)
+            self.db.insert(member_placement.table, row)
+        del key_row
+
+    def _insert_single_table(self, entity: str, placement, values: Dict[str, Any]) -> None:
+        row: Dict[str, Any] = {}
+        key_names = self.schema.effective_key(entity)
+        for key_name, column in zip(key_names, placement.key_columns):
+            row[column] = values[key_name]
+        for name in self._storable_names(entity):
+            attr_placement = self.access._attribute_placement(entity, name)
+            if attr_placement.kind in ("inline", "inline_array") and attr_placement.table == placement.table:
+                if name not in key_names:
+                    row[attr_placement.column] = values.get(name)
+        row[placement.discriminator_column] = placement.type_value
+        self.db.insert(placement.table, row)
+
+    def _insert_disjoint(self, entity: str, placement, values: Dict[str, Any]) -> None:
+        row: Dict[str, Any] = {}
+        key_names = self.schema.effective_key(entity)
+        for key_name, column in zip(key_names, placement.key_columns):
+            row[column] = values[key_name]
+        for name in self._storable_names(entity):
+            attr_placement = self.access._attribute_placement(entity, name)
+            if attr_placement.kind in ("inline", "inline_array") and attr_placement.table == placement.table:
+                if name not in key_names:
+                    row[attr_placement.column] = values.get(name)
+        self.db.insert(placement.table, row)
+
+    def _insert_nested(self, entity: str, placement, values: Dict[str, Any]) -> None:
+        owner_placement = self.mapping.entity_placement(placement.owner_entity)
+        owner_key_names = self.schema.effective_key(placement.owner_entity)
+        owner_key = [values[k] for k in owner_key_names]
+        table = self.db.catalog.table(owner_placement.table)
+        row_ids = table.lookup_ids(tuple(owner_placement.key_columns), tuple(owner_key))
+        if not row_ids:
+            raise CrudTemplateError(
+                f"cannot insert weak entity {entity!r}: owner {placement.owner_entity!r} "
+                f"with key {tuple(owner_key)} does not exist"
+            )
+        element = {
+            a.name: values.get(a.name)
+            for a in self.schema.entity(entity).attributes
+            if not a.is_derived()
+        }
+        current = table.get_row(row_ids[0]).get(placement.array_column) or []
+        self.db.update_row(
+            owner_placement.table,
+            row_ids[0],
+            {placement.array_column: list(current) + [element]},
+        )
+
+    def _insert_co_stored_entity(
+        self, entity: str, placement, values: Dict[str, Any], only_own: bool = False
+    ) -> None:
+        """Insert a participant of a co-stored relationship: a row with the
+        other side left NULL (merged later by ``insert_relationship``)."""
+
+        row: Dict[str, Any] = {}
+        key_names = self.schema.effective_key(entity)
+        for key_name, column in zip(key_names, placement.key_columns):
+            row[column] = values[key_name]
+        own_entity = self.schema.entity(entity)
+        for attribute in own_entity.attributes:
+            if attribute.is_derived() or attribute.is_multivalued():
+                continue
+            attr_placement = self.access._attribute_placement(entity, attribute.name)
+            if attr_placement.kind == "inline" and attr_placement.table == placement.table:
+                row[attr_placement.column] = values.get(attribute.name)
+        self.db.insert(placement.table, row)
+        if only_own:
+            return
+
+    def _insert_multivalued(self, entity: str, values: Dict[str, Any]) -> None:
+        key_names = self.schema.effective_key(entity)
+        for attribute in self.schema.effective_attributes(entity):
+            if not attribute.is_multivalued():
+                continue
+            placement = self.access._attribute_placement(entity, attribute.name)
+            if placement.kind != "side_table":
+                continue
+            elements = values.get(attribute.name) or []
+            for element in elements:
+                row = dict(zip(placement.owner_key_columns, [values[k] for k in key_names]))
+                if len(placement.value_columns) == 1:
+                    row[placement.value_columns[0]] = element
+                else:
+                    if not isinstance(element, dict):
+                        raise CrudTemplateError(
+                            f"elements of {entity}.{attribute.name} must be dicts"
+                        )
+                    for column in placement.value_columns:
+                        row[column] = element.get(column)
+                self.db.insert(placement.table, row)
+
+    # -------------------------------------------------------------- entity read
+
+    def get_entity(self, entity: str, key: Sequence[Any]) -> Optional[EntityInstance]:
+        """Reconstruct one entity instance from the physical tables."""
+
+        key_equals = self._key_dict(entity, key)
+        plan = self.access.entity_scan(entity, entity, key_equals=key_equals)
+        key_names = self.schema.effective_key(entity)
+        rows = [
+            row
+            for row in self.db.execute(plan).rows
+            if all(row.get(qualified(entity, k)) == key_equals[k] for k in key_names)
+        ]
+        if not rows:
+            return None
+        row = rows[0]
+        values = {}
+        for name in self._storable_names(entity):
+            # An attribute can legitimately be absent from the row (e.g. an
+            # empty multi-valued attribute under a side-table mapping produces
+            # no join partner); it reads back as NULL.
+            values[name] = row.get(qualified(entity, name))
+        # Key attributes (including the owner-key part of a weak entity's key)
+        # are part of the instance even when they are not declared attributes.
+        for name in key_names:
+            values.setdefault(name, key_equals[name])
+        return EntityInstance(entity, values)
+
+    def get_documents(
+        self, entity: str, keys: Sequence[Sequence[Any]], include_weak: bool = True
+    ) -> List[Dict[str, Any]]:
+        """Fetch full nested documents (owner + weak dependants) for many keys.
+
+        This is the access pattern of experiment E7a ("all the information
+        across the three entities for a given set of s_ids"):
+
+        * under a nested mapping (M5) each document is a single keyed lookup of
+          the owner row, whose arrays already hold the dependants;
+        * under a normalized mapping (M1) the owner rows are keyed lookups but
+          each weak entity set requires a pass over its table, grouped by
+          owner key.
+        """
+
+        normalized_keys = [tuple(k) if isinstance(k, (tuple, list)) else (k,) for k in keys]
+        key_names = self.schema.effective_key(entity)
+        placement = self.mapping.entity_placement(entity)
+        table = self.db.catalog.table(placement.table) if placement.table else None
+        weak_sets = self.schema.weak_entities_of(entity) if include_weak else []
+
+        documents: List[Dict[str, Any]] = []
+        owner_rows: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        if table is not None:
+            for key in normalized_keys:
+                for row in table.lookup(tuple(placement.key_columns), key):
+                    owner_rows[key] = row
+                    break
+
+        # Weak dependants: read nested arrays straight off the owner row, or
+        # make one pass over each weak entity's table grouped by owner key.
+        dependants: Dict[str, Dict[Tuple[Any, ...], List[Dict[str, Any]]]] = {}
+        for weak in weak_sets:
+            weak_placement = self.mapping.entity_placement(weak.name)
+            grouped: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+            if weak_placement.kind == "nested_in_owner":
+                for key, row in owner_rows.items():
+                    grouped[key] = list(row.get(weak_placement.array_column) or [])
+            else:
+                weak_table = self.db.catalog.table(weak_placement.table)
+                wanted = set(normalized_keys)
+                owner_columns = weak_placement.key_columns[: len(key_names)]
+                for row in weak_table.rows():
+                    owner_key = tuple(row.get(c) for c in owner_columns)
+                    if owner_key in wanted:
+                        grouped.setdefault(owner_key, []).append(dict(row))
+            dependants[weak.name] = grouped
+
+        for key in normalized_keys:
+            row = owner_rows.get(key)
+            if row is None:
+                continue
+            document: Dict[str, Any] = {}
+            for name in self._storable_names(entity):
+                attr_placement = self.access._attribute_placement(entity, name)
+                if attr_placement.kind in ("inline", "inline_array") and attr_placement.column in row:
+                    document[name] = row[attr_placement.column]
+            for name, value in zip(key_names, key):
+                document.setdefault(name, value)
+            for weak in weak_sets:
+                document[weak.name] = dependants[weak.name].get(key, [])
+            documents.append(document)
+        return documents
+
+    def entity_keys(self, entity: str) -> List[Tuple[Any, ...]]:
+        """All key tuples of the instances of an entity set."""
+
+        key_names = self.schema.effective_key(entity)
+        plan = self.access.entity_scan(entity, entity, attributes=list(key_names))
+        result = self.db.execute(plan)
+        out = []
+        seen = set()
+        for row in result.rows:
+            key = tuple(row.get(qualified(entity, k)) for k in key_names)
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+        return out
+
+    def count_entities(self, entity: str) -> int:
+        return len(self.entity_keys(entity))
+
+    # -------------------------------------------------------------- entity update
+
+    def update_entity(self, entity: str, key: Sequence[Any], changes: Dict[str, Any]) -> None:
+        """Update attribute values of one entity instance."""
+
+        key_equals = self._key_dict(entity, key)
+        key_names = self.schema.effective_key(entity)
+        for name in changes:
+            if name in key_names:
+                raise CrudTemplateError(f"cannot update key attribute {name!r}")
+            self.schema.effective_attribute(entity, name)  # raises if unknown
+        with self.db.transaction():
+            for name, value in changes.items():
+                self._update_attribute(entity, key_equals, name, value)
+
+    def _update_attribute(
+        self, entity: str, key_equals: Dict[str, Any], name: str, value: Any
+    ) -> None:
+        placement = self.access._attribute_placement(entity, name)
+        key_names = self.schema.effective_key(entity)
+        key_values = tuple(key_equals[k] for k in key_names)
+
+        if placement.kind in ("inline", "inline_array"):
+            entity_placement = self.mapping.entity_placement(entity)
+            tables = [placement.table]
+            if entity_placement.kind == "disjoint_table" and placement.table != entity_placement.table:
+                tables = [entity_placement.table]
+            for table_name in tables:
+                table = self.db.catalog.table(table_name)
+                key_columns = self._key_columns_on_table(entity, table_name)
+                row_ids = table.lookup_ids(tuple(key_columns), key_values)
+                for row_id in row_ids:
+                    self.db.update_row(table_name, row_id, {placement.column: value})
+            return
+
+        if placement.kind == "side_table":
+            predicate = self._side_table_predicate(placement, key_values)
+            self.db.delete(placement.table, predicate)
+            elements = value or []
+            for element in elements:
+                row = dict(zip(placement.owner_key_columns, key_values))
+                if len(placement.value_columns) == 1:
+                    row[placement.value_columns[0]] = element
+                else:
+                    for column in placement.value_columns:
+                        row[column] = element.get(column)
+                self.db.insert(placement.table, row)
+            return
+
+        if placement.kind == "nested_field":
+            self._update_nested_field(entity, key_equals, placement, name, value)
+            return
+
+        raise CrudTemplateError(
+            f"cannot update attribute {entity}.{name}: unsupported placement {placement.kind!r}"
+        )
+
+    def _key_columns_on_table(self, entity: str, table_name: str) -> List[str]:
+        """Physical key columns of ``entity`` as they appear on ``table_name``."""
+
+        placement = self.mapping.entity_placement(entity)
+        if placement.table == table_name:
+            return list(placement.key_columns)
+        # ancestor tables in a delta layout use the root's key column names
+        return list(self.schema.effective_key(entity))
+
+    def _side_table_predicate(self, placement, key_values: Tuple[Any, ...]):
+        columns = list(placement.owner_key_columns)
+
+        def predicate(row: Dict[str, Any]) -> bool:
+            return tuple(row.get(c) for c in columns) == key_values
+
+        return predicate
+
+    def _update_nested_field(
+        self, entity: str, key_equals: Dict[str, Any], placement, name: str, value: Any
+    ) -> None:
+        entity_placement = self.mapping.entity_placement(entity)
+        owner = entity_placement.owner_entity
+        owner_key_names = self.schema.effective_key(owner)
+        owner_key = tuple(key_equals[k] for k in owner_key_names)
+        weak = self.schema.entity(entity)
+        assert isinstance(weak, WeakEntitySet)
+        discriminator = list(weak.discriminator)
+        owner_placement = self.mapping.entity_placement(owner)
+        table = self.db.catalog.table(owner_placement.table)
+        row_ids = table.lookup_ids(tuple(owner_placement.key_columns), owner_key)
+        if not row_ids:
+            raise CrudTemplateError(f"owner instance {owner_key} not found for {entity!r}")
+        row_id = row_ids[0]
+        elements = list(table.get_row(row_id).get(entity_placement.array_column) or [])
+        target_disc = tuple(key_equals[d] for d in discriminator)
+        updated = []
+        for element in elements:
+            if tuple(element.get(d) for d in discriminator) == target_disc:
+                element = dict(element)
+                element[name] = value
+            updated.append(element)
+        self.db.update_row(
+            owner_placement.table, row_id, {entity_placement.array_column: updated}
+        )
+
+    # -------------------------------------------------------------- entity delete
+
+    def delete_entity(self, entity: str, key: Sequence[Any]) -> int:
+        """Delete one entity instance and every physical trace of it.
+
+        Returns the number of physical rows removed or modified.  This is the
+        entity-centric deletion primitive the paper motivates for GDPR-style
+        erasure: side-table rows, hierarchy rows, relationship rows and
+        foreign-key references are all cleared.
+        """
+
+        key_equals = self._key_dict(entity, key)
+        key_names = self.schema.effective_key(entity)
+        key_values = tuple(key_equals[k] for k in key_names)
+        touched = 0
+        with self.db.transaction():
+            touched += self._delete_relationship_traces(entity, key_values)
+            touched += self._delete_multivalued(entity, key_values)
+            touched += self._delete_base_rows(entity, key_equals, key_values)
+        return touched
+
+    def _delete_multivalued(self, entity: str, key_values: Tuple[Any, ...]) -> int:
+        removed = 0
+        for attribute in self.schema.effective_attributes(entity):
+            if not attribute.is_multivalued():
+                continue
+            placement = self.access._attribute_placement(entity, attribute.name)
+            if placement.kind != "side_table":
+                continue
+            removed += self.db.delete(
+                placement.table, self._side_table_predicate(placement, key_values)
+            )
+        return removed
+
+    def _delete_base_rows(
+        self, entity: str, key_equals: Dict[str, Any], key_values: Tuple[Any, ...]
+    ) -> int:
+        removed = 0
+        placement = self.mapping.entity_placement(entity)
+        key_names = self.schema.effective_key(entity)
+
+        if placement.kind == "nested_in_owner":
+            owner = placement.owner_entity
+            owner_key_names = self.schema.effective_key(owner)
+            owner_key = tuple(key_equals[k] for k in owner_key_names)
+            weak = self.schema.entity(entity)
+            assert isinstance(weak, WeakEntitySet)
+            owner_placement = self.mapping.entity_placement(owner)
+            table = self.db.catalog.table(owner_placement.table)
+            for row_id in table.lookup_ids(tuple(owner_placement.key_columns), owner_key):
+                elements = list(table.get_row(row_id).get(placement.array_column) or [])
+                target = tuple(key_equals[d] for d in weak.discriminator)
+                kept = [
+                    e
+                    for e in elements
+                    if tuple(e.get(d) for d in weak.discriminator) != target
+                ]
+                if len(kept) != len(elements):
+                    self.db.update_row(
+                        owner_placement.table, row_id, {placement.array_column: kept}
+                    )
+                    removed += 1
+            return removed
+
+        if placement.kind == "co_stored":
+            columns = list(placement.key_columns)
+
+            def match(row: Dict[str, Any]) -> bool:
+                return tuple(row.get(c) for c in columns) == key_values
+
+            removed += self.db.delete(placement.table, match)
+            return removed
+
+        # Plain, delta, single-table and disjoint layouts: delete from the
+        # member's own table plus any ancestor tables carrying the instance.
+        tables = []
+        for member in self._hierarchy_chain(entity):
+            member_placement = self.mapping.entity_placement(member)
+            if member_placement.table and member_placement.table not in tables:
+                tables.append(member_placement.table)
+        # Descendant tables may also carry this key (the instance might be a
+        # more specific subtype); under entity-level delete we remove it there
+        # too so no dangling delta rows remain.
+        for descendant in self.schema.descendants_of(entity):
+            descendant_placement = self.mapping.entity_placement(descendant.name)
+            if descendant_placement.table and descendant_placement.table not in tables:
+                tables.append(descendant_placement.table)
+        for table_name in tables:
+            table = self.db.catalog.table(table_name)
+            key_columns = self._key_columns_on_table(entity, table_name)
+            if not all(table.schema.has_column(c) for c in key_columns):
+                continue
+
+            def match(row: Dict[str, Any], cols=tuple(key_columns)) -> bool:
+                return tuple(row.get(c) for c in cols) == key_values
+
+            removed += self.db.delete(table_name, match)
+        return removed
+
+    def _delete_relationship_traces(self, entity: str, key_values: Tuple[Any, ...]) -> int:
+        """Remove or neutralize relationship rows that reference the instance."""
+
+        removed = 0
+        family = {entity} | {a.name for a in self.schema.ancestors_of(entity)}
+        for relationship in self.schema.relationships():
+            if not any(p.entity in family for p in relationship.participants):
+                continue
+            placement = self.mapping.relationship_placement(relationship.name)
+            role = None
+            for participant in relationship.participants:
+                if participant.entity in family:
+                    role = participant.label
+                    break
+            if role is None or placement.kind in ("identifying", "nested"):
+                continue
+            if placement.kind == "join_table":
+                columns = placement.role_columns[role]
+
+                def match(row: Dict[str, Any], cols=tuple(columns)) -> bool:
+                    return tuple(row.get(c) for c in cols) == key_values
+
+                removed += self.db.delete(placement.table, match)
+            elif placement.kind == "foreign_key":
+                if placement.fk_side == role:
+                    continue  # the instance's own row is deleted separately
+                fk_columns = placement.role_columns[role]
+                many_participant = relationship.participant(placement.fk_side)
+                for table_name in self._fk_tables(many_participant.entity):
+                    table = self.db.catalog.table(table_name)
+                    if not all(table.schema.has_column(c) for c in fk_columns):
+                        continue
+
+                    def match(row: Dict[str, Any], cols=tuple(fk_columns)) -> bool:
+                        return tuple(row.get(c) for c in cols) == key_values
+
+                    changes = {c: None for c in fk_columns}
+                    changes.update({c: None for c in placement.attribute_columns.values()
+                                    if table.schema.has_column(c)})
+                    removed += self.db.update(table_name, match, changes)
+            elif placement.kind == "co_stored":
+                columns = placement.role_columns[role]
+
+                def match(row: Dict[str, Any], cols=tuple(columns)) -> bool:
+                    return tuple(row.get(c) for c in cols) == key_values
+
+                removed += self.db.delete(placement.table, match)
+        return removed
+
+    def _fk_tables(self, entity: str) -> List[str]:
+        tables = []
+        placement = self.mapping.entity_placement(entity)
+        if placement.table:
+            tables.append(placement.table)
+        if placement.kind == "disjoint_table":
+            for descendant in self.schema.descendants_of(entity):
+                sub = self.mapping.entity_placement(descendant.name)
+                if sub.table and sub.table not in tables:
+                    tables.append(sub.table)
+        return tables
+
+    # -------------------------------------------------------------- relationships
+
+    def insert_relationship(self, instance: RelationshipInstance) -> RelationshipInstance:
+        """Insert a relationship occurrence between existing entity instances."""
+
+        validated = validate_relationship_instance(self.schema, instance)
+        placement = self.mapping.relationship_placement(validated.relationship_set)
+        relationship = self.schema.relationship(validated.relationship_set)
+        with self.db.transaction():
+            if placement.kind == "join_table":
+                row: Dict[str, Any] = {}
+                for participant in relationship.participants:
+                    columns = placement.role_columns[participant.label]
+                    for column, value in zip(columns, validated.endpoint(participant.label)):
+                        row[column] = value
+                for attr, column in placement.attribute_columns.items():
+                    row[column] = validated.values.get(attr)
+                self.db.insert(placement.table, row)
+            elif placement.kind == "foreign_key":
+                self._insert_fk_relationship(relationship, placement, validated)
+            elif placement.kind == "co_stored":
+                self._insert_co_stored_relationship(relationship, placement, validated)
+            elif placement.kind in ("identifying", "nested"):
+                raise CrudTemplateError(
+                    f"identifying relationship {relationship.name!r} is implied by the weak "
+                    "entity's key and cannot be inserted explicitly"
+                )
+            else:  # pragma: no cover
+                raise CrudTemplateError(f"unknown relationship placement {placement.kind!r}")
+        return validated
+
+    def _insert_fk_relationship(self, relationship, placement, instance) -> None:
+        many_role = placement.fk_side
+        one_role = relationship.other(many_role).label
+        many_participant = relationship.participant(many_role)
+        many_key = instance.endpoint(many_role)
+        one_key = instance.endpoint(one_role)
+        fk_columns = placement.role_columns[one_role]
+        updated = 0
+        for table_name in self._fk_tables(many_participant.entity):
+            table = self.db.catalog.table(table_name)
+            if not all(table.schema.has_column(c) for c in fk_columns):
+                continue
+            key_columns = self._key_columns_on_table(many_participant.entity, table_name)
+            row_ids = table.lookup_ids(tuple(key_columns), tuple(many_key))
+            changes = dict(zip(fk_columns, one_key))
+            for attr, column in placement.attribute_columns.items():
+                if table.schema.has_column(column):
+                    changes[column] = instance.values.get(attr)
+            for row_id in row_ids:
+                self.db.update_row(table_name, row_id, changes)
+                updated += 1
+        if updated == 0:
+            raise CrudTemplateError(
+                f"cannot link relationship {relationship.name!r}: instance "
+                f"{tuple(many_key)} of {many_participant.entity!r} not found"
+            )
+
+    def _insert_co_stored_relationship(self, relationship, placement, instance) -> None:
+        left, right = relationship.participants
+        left_key = instance.endpoint(left.label)
+        right_key = instance.endpoint(right.label)
+        left_columns = placement.role_columns[left.label]
+        right_columns = placement.role_columns[right.label]
+        table = self.db.catalog.table(placement.table)
+
+        def rows_matching(columns: List[str], key: Tuple[Any, ...]) -> List[int]:
+            return [
+                row_id
+                for row_id, row in table.rows_with_ids()
+                if tuple(row.get(c) for c in columns) == tuple(key)
+            ]
+
+        left_rows = rows_matching(left_columns, left_key)
+        right_rows = rows_matching(right_columns, right_key)
+        if not left_rows:
+            raise CrudTemplateError(
+                f"cannot link {relationship.name!r}: left instance {tuple(left_key)} not found"
+            )
+        if not right_rows:
+            raise CrudTemplateError(
+                f"cannot link {relationship.name!r}: right instance {tuple(right_key)} not found"
+            )
+
+        def side_values(row_id: int, prefix_columns: List[str]) -> Dict[str, Any]:
+            row = table.get_row(row_id)
+            return {
+                c: row.get(c)
+                for c in table.schema.column_names()
+                if any(c.startswith(p.split("__")[0] + "__") for p in prefix_columns)
+            }
+
+        left_values = side_values(left_rows[0], left_columns)
+        right_values = side_values(right_rows[0], right_columns)
+        rel_values = {
+            column: instance.values.get(attr)
+            for attr, column in placement.attribute_columns.items()
+        }
+
+        # Prefer filling a placeholder row (one side NULL) of the left instance.
+        placeholder = None
+        for row_id in left_rows:
+            row = table.get_row(row_id)
+            if all(row.get(c) is None for c in right_columns):
+                placeholder = row_id
+                break
+        if placeholder is not None:
+            changes = dict(right_values)
+            changes.update(rel_values)
+            self.db.update_row(placement.table, placeholder, changes)
+        else:
+            new_row = dict(left_values)
+            new_row.update(right_values)
+            new_row.update(rel_values)
+            self.db.insert(placement.table, new_row)
+
+        # Drop the right instance's placeholder row if it has become redundant.
+        for row_id in rows_matching(right_columns, right_key):
+            row = table.get_row(row_id)
+            if all(row.get(c) is None for c in left_columns):
+                linked = [
+                    rid
+                    for rid in rows_matching(right_columns, right_key)
+                    if not all(table.get_row(rid).get(c) is None for c in left_columns)
+                ]
+                if linked:
+                    self.db.delete(
+                        placement.table,
+                        lambda r, cols=tuple(right_columns), key=tuple(right_key), lc=tuple(left_columns): (
+                            tuple(r.get(c) for c in cols) == key
+                            and all(r.get(c) is None for c in lc)
+                        ),
+                    )
+                break
+
+    def delete_relationship(
+        self, relationship: str, endpoints: Dict[str, Sequence[Any]]
+    ) -> int:
+        """Remove relationship occurrences matching the given endpoints."""
+
+        placement = self.mapping.relationship_placement(relationship)
+        rel = self.schema.relationship(relationship)
+        normalized = {}
+        for role, value in endpoints.items():
+            if not isinstance(value, (tuple, list)):
+                value = (value,)
+            normalized[role] = tuple(value)
+        with self.db.transaction():
+            if placement.kind == "join_table":
+                def match(row: Dict[str, Any]) -> bool:
+                    for role, key in normalized.items():
+                        columns = placement.role_columns[role]
+                        if tuple(row.get(c) for c in columns) != key:
+                            return False
+                    return True
+
+                return self.db.delete(placement.table, match)
+            if placement.kind == "foreign_key":
+                many_role = placement.fk_side
+                many_participant = rel.participant(many_role)
+                many_key = normalized.get(many_role)
+                if many_key is None:
+                    raise CrudTemplateError(
+                        f"deleting a foreign-key relationship requires the {many_role!r} endpoint"
+                    )
+                fk_columns = placement.role_columns[rel.other(many_role).label]
+                total = 0
+                for table_name in self._fk_tables(many_participant.entity):
+                    table = self.db.catalog.table(table_name)
+                    if not all(table.schema.has_column(c) for c in fk_columns):
+                        continue
+                    key_columns = self._key_columns_on_table(many_participant.entity, table_name)
+
+                    def match(row: Dict[str, Any], cols=tuple(key_columns)) -> bool:
+                        return tuple(row.get(c) for c in cols) == many_key
+
+                    changes = {c: None for c in fk_columns}
+                    total += self.db.update(table_name, match, changes)
+                return total
+            if placement.kind == "co_stored":
+                def match(row: Dict[str, Any]) -> bool:
+                    for role, key in normalized.items():
+                        columns = placement.role_columns[role]
+                        if tuple(row.get(c) for c in columns) != key:
+                            return False
+                    return True
+
+                return self.db.delete(placement.table, match)
+            raise CrudTemplateError(
+                f"cannot delete occurrences of relationship {relationship!r} "
+                f"placed as {placement.kind!r}"
+            )
+
+    def related_keys(
+        self, relationship: str, from_entity: str, key: Sequence[Any]
+    ) -> List[Tuple[Any, ...]]:
+        """Keys of the instances related to ``key`` through ``relationship``."""
+
+        rel = self.schema.relationship(relationship)
+        from_role = self.access._role_for(rel, from_entity)
+        to_participant = rel.other(from_role)
+        key_equals = self._key_dict(from_entity, key)
+        plan = self.access.relationship_join(
+            relationship,
+            from_entity,
+            "src",
+            to_participant.entity,
+            "dst",
+            left_attributes=[],
+            right_attributes=[],
+        )
+        result = self.db.execute(plan)
+        src_keys = self.schema.effective_key(from_entity)
+        dst_keys = self.schema.effective_key(to_participant.entity)
+        out = []
+        seen = set()
+        for row in result.rows:
+            if tuple(row.get(qualified("src", k)) for k in src_keys) != tuple(
+                key_equals[k] for k in src_keys
+            ):
+                continue
+            dst = tuple(row.get(qualified("dst", k)) for k in dst_keys)
+            if dst not in seen:
+                seen.add(dst)
+                out.append(dst)
+        return out

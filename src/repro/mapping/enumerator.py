@@ -1,0 +1,158 @@
+"""Enumerate candidate mapping specifications for a schema.
+
+Section 4 poses the sub-question of *"how to generate such mappings in an
+automated fashion so that one can search through them"*.  The enumerator walks
+the schema's design dimensions (hierarchy layouts, multi-valued attribute
+layouts, weak-entity layouts, relationship layouts) and yields every
+combination, optionally bounded, always yielding the fully-normalized design
+first so callers have a stable baseline.
+
+The number of combinations grows multiplicatively; ``limit`` plus the
+``dimensions`` filter keep the search tractable for the optimizer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core import ERSchema, WeakEntitySet
+from .strategies import (
+    HIERARCHY_OPTIONS,
+    MULTIVALUED_OPTIONS,
+    RELATIONSHIP_OPTIONS,
+    WEAK_ENTITY_OPTIONS,
+    MappingSpec,
+)
+
+
+def _hierarchy_dimensions(schema: ERSchema) -> List[Tuple[str, Tuple[str, ...]]]:
+    return [
+        (root.name, HIERARCHY_OPTIONS) for root in schema.hierarchy_roots()
+    ]
+
+
+def _multivalued_dimensions(schema: ERSchema) -> List[Tuple[Tuple[str, str], Tuple[str, ...]]]:
+    out = []
+    for entity in schema.entities():
+        for attribute in entity.attributes:
+            if attribute.is_multivalued():
+                out.append(((entity.name, attribute.name), MULTIVALUED_OPTIONS))
+    return out
+
+
+def _weak_entity_dimensions(schema: ERSchema) -> List[Tuple[str, Tuple[str, ...]]]:
+    return [
+        (entity.name, WEAK_ENTITY_OPTIONS)
+        for entity in schema.entities()
+        if isinstance(entity, WeakEntitySet)
+    ]
+
+
+def _relationship_dimensions(schema: ERSchema) -> List[Tuple[str, Tuple[str, ...]]]:
+    out = []
+    for relationship in schema.relationships():
+        if relationship.identifying:
+            continue
+        if relationship.kind() in ("many_to_one", "one_to_one"):
+            options: Tuple[str, ...] = ("foreign_key", "join_table")
+        else:
+            options = ("join_table", "co_stored")
+        out.append((relationship.name, options))
+    return out
+
+
+def count_candidates(schema: ERSchema, dimensions: Sequence[str] = ("hierarchy", "multivalued", "weak_entity", "relationship")) -> int:
+    """How many mapping specs full enumeration would produce."""
+
+    total = 1
+    if "hierarchy" in dimensions:
+        for _, options in _hierarchy_dimensions(schema):
+            total *= len(options)
+    if "multivalued" in dimensions:
+        for _, options in _multivalued_dimensions(schema):
+            total *= len(options)
+    if "weak_entity" in dimensions:
+        for _, options in _weak_entity_dimensions(schema):
+            total *= len(options)
+    if "relationship" in dimensions:
+        for _, options in _relationship_dimensions(schema):
+            total *= len(options)
+    return total
+
+
+def enumerate_specs(
+    schema: ERSchema,
+    limit: Optional[int] = None,
+    dimensions: Sequence[str] = ("hierarchy", "multivalued", "weak_entity", "relationship"),
+) -> Iterator[MappingSpec]:
+    """Yield candidate :class:`MappingSpec` objects for the schema.
+
+    ``dimensions`` restricts which design dimensions vary; unrestricted
+    dimensions use the normalized default.  The fully-normalized candidate is
+    always produced (first), and co-stored choices are only proposed for at
+    most one relationship at a time (the compiler rejects an entity taking part
+    in two co-stored relationships).
+    """
+
+    hierarchy_dims = _hierarchy_dimensions(schema) if "hierarchy" in dimensions else []
+    multivalued_dims = _multivalued_dimensions(schema) if "multivalued" in dimensions else []
+    weak_dims = _weak_entity_dimensions(schema) if "weak_entity" in dimensions else []
+    relationship_dims = _relationship_dimensions(schema) if "relationship" in dimensions else []
+
+    produced = 0
+    seen_names = set()
+
+    def make_spec(index: int, choices: Dict) -> MappingSpec:
+        spec = MappingSpec(name=f"candidate_{index}")
+        for key, value in choices.get("hierarchy", {}).items():
+            spec.hierarchy[key] = value
+        for key, value in choices.get("multivalued", {}).items():
+            spec.multivalued[key] = value
+        for key, value in choices.get("weak_entity", {}).items():
+            spec.weak_entity[key] = value
+        for key, value in choices.get("relationship", {}).items():
+            spec.relationship[key] = value
+        return spec
+
+    dimension_space = (
+        [options for _, options in hierarchy_dims]
+        + [options for _, options in multivalued_dims]
+        + [options for _, options in weak_dims]
+        + [options for _, options in relationship_dims]
+    )
+    keys = (
+        [("hierarchy", key) for key, _ in hierarchy_dims]
+        + [("multivalued", key) for key, _ in multivalued_dims]
+        + [("weak_entity", key) for key, _ in weak_dims]
+        + [("relationship", key) for key, _ in relationship_dims]
+    )
+
+    if not dimension_space:
+        yield MappingSpec(name="candidate_0")
+        return
+
+    for index, combination in enumerate(itertools.product(*dimension_space)):
+        choices: Dict[str, Dict] = {"hierarchy": {}, "multivalued": {}, "weak_entity": {}, "relationship": {}}
+        for (dimension, key), value in zip(keys, combination):
+            choices[dimension][key] = value
+        co_stored = [k for k, v in choices["relationship"].items() if v == "co_stored"]
+        if len(co_stored) > 1:
+            continue
+        # co-stored participants cannot simultaneously be nested into an owner
+        skip = False
+        for relationship_name in co_stored:
+            relationship = schema.relationship(relationship_name)
+            for participant in relationship.participants:
+                if choices["weak_entity"].get(participant.entity) == "nested_in_owner":
+                    skip = True
+        if skip:
+            continue
+        spec = make_spec(index, choices)
+        if spec.name in seen_names:
+            continue
+        seen_names.add(spec.name)
+        yield spec
+        produced += 1
+        if limit is not None and produced >= limit:
+            return

@@ -1,0 +1,236 @@
+"""Workload-aware mapping optimizer.
+
+The "natural optimization problem" of Section 4: *automatically identify the
+best mapping for a given schema and data and query workload*.  The optimizer:
+
+1. enumerates (or is given) candidate :class:`MappingSpec` objects;
+2. compiles each candidate, installs it into a scratch in-memory database and
+   loads a *sample* of the data through the CRUD templates (so statistics are
+   real, not guessed);
+3. costs every :class:`~repro.mapping.workload.AccessPattern` of the workload
+   against the candidate using the engine's analytical cost model (reads) and
+   a write-amplification estimate (writes);
+4. returns the candidates ranked by weighted total cost.
+
+The result object keeps the per-pattern breakdown so ablation benchmarks can
+show *why* a mapping wins under one workload mix and loses under another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import EntityInstance, ERSchema, RelationshipInstance
+from ..errors import MappingError
+from ..relational import Database
+from .access import AccessPathBuilder
+from .crud import CrudTemplates
+from .enumerator import enumerate_specs
+from .mapper import compile_mapping
+from .physical import Mapping
+from .reversibility import check_mapping
+from .strategies import MappingSpec
+from .workload import AccessPattern, Workload
+
+
+@dataclass
+class CandidateEvaluation:
+    """Costing outcome for one candidate mapping."""
+
+    spec: MappingSpec
+    mapping: Mapping
+    total_cost: float
+    pattern_costs: Dict[str, float] = field(default_factory=dict)
+    table_count: int = 0
+    valid: bool = True
+    problems: List[str] = field(default_factory=list)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "mapping": self.spec.name,
+            "total_cost": self.total_cost,
+            "table_count": self.table_count,
+            "pattern_costs": dict(self.pattern_costs),
+            "valid": self.valid,
+        }
+
+
+@dataclass
+class OptimizationResult:
+    """Ranked candidates; ``best`` is the cheapest valid one."""
+
+    workload: Workload
+    evaluations: List[CandidateEvaluation]
+
+    @property
+    def best(self) -> CandidateEvaluation:
+        valid = [e for e in self.evaluations if e.valid]
+        if not valid:
+            raise MappingError("no valid candidate mapping was produced")
+        return min(valid, key=lambda e: e.total_cost)
+
+    def ranked(self) -> List[CandidateEvaluation]:
+        return sorted(
+            [e for e in self.evaluations if e.valid], key=lambda e: e.total_cost
+        )
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload.name,
+            "best": self.best.spec.name,
+            "candidates": [e.describe() for e in self.ranked()],
+        }
+
+
+class MappingOptimizer:
+    """Costs candidate mappings against a workload over sample data."""
+
+    def __init__(
+        self,
+        schema: ERSchema,
+        sample_entities: Sequence[EntityInstance] = (),
+        sample_relationships: Sequence[RelationshipInstance] = (),
+    ) -> None:
+        self.schema = schema
+        self.sample_entities = list(sample_entities)
+        self.sample_relationships = list(sample_relationships)
+
+    # -- sample loading -------------------------------------------------------
+
+    def _load_sample(self, mapping: Mapping) -> Database:
+        db = Database(name=f"optimize_{mapping.name}")
+        mapping.install(db)
+        crud = CrudTemplates(self.schema, mapping, db)
+        for instance in self.sample_entities:
+            crud.insert_entity(instance)
+        for instance in self.sample_relationships:
+            crud.insert_relationship(instance)
+        return db
+
+    # -- pattern costing ---------------------------------------------------------
+
+    def _read_cost(
+        self, pattern: AccessPattern, builder: AccessPathBuilder, db: Database
+    ) -> float:
+        if pattern.kind == "entity_scan":
+            plan = builder.entity_scan(
+                pattern.entity, pattern.entity, attributes=pattern.attributes or None
+            )
+        elif pattern.kind == "entity_lookup":
+            key_names = self.schema.effective_key(pattern.entity)
+            key_equals = {k: 0 for k in key_names}
+            plan = builder.entity_scan(
+                pattern.entity,
+                pattern.entity,
+                attributes=pattern.attributes or None,
+                key_equals=key_equals,
+            )
+        elif pattern.kind == "multivalued_unnest":
+            plan = builder.multivalued_rows(
+                pattern.entity, pattern.entity, pattern.attributes[0]
+            )
+        elif pattern.kind == "relationship_join":
+            plan = builder.relationship_join(
+                pattern.relationship,
+                pattern.entity,
+                "l",
+                pattern.other_entity,
+                "r",
+            )
+        else:  # pragma: no cover - guarded by caller
+            raise MappingError(f"not a read pattern: {pattern.kind!r}")
+        return db.estimate(plan).cost
+
+    def _write_cost(self, pattern: AccessPattern, mapping: Mapping, db: Database) -> float:
+        """Write amplification: how many physical structures one logical write touches."""
+
+        if pattern.kind == "insert_entity":
+            entity = pattern.entity
+            tables = set()
+            placement = mapping.entity_placement(entity)
+            if placement.table:
+                tables.add(placement.table)
+            for ancestor in self.schema.ancestors_of(entity):
+                ancestor_placement = mapping.entity_placement(ancestor.name)
+                if ancestor_placement.table:
+                    tables.add(ancestor_placement.table)
+            for attribute in self.schema.effective_attributes(entity):
+                if not attribute.is_multivalued():
+                    continue
+                declaring = self.schema.owning_entity_of_attribute(entity, attribute.name)
+                attr_placement = mapping.attribute_placement(declaring.name, attribute.name)
+                if attr_placement.kind == "side_table":
+                    tables.add(attr_placement.table)
+            amplification = float(len(tables))
+            if placement.kind == "co_stored":
+                amplification *= 2.0  # duplication-prone wide table
+            if placement.kind == "nested_in_owner":
+                amplification += 1.0  # read-modify-write of the owner document
+            return amplification * 10.0
+        if pattern.kind == "insert_relationship":
+            placement = mapping.relationship_placement(pattern.relationship)
+            base = {"foreign_key": 1.0, "join_table": 1.0, "co_stored": 4.0}.get(
+                placement.kind, 1.0
+            )
+            if placement.kind == "co_stored" and placement.table and db.has_table(placement.table):
+                # pay proportionally to the duplication already present
+                base += db.row_count(placement.table) * 0.01
+            return base * 10.0
+        raise MappingError(f"not a write pattern: {pattern.kind!r}")
+
+    # -- candidate evaluation -----------------------------------------------------
+
+    def evaluate_spec(self, spec: MappingSpec, workload: Workload) -> CandidateEvaluation:
+        try:
+            mapping = compile_mapping(self.schema, spec)
+        except MappingError as exc:
+            return CandidateEvaluation(
+                spec=spec,
+                mapping=Mapping(spec.name, self.schema.name),
+                total_cost=float("inf"),
+                valid=False,
+                problems=[str(exc)],
+            )
+        static = check_mapping(self.schema, mapping)
+        if not static.valid:
+            return CandidateEvaluation(
+                spec=spec,
+                mapping=mapping,
+                total_cost=float("inf"),
+                valid=False,
+                problems=static.problems,
+            )
+        db = self._load_sample(mapping)
+        builder = AccessPathBuilder(self.schema, mapping, db)
+        pattern_costs: Dict[str, float] = {}
+        total = 0.0
+        for index, pattern in enumerate(workload.patterns):
+            label = pattern.label or f"{pattern.kind}_{index}"
+            if pattern.kind in ("insert_entity", "insert_relationship"):
+                cost = self._write_cost(pattern, mapping, db)
+            else:
+                cost = self._read_cost(pattern, builder, db)
+            weighted = cost * pattern.weight
+            pattern_costs[label] = weighted
+            total += weighted
+        return CandidateEvaluation(
+            spec=spec,
+            mapping=mapping,
+            total_cost=total,
+            pattern_costs=pattern_costs,
+            table_count=len(mapping.tables),
+        )
+
+    def optimize(
+        self,
+        workload: Workload,
+        candidates: Optional[Sequence[MappingSpec]] = None,
+        limit: Optional[int] = 64,
+    ) -> OptimizationResult:
+        """Evaluate candidates (enumerated if not given) and rank them by cost."""
+
+        if candidates is None:
+            candidates = list(enumerate_specs(self.schema, limit=limit))
+        evaluations = [self.evaluate_spec(spec, workload) for spec in candidates]
+        return OptimizationResult(workload=workload, evaluations=evaluations)

@@ -1,0 +1,208 @@
+"""Reversibility and cover checks for mappings.
+
+Section 4 of the paper sets two requirements for any mapping:
+
+1. it must be *uniquely reversible* — the entities and relationships stored in
+   the database must be recoverable, and
+2. CRUD operations against the E/R schema must be well-defined.
+
+This module provides both a *static* check (:func:`check_mapping`) — every E/R
+graph node is covered, every cover element is a connected subgraph, every
+entity's key is physically present, every relationship's endpoints are
+reachable — and a *dynamic* check (:func:`reconstruct_instances`,
+:func:`assert_equivalent`) that reconstructs the logical instances from two
+differently-mapped databases and verifies they are identical.  The dynamic
+check is what the tests use to prove M1–M6 store the same information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core import ERGraph, ERSchema
+from ..errors import IrreversibleMappingError
+from ..relational import Database
+from .crud import CrudTemplates
+from .physical import Mapping
+
+
+@dataclass
+class MappingCheckResult:
+    """Outcome of the static reversibility check."""
+
+    valid: bool
+    problems: List[str] = field(default_factory=list)
+
+    def raise_if_invalid(self) -> None:
+        if not self.valid:
+            raise IrreversibleMappingError("; ".join(self.problems))
+
+
+def check_mapping(schema: ERSchema, mapping: Mapping) -> MappingCheckResult:
+    """Static checks: cover completeness, connectivity, key presence."""
+
+    graph = ERGraph(schema)
+    problems: List[str] = []
+
+    # 1. every table's cover must be a connected subgraph
+    for table in mapping.tables.values():
+        if not table.covers:
+            problems.append(f"table {table.name!r} covers no E/R graph nodes")
+            continue
+        if not graph.is_connected_subset(table.covers):
+            problems.append(
+                f"table {table.name!r} does not cover a connected subgraph "
+                f"({sorted(table.covers)})"
+            )
+
+    # 2. the union of covers must include every node
+    uncovered = graph.uncovered_nodes(mapping.cover_subsets())
+    # Derived attributes are never stored, by design.
+    derived = set()
+    for entity in schema.entities():
+        for attribute in entity.attributes:
+            if attribute.is_derived():
+                derived.add(f"attr:{entity.name}.{attribute.name}")
+    for relationship in schema.relationships():
+        for attribute in relationship.attributes:
+            if attribute.is_derived():
+                derived.add(f"attr:{relationship.name}.{attribute.name}")
+    uncovered -= derived
+    if uncovered:
+        problems.append(f"uncovered E/R graph nodes: {sorted(uncovered)}")
+
+    # 3. every entity set must be placed, with its key physically present
+    for entity in schema.entities():
+        try:
+            placement = mapping.entity_placement(entity.name)
+        except Exception:
+            problems.append(f"entity set {entity.name!r} has no placement")
+            continue
+        if placement.kind != "nested_in_owner" and placement.table is not None:
+            table = mapping.table(placement.table)
+            for column in placement.key_columns:
+                if not table.has_column(column):
+                    problems.append(
+                        f"key column {column!r} of entity {entity.name!r} missing "
+                        f"from table {placement.table!r}"
+                    )
+
+    # 4. every non-derived attribute must be placed
+    for entity in schema.entities():
+        for attribute in entity.attributes:
+            if attribute.is_derived():
+                continue
+            if not mapping.has_attribute_placement(entity.name, attribute.name):
+                problems.append(
+                    f"attribute {entity.name}.{attribute.name} has no placement"
+                )
+
+    # 5. every relationship must be placed with all roles present
+    for relationship in schema.relationships():
+        try:
+            placement = mapping.relationship_placement(relationship.name)
+        except Exception:
+            problems.append(f"relationship {relationship.name!r} has no placement")
+            continue
+        for participant in relationship.participants:
+            if participant.label not in placement.role_columns:
+                problems.append(
+                    f"relationship {relationship.name!r} is missing role columns for "
+                    f"{participant.label!r}"
+                )
+
+    return MappingCheckResult(valid=not problems, problems=problems)
+
+
+def reconstruct_instances(
+    schema: ERSchema, mapping: Mapping, db: Database
+) -> Dict[str, Dict[Tuple[Any, ...], Dict[str, Any]]]:
+    """Reconstruct every entity instance, keyed by entity set and key tuple.
+
+    Multi-valued attribute values are normalized to sorted tuples so that
+    physical storage order does not affect comparisons.
+    """
+
+    crud = CrudTemplates(schema, mapping, db)
+    out: Dict[str, Dict[Tuple[Any, ...], Dict[str, Any]]] = {}
+    for entity in schema.entities():
+        instances: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        for key in crud.entity_keys(entity.name):
+            instance = crud.get_entity(entity.name, key)
+            if instance is None:
+                continue
+            instances[key] = _normalize_values(schema, entity.name, instance.values)
+        out[entity.name] = instances
+    return out
+
+
+def _normalize_values(schema: ERSchema, entity: str, values: Dict[str, Any]) -> Dict[str, Any]:
+    normalized: Dict[str, Any] = {}
+    for attribute in schema.effective_attributes(entity):
+        if attribute.is_derived():
+            continue
+        value = values.get(attribute.name)
+        if attribute.is_multivalued():
+            elements = value or []
+            canon = []
+            for element in elements:
+                if isinstance(element, dict):
+                    canon.append(tuple(sorted(element.items())))
+                else:
+                    canon.append(element)
+            normalized[attribute.name] = tuple(sorted(canon, key=repr))
+        else:
+            normalized[attribute.name] = value
+    return normalized
+
+
+def reconstruct_relationships(
+    schema: ERSchema, mapping: Mapping, db: Database
+) -> Dict[str, Set[Tuple[Tuple[Any, ...], ...]]]:
+    """Reconstruct relationship occurrences as sets of endpoint-key tuples."""
+
+    crud = CrudTemplates(schema, mapping, db)
+    out: Dict[str, Set[Tuple[Tuple[Any, ...], ...]]] = {}
+    for relationship in schema.relationships():
+        if relationship.identifying:
+            continue
+        pairs: Set[Tuple[Tuple[Any, ...], ...]] = set()
+        left, right = relationship.participants[0], relationship.participants[1]
+        for key in crud.entity_keys(left.entity):
+            for other in crud.related_keys(relationship.name, left.entity, key):
+                pairs.add((tuple(key), tuple(other)))
+        out[relationship.name] = pairs
+    return out
+
+
+def assert_equivalent(
+    schema: ERSchema,
+    first: Tuple[Mapping, Database],
+    second: Tuple[Mapping, Database],
+    include_relationships: bool = True,
+) -> None:
+    """Raise :class:`IrreversibleMappingError` unless both databases store the
+    same logical E/R instances."""
+
+    first_instances = reconstruct_instances(schema, first[0], first[1])
+    second_instances = reconstruct_instances(schema, second[0], second[1])
+    if first_instances != second_instances:
+        differences = []
+        for entity in schema.entity_names():
+            if first_instances.get(entity) != second_instances.get(entity):
+                differences.append(entity)
+        raise IrreversibleMappingError(
+            f"entity instances differ between mappings {first[0].name!r} and "
+            f"{second[0].name!r} for entity sets {differences}"
+        )
+    if include_relationships:
+        first_rels = reconstruct_relationships(schema, first[0], first[1])
+        second_rels = reconstruct_relationships(schema, second[0], second[1])
+        if first_rels != second_rels:
+            differences = [
+                name for name in first_rels if first_rels[name] != second_rels.get(name)
+            ]
+            raise IrreversibleMappingError(
+                f"relationship occurrences differ between mappings for {differences}"
+            )

@@ -1,0 +1,211 @@
+"""Mapping specifications: the per-dimension physical design choices.
+
+A :class:`MappingSpec` is a declarative description of the choices the paper
+discusses; the compiler in :mod:`repro.mapping.mapper` turns a spec plus an
+:class:`~repro.core.ERSchema` into a concrete :class:`~repro.mapping.physical.Mapping`.
+
+Dimensions and their options
+----------------------------
+
+``hierarchy``       per hierarchy root: ``"delta"`` (root table with common
+                    attributes + one small table per subclass — the paper's
+                    second option in Section 3 and part of M1), ``"single_table"``
+                    (one wide table with a type column — M3), ``"disjoint"``
+                    (one full-width table per hierarchy member — M4).
+``multivalued``     per multi-valued attribute: ``"side_table"`` (normalized,
+                    M1) or ``"array"`` (array column, M2).
+``weak_entity``     per weak entity set: ``"own_table"`` (M1) or
+                    ``"nested_in_owner"`` (array of composites on the owner —
+                    M5).
+``relationship``    per relationship set: ``"foreign_key"`` (fold into the MANY
+                    side; only valid for many-to-one / one-to-one),
+                    ``"join_table"``, or ``"co_stored"`` (pre-joined wide table
+                    that *replaces* both participants' base tables — M6).
+
+``named_mapping`` builds the six specs used in the paper's Section 6
+experiments for any schema that has the corresponding features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import ERSchema, WeakEntitySet
+from ..errors import MappingError
+
+HIERARCHY_OPTIONS = ("delta", "single_table", "disjoint")
+MULTIVALUED_OPTIONS = ("side_table", "array")
+WEAK_ENTITY_OPTIONS = ("own_table", "nested_in_owner")
+RELATIONSHIP_OPTIONS = ("foreign_key", "join_table", "co_stored")
+
+
+@dataclass
+class MappingSpec:
+    """Declarative physical-design choices, one entry per schema feature.
+
+    Missing entries fall back to the defaults below, which correspond to the
+    fully-normalized design (the paper's M1):
+
+    * hierarchies: ``delta``
+    * multi-valued attributes: ``side_table``
+    * weak entities: ``own_table``
+    * many-to-one relationships: ``foreign_key``; many-to-many: ``join_table``.
+    """
+
+    name: str = "custom"
+    hierarchy: Dict[str, str] = field(default_factory=dict)
+    multivalued: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    weak_entity: Dict[str, str] = field(default_factory=dict)
+    relationship: Dict[str, str] = field(default_factory=dict)
+    description: Optional[str] = None
+
+    # -- resolution with defaults -------------------------------------------
+
+    def hierarchy_choice(self, root: str) -> str:
+        choice = self.hierarchy.get(root, "delta")
+        if choice not in HIERARCHY_OPTIONS:
+            raise MappingError(f"invalid hierarchy option {choice!r} for {root!r}")
+        return choice
+
+    def multivalued_choice(self, owner: str, attribute: str) -> str:
+        choice = self.multivalued.get((owner, attribute), "side_table")
+        if choice not in MULTIVALUED_OPTIONS:
+            raise MappingError(
+                f"invalid multi-valued option {choice!r} for {owner}.{attribute}"
+            )
+        return choice
+
+    def weak_entity_choice(self, weak_entity: str) -> str:
+        choice = self.weak_entity.get(weak_entity, "own_table")
+        if choice not in WEAK_ENTITY_OPTIONS:
+            raise MappingError(f"invalid weak-entity option {choice!r} for {weak_entity!r}")
+        return choice
+
+    def relationship_choice(self, schema: ERSchema, relationship: str) -> str:
+        rel = schema.relationship(relationship)
+        default = "foreign_key" if rel.kind() in ("many_to_one", "one_to_one") else "join_table"
+        choice = self.relationship.get(relationship, default)
+        if choice not in RELATIONSHIP_OPTIONS:
+            raise MappingError(
+                f"invalid relationship option {choice!r} for {relationship!r}"
+            )
+        if choice == "foreign_key" and rel.kind() == "many_to_many":
+            raise MappingError(
+                f"relationship {relationship!r} is many-to-many and cannot use a foreign key"
+            )
+        return choice
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "hierarchy": dict(self.hierarchy),
+            "multivalued": {f"{o}.{a}": v for (o, a), v in self.multivalued.items()},
+            "weak_entity": dict(self.weak_entity),
+            "relationship": dict(self.relationship),
+            "description": self.description,
+        }
+
+
+def fully_normalized_spec(schema: ERSchema, name: str = "M1") -> MappingSpec:
+    """The paper's M1: everything normalized (delta hierarchy, side tables, FK folds)."""
+
+    return MappingSpec(
+        name=name,
+        description="Fully normalized: side tables for multi-valued attributes, "
+        "delta tables per subclass, weak entities in their own tables.",
+    )
+
+
+def array_columns_spec(schema: ERSchema, name: str = "M2") -> MappingSpec:
+    """The paper's M2: multi-valued attributes become array columns; rest as M1."""
+
+    spec = MappingSpec(
+        name=name,
+        description="Multi-valued attributes stored as array columns.",
+    )
+    for entity in schema.entities():
+        for attribute in entity.attributes:
+            if attribute.is_multivalued():
+                spec.multivalued[(entity.name, attribute.name)] = "array"
+    for relationship in schema.relationships():
+        for attribute in relationship.attributes:
+            if attribute.is_multivalued():
+                spec.multivalued[(relationship.name, attribute.name)] = "array"
+    return spec
+
+
+def single_table_hierarchy_spec(schema: ERSchema, name: str = "M3") -> MappingSpec:
+    """The paper's M3: every hierarchy collapsed to one table with a type column."""
+
+    spec = MappingSpec(
+        name=name,
+        description="Type hierarchies mapped to a single relation with a type attribute.",
+    )
+    for root in schema.hierarchy_roots():
+        spec.hierarchy[root.name] = "single_table"
+    return spec
+
+
+def disjoint_tables_spec(schema: ERSchema, name: str = "M4") -> MappingSpec:
+    """The paper's M4: one full-width relation per hierarchy member (disjoint storage)."""
+
+    spec = MappingSpec(
+        name=name,
+        description="Type hierarchies mapped to disjoint full-width relations.",
+    )
+    for root in schema.hierarchy_roots():
+        spec.hierarchy[root.name] = "disjoint"
+    return spec
+
+
+def nested_weak_entities_spec(schema: ERSchema, name: str = "M5") -> MappingSpec:
+    """The paper's M5: weak entity sets folded into their owners as composite arrays."""
+
+    spec = MappingSpec(
+        name=name,
+        description="Weak entity sets folded into their owners as arrays of composites.",
+    )
+    for entity in schema.entities():
+        if isinstance(entity, WeakEntitySet):
+            spec.weak_entity[entity.name] = "nested_in_owner"
+    return spec
+
+
+def co_stored_spec(
+    schema: ERSchema, relationship: str, name: str = "M6"
+) -> MappingSpec:
+    """The paper's M6: one many-to-many relationship pre-joined into a single table."""
+
+    spec = MappingSpec(
+        name=name,
+        description=f"Relationship {relationship!r} and both participants stored "
+        "pre-joined in a single wide table.",
+    )
+    spec.relationship[relationship] = "co_stored"
+    return spec
+
+
+def named_mapping(schema: ERSchema, label: str, co_stored_relationship: Optional[str] = None) -> MappingSpec:
+    """Build one of the paper's M1–M6 specs by label.
+
+    ``co_stored_relationship`` is required for M6 (the paper pre-joins a
+    specific pair of entity sets).
+    """
+
+    label = label.upper()
+    if label == "M1":
+        return fully_normalized_spec(schema)
+    if label == "M2":
+        return array_columns_spec(schema)
+    if label == "M3":
+        return single_table_hierarchy_spec(schema)
+    if label == "M4":
+        return disjoint_tables_spec(schema)
+    if label == "M5":
+        return nested_weak_entities_spec(schema)
+    if label == "M6":
+        if co_stored_relationship is None:
+            raise MappingError("M6 requires the relationship to co-store")
+        return co_stored_spec(schema, co_stored_relationship)
+    raise MappingError(f"unknown mapping label {label!r} (expected M1..M6)")

@@ -1,0 +1,153 @@
+"""Workload model for the mapping optimizer.
+
+The paper frames mapping selection as an optimization problem over *"a given
+schema and data and query workload"*.  A :class:`Workload` is a weighted list
+of declarative access descriptors (:class:`AccessPattern`) — deliberately at
+the E/R level, not the SQL level, so the same workload can be costed under any
+candidate mapping:
+
+* ``entity_scan`` — read some attributes of all instances of an entity set;
+* ``entity_lookup`` — read some attributes of one instance by key;
+* ``relationship_join`` — join two entity sets through a relationship;
+* ``multivalued_unnest`` — read the individual elements of a multi-valued
+  attribute;
+* ``insert_entity`` / ``insert_relationship`` — write operations, which
+  penalize designs with heavy duplication (e.g. co-stored wide tables).
+
+ERQL query strings can also be attached to a pattern (``erql=...``); the
+optimizer then costs the actual compiled plan instead of the descriptor
+heuristic, when a planner is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import MappingError
+
+ACCESS_KINDS = (
+    "entity_scan",
+    "entity_lookup",
+    "relationship_join",
+    "multivalued_unnest",
+    "insert_entity",
+    "insert_relationship",
+)
+
+
+@dataclass
+class AccessPattern:
+    """One recurring operation in the workload."""
+
+    kind: str
+    entity: Optional[str] = None
+    attributes: List[str] = field(default_factory=list)
+    relationship: Optional[str] = None
+    other_entity: Optional[str] = None
+    weight: float = 1.0
+    erql: Optional[str] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ACCESS_KINDS:
+            raise MappingError(f"unknown access pattern kind {self.kind!r}")
+        if self.weight <= 0:
+            raise MappingError("access pattern weight must be positive")
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "entity": self.entity,
+            "attributes": list(self.attributes),
+            "relationship": self.relationship,
+            "other_entity": self.other_entity,
+            "weight": self.weight,
+            "label": self.label or self.kind,
+        }
+
+
+@dataclass
+class Workload:
+    """A weighted collection of access patterns."""
+
+    name: str = "workload"
+    patterns: List[AccessPattern] = field(default_factory=list)
+
+    def add(self, pattern: AccessPattern) -> "Workload":
+        self.patterns.append(pattern)
+        return self
+
+    def scan(self, entity: str, attributes: Sequence[str] = (), weight: float = 1.0,
+             label: Optional[str] = None) -> "Workload":
+        return self.add(
+            AccessPattern(
+                kind="entity_scan",
+                entity=entity,
+                attributes=list(attributes),
+                weight=weight,
+                label=label,
+            )
+        )
+
+    def lookup(self, entity: str, attributes: Sequence[str] = (), weight: float = 1.0,
+               label: Optional[str] = None) -> "Workload":
+        return self.add(
+            AccessPattern(
+                kind="entity_lookup",
+                entity=entity,
+                attributes=list(attributes),
+                weight=weight,
+                label=label,
+            )
+        )
+
+    def join(self, entity: str, relationship: str, other_entity: str,
+             weight: float = 1.0, label: Optional[str] = None) -> "Workload":
+        return self.add(
+            AccessPattern(
+                kind="relationship_join",
+                entity=entity,
+                relationship=relationship,
+                other_entity=other_entity,
+                weight=weight,
+                label=label,
+            )
+        )
+
+    def unnest(self, entity: str, attribute: str, weight: float = 1.0,
+               label: Optional[str] = None) -> "Workload":
+        return self.add(
+            AccessPattern(
+                kind="multivalued_unnest",
+                entity=entity,
+                attributes=[attribute],
+                weight=weight,
+                label=label,
+            )
+        )
+
+    def insert(self, entity: str, weight: float = 1.0, label: Optional[str] = None) -> "Workload":
+        return self.add(
+            AccessPattern(kind="insert_entity", entity=entity, weight=weight, label=label)
+        )
+
+    def link(self, relationship: str, weight: float = 1.0, label: Optional[str] = None) -> "Workload":
+        return self.add(
+            AccessPattern(
+                kind="insert_relationship", relationship=relationship, weight=weight, label=label
+            )
+        )
+
+    def total_weight(self) -> float:
+        return sum(p.weight for p in self.patterns)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "patterns": [p.describe() for p in self.patterns],
+            "total_weight": self.total_weight(),
+        }
+
+    def __len__(self) -> int:
+        return len(self.patterns)

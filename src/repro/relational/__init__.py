@@ -1,0 +1,50 @@
+"""In-memory relational engine: the storage/execution substrate of ErbiumDB.
+
+This package replaces the PostgreSQL backend used by the paper's prototype
+(see DESIGN.md for the substitution rationale).  The public surface is:
+
+* :class:`~repro.relational.engine.Database` — DDL, DML, transactions, plan
+  execution;
+* the type system in :mod:`repro.relational.types` (scalars, arrays, structs);
+* expressions in :mod:`repro.relational.expressions`;
+* physical operators in :mod:`repro.relational.operators`.
+"""
+
+from .engine import Database
+from .plan import PlanNode, QueryResult
+from .types import (
+    BIGINT,
+    BOOL,
+    FLOAT,
+    INT,
+    TEXT,
+    ArrayType,
+    Column,
+    DataType,
+    StructField,
+    StructType,
+    TableSchema,
+    array_of,
+    scalar_type,
+    struct_of,
+)
+
+__all__ = [
+    "Database",
+    "PlanNode",
+    "QueryResult",
+    "Column",
+    "TableSchema",
+    "DataType",
+    "ArrayType",
+    "StructType",
+    "StructField",
+    "INT",
+    "BIGINT",
+    "FLOAT",
+    "TEXT",
+    "BOOL",
+    "array_of",
+    "struct_of",
+    "scalar_type",
+]

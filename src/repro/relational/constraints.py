@@ -1,0 +1,200 @@
+"""Integrity constraints enforced by the engine on every mutation.
+
+Constraints are checked by :class:`~repro.relational.engine.Database` before a
+row is inserted / updated and after deletes (for referential integrity).  The
+mapping layer relies on these to guarantee that the physical tables it
+generates stay consistent with the E/R schema (e.g. the side table holding a
+multi-valued attribute must reference an existing owner row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Tuple
+
+from ..errors import (
+    CheckViolation,
+    ForeignKeyViolation,
+    NotNullViolation,
+    PrimaryKeyViolation,
+    UniqueViolation,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .catalog import Catalog
+    from .table import Table
+
+
+class Constraint:
+    """Base class; subclasses implement the check hooks they care about."""
+
+    name: str = "constraint"
+
+    def check_insert(self, catalog: "Catalog", table: "Table", row: Dict[str, Any]) -> None:
+        """Validate a fully-validated row about to be inserted."""
+
+    def check_update(
+        self,
+        catalog: "Catalog",
+        table: "Table",
+        old_row: Dict[str, Any],
+        new_row: Dict[str, Any],
+    ) -> None:
+        """Validate an update; by default treated as delete+insert."""
+
+        self.check_delete(catalog, table, old_row)
+        self.check_insert(catalog, table, new_row)
+
+    def check_delete(self, catalog: "Catalog", table: "Table", row: Dict[str, Any]) -> None:
+        """Validate a row about to be deleted (e.g. restrict on FK targets)."""
+
+
+@dataclass
+class NotNullConstraint(Constraint):
+    """Column must not be NULL."""
+
+    column: str
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"not_null({self.column})"
+
+    def check_insert(self, catalog: "Catalog", table: "Table", row: Dict[str, Any]) -> None:
+        if row.get(self.column) is None:
+            raise NotNullViolation(
+                f"column {self.column!r} of table {table.name!r} must not be NULL"
+            )
+
+    def check_update(self, catalog, table, old_row, new_row) -> None:  # type: ignore[override]
+        self.check_insert(catalog, table, new_row)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass
+class PrimaryKeyConstraint(Constraint):
+    """Primary key: NOT NULL + unique over the key columns."""
+
+    columns: Tuple[str, ...]
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"primary_key({', '.join(self.columns)})"
+
+    def check_insert(self, catalog: "Catalog", table: "Table", row: Dict[str, Any]) -> None:
+        key = tuple(row.get(c) for c in self.columns)
+        if any(v is None for v in key):
+            raise NotNullViolation(
+                f"primary key column of table {table.name!r} must not be NULL"
+            )
+        if table.lookup_ids(self.columns, key):
+            raise PrimaryKeyViolation(
+                f"duplicate primary key {key!r} in table {table.name!r}"
+            )
+
+    def check_update(self, catalog, table, old_row, new_row) -> None:  # type: ignore[override]
+        old_key = tuple(old_row.get(c) for c in self.columns)
+        new_key = tuple(new_row.get(c) for c in self.columns)
+        if old_key == new_key:
+            return
+        self.check_insert(catalog, table, new_row)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass
+class UniqueConstraint(Constraint):
+    """Unique over a column set; NULLs are exempt (SQL semantics)."""
+
+    columns: Tuple[str, ...]
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"unique({', '.join(self.columns)})"
+
+    def check_insert(self, catalog: "Catalog", table: "Table", row: Dict[str, Any]) -> None:
+        key = tuple(row.get(c) for c in self.columns)
+        if any(v is None for v in key):
+            return
+        if table.lookup_ids(self.columns, key):
+            raise UniqueViolation(
+                f"duplicate value {key!r} for unique columns {self.columns} "
+                f"in table {table.name!r}"
+            )
+
+    def check_update(self, catalog, table, old_row, new_row) -> None:  # type: ignore[override]
+        old_key = tuple(old_row.get(c) for c in self.columns)
+        new_key = tuple(new_row.get(c) for c in self.columns)
+        if old_key == new_key:
+            return
+        self.check_insert(catalog, table, new_row)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass
+class ForeignKeyConstraint(Constraint):
+    """Referential integrity from ``columns`` to ``ref_table(ref_columns)``.
+
+    ``on_delete`` may be ``"restrict"`` (default), ``"cascade"`` or
+    ``"set_null"``; cascading behaviour itself is applied by the engine, the
+    constraint only decides whether a delete is legal.
+    """
+
+    columns: Tuple[str, ...]
+    ref_table: str
+    ref_columns: Tuple[str, ...]
+    on_delete: str = "restrict"
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return (
+            f"foreign_key({', '.join(self.columns)} -> "
+            f"{self.ref_table}({', '.join(self.ref_columns)}))"
+        )
+
+    def check_insert(self, catalog: "Catalog", table: "Table", row: Dict[str, Any]) -> None:
+        key = tuple(row.get(c) for c in self.columns)
+        if any(v is None for v in key):
+            return  # NULL FK values are allowed
+        referenced = catalog.table(self.ref_table)
+        if not referenced.lookup_ids(self.ref_columns, key):
+            raise ForeignKeyViolation(
+                f"row in {table.name!r} references missing {self.ref_table!r} row {key!r}"
+            )
+
+    def referencing_rows(self, catalog: "Catalog", table_name: str, key: Tuple[Any, ...]):
+        """Row ids in ``table_name`` that reference ``key`` through this FK."""
+
+        table = catalog.table(table_name)
+        return table.lookup_ids(self.columns, key)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass
+class CheckConstraint(Constraint):
+    """Arbitrary row predicate, supplied as a Python callable."""
+
+    label: str
+    predicate: Callable[[Dict[str, Any]], bool]
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"check({self.label})"
+
+    def check_insert(self, catalog: "Catalog", table: "Table", row: Dict[str, Any]) -> None:
+        if not self.predicate(row):
+            raise CheckViolation(
+                f"check constraint {self.label!r} failed for table {table.name!r}"
+            )
+
+    def check_update(self, catalog, table, old_row, new_row) -> None:  # type: ignore[override]
+        self.check_insert(catalog, table, new_row)
+
+    def __repr__(self) -> str:
+        return self.name

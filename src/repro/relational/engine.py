@@ -1,0 +1,278 @@
+"""The :class:`Database` facade: DDL, DML with constraint enforcement,
+transactions and plan execution.
+
+This is the stand-in for PostgreSQL in the paper's prototype (see DESIGN.md).
+The mapping layer creates physical tables through :meth:`Database.create_table`
+and the ERQL planner executes :class:`~repro.relational.plan.PlanNode` trees
+through :meth:`Database.execute`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CatalogError, ConstraintViolation, ForeignKeyViolation
+from .catalog import Catalog
+from .constraints import (
+    CheckConstraint,
+    Constraint,
+    ForeignKeyConstraint,
+    NotNullConstraint,
+    PrimaryKeyConstraint,
+    UniqueConstraint,
+)
+from .cost import CostEstimate, CostModel
+from .indexes import IndexDefinition
+from .plan import PlanNode, QueryResult
+from .statistics import StatisticsManager
+from .table import Table
+from .transactions import TransactionManager, transaction
+from .types import Column, TableSchema
+
+
+class Database:
+    """An embedded, in-memory relational database."""
+
+    def __init__(self, name: str = "erbium") -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self.statistics = StatisticsManager()
+        self.transactions = TransactionManager(self)
+        self.cost_model = CostModel(self)
+
+    # ------------------------------------------------------------------ DDL
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str] = (),
+        constraints: Sequence[Constraint] = (),
+    ) -> Table:
+        """Create a table, registering implied PK / NOT NULL constraints."""
+
+        schema = TableSchema(name=name, columns=list(columns), primary_key=tuple(primary_key))
+        table = self.catalog.create_table(schema)
+        if primary_key:
+            self.catalog.add_constraint(name, PrimaryKeyConstraint(tuple(primary_key)))
+        for column in columns:
+            if not column.nullable:
+                self.catalog.add_constraint(name, NotNullConstraint(column.name))
+        for constraint in constraints:
+            self.catalog.add_constraint(name, constraint)
+        self.statistics.invalidate(name)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop_table(name)
+        self.statistics.invalidate(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.catalog.has_table(name)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def create_index(
+        self,
+        table_name: str,
+        columns: Sequence[str],
+        name: Optional[str] = None,
+        unique: bool = False,
+        kind: str = "hash",
+    ) -> None:
+        index_name = name or f"{table_name}_{'_'.join(columns)}_idx"
+        self.catalog.create_index(
+            IndexDefinition(
+                name=index_name,
+                table=table_name,
+                columns=tuple(columns),
+                unique=unique,
+                kind=kind,
+            )
+        )
+
+    def add_foreign_key(
+        self,
+        table_name: str,
+        columns: Sequence[str],
+        ref_table: str,
+        ref_columns: Sequence[str],
+        on_delete: str = "restrict",
+    ) -> None:
+        self.catalog.add_constraint(
+            table_name,
+            ForeignKeyConstraint(
+                columns=tuple(columns),
+                ref_table=ref_table,
+                ref_columns=tuple(ref_columns),
+                on_delete=on_delete,
+            ),
+        )
+
+    def add_check(self, table_name: str, label: str, predicate: Callable[[Dict[str, Any]], bool]) -> None:
+        self.catalog.add_constraint(table_name, CheckConstraint(label, predicate))
+
+    def add_unique(self, table_name: str, columns: Sequence[str]) -> None:
+        self.catalog.add_constraint(table_name, UniqueConstraint(tuple(columns)))
+
+    # ------------------------------------------------------------------ DML
+
+    def _check_insert(self, table: Table, row: Dict[str, Any]) -> None:
+        for constraint in self.catalog.constraints_for(table.name):
+            constraint.check_insert(self.catalog, table, row)
+
+    def insert(self, table_name: str, row: Dict[str, Any]) -> int:
+        """Insert one row (validated against types and constraints)."""
+
+        table = self.catalog.table(table_name)
+        validated = table.schema.validate_row(row)
+        self._check_insert(table, validated)
+        row_id = table.insert(validated)
+        self.transactions.record(
+            f"insert into {table_name}",
+            lambda: table.delete_row(row_id),
+        )
+        self.statistics.invalidate(table_name)
+        return row_id
+
+    def insert_many(self, table_name: str, rows: Iterable[Dict[str, Any]]) -> int:
+        """Bulk insert; returns number of rows inserted."""
+
+        count = 0
+        for row in rows:
+            self.insert(table_name, row)
+            count += 1
+        return count
+
+    def delete(
+        self, table_name: str, predicate: Callable[[Dict[str, Any]], bool]
+    ) -> int:
+        """Delete rows matching a Python predicate, honouring FK actions."""
+
+        table = self.catalog.table(table_name)
+        to_delete = [
+            (row_id, dict(row))
+            for row_id, row in table.rows_with_ids()
+            if predicate(row)
+        ]
+        for row_id, row in to_delete:
+            self._apply_delete(table, row_id, row)
+        if to_delete:
+            self.statistics.invalidate(table_name)
+        return len(to_delete)
+
+    def _apply_delete(self, table: Table, row_id: int, row: Dict[str, Any]) -> None:
+        self._enforce_referential_delete(table.name, row)
+        for constraint in self.catalog.constraints_for(table.name):
+            constraint.check_delete(self.catalog, table, row)
+        table.delete_row(row_id)
+        self.transactions.record(
+            f"delete from {table.name}",
+            lambda: table.insert_at(row_id, row),
+        )
+
+    def _enforce_referential_delete(self, table_name: str, row: Dict[str, Any]) -> None:
+        """Apply restrict / cascade / set_null semantics of inbound FKs."""
+
+        for other_name in self.catalog.table_names():
+            for constraint in self.catalog.constraints_for(other_name):
+                if not isinstance(constraint, ForeignKeyConstraint):
+                    continue
+                if constraint.ref_table != table_name:
+                    continue
+                key = tuple(row.get(c) for c in constraint.ref_columns)
+                if any(v is None for v in key):
+                    continue
+                referencing = constraint.referencing_rows(self.catalog, other_name, key)
+                if not referencing:
+                    continue
+                if constraint.on_delete == "restrict":
+                    raise ForeignKeyViolation(
+                        f"cannot delete from {table_name!r}: still referenced by "
+                        f"{other_name!r} ({len(referencing)} rows)"
+                    )
+                other = self.catalog.table(other_name)
+                if constraint.on_delete == "cascade":
+                    for ref_id in list(referencing):
+                        ref_row = dict(other.get_row(ref_id))
+                        self._apply_delete(other, ref_id, ref_row)
+                    self.statistics.invalidate(other_name)
+                elif constraint.on_delete == "set_null":
+                    for ref_id in list(referencing):
+                        changes = {c: None for c in constraint.columns}
+                        self.update_row(other_name, ref_id, changes)
+
+    def update(
+        self,
+        table_name: str,
+        predicate: Callable[[Dict[str, Any]], bool],
+        changes: Dict[str, Any],
+    ) -> int:
+        """Update rows matching a predicate with a static change dict."""
+
+        table = self.catalog.table(table_name)
+        matching = [row_id for row_id, row in table.rows_with_ids() if predicate(row)]
+        for row_id in matching:
+            self.update_row(table_name, row_id, changes)
+        if matching:
+            self.statistics.invalidate(table_name)
+        return len(matching)
+
+    def update_row(self, table_name: str, row_id: int, changes: Dict[str, Any]) -> None:
+        table = self.catalog.table(table_name)
+        old = dict(table.get_row(row_id))
+        new = dict(old)
+        new.update(changes)
+        new = table.schema.validate_row(new)
+        for constraint in self.catalog.constraints_for(table_name):
+            constraint.check_update(self.catalog, table, old, new)
+        table.update_row(row_id, changes)
+        self.transactions.record(
+            f"update {table_name}",
+            lambda: table.update_row(row_id, old),
+        )
+        self.statistics.invalidate(table_name)
+
+    def truncate(self, table_name: str) -> None:
+        self.catalog.table(table_name).truncate()
+        self.statistics.invalidate(table_name)
+
+    # ----------------------------------------------------------- transactions
+
+    def transaction(self) -> transaction:
+        """``with db.transaction(): ...`` — commit on success, rollback on error."""
+
+        return transaction(self)
+
+    # ------------------------------------------------------------- execution
+
+    def execute(self, plan: PlanNode) -> QueryResult:
+        """Execute a physical plan and materialize the result."""
+
+        rows = list(plan.execute(self))
+        columns = plan.output_columns()
+        if columns is None:
+            columns = list(rows[0].keys()) if rows else []
+        return QueryResult(columns=columns, rows=rows)
+
+    def explain(self, plan: PlanNode) -> str:
+        estimate = self.cost_model.estimate(plan)
+        header = f"estimated rows={estimate.rows:.1f} cost={estimate.cost:.1f}"
+        return header + "\n" + plan.explain()
+
+    def estimate(self, plan: PlanNode) -> CostEstimate:
+        return self.cost_model.estimate(plan)
+
+    # ------------------------------------------------------------- inspection
+
+    def row_count(self, table_name: str) -> int:
+        return self.catalog.table(table_name).row_count
+
+    def total_rows(self) -> int:
+        """Total number of live rows across all tables (paper: 'entries')."""
+
+        return sum(t.row_count for t in self.catalog.tables())
+
+    def describe(self) -> Dict[str, Any]:
+        return self.catalog.describe()

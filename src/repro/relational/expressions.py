@@ -1,0 +1,389 @@
+"""Row-level expression trees evaluated by the physical operators.
+
+Expressions are evaluated against a *row dict* (column name -> value).  They
+cover what the paper's experiments need: column references, literals,
+arithmetic / comparison / boolean operators, struct field access, array
+functions (``cardinality``, ``contains``, ``intersect``) and a small set of
+scalar functions.
+
+Aggregate functions are *not* expressions; they are handled by the aggregate
+operator (see :mod:`repro.relational.operators`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..errors import ExpressionError
+
+
+class Expression:
+    """Base class for all row expressions."""
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def references(self) -> List[str]:
+        """Column names referenced by this expression (with duplicates removed)."""
+
+        out: List[str] = []
+        self._collect_refs(out)
+        seen = set()
+        unique = []
+        for name in out:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        return unique
+
+    def _collect_refs(self, out: List[str]) -> None:
+        pass
+
+
+@dataclass
+class ColumnRef(Expression):
+    """Reference to a column of the input row."""
+
+    name: str
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        if self.name not in row:
+            raise ExpressionError(f"row has no column {self.name!r}")
+        return row[self.name]
+
+    def _collect_refs(self, out: List[str]) -> None:
+        out.append(self.name)
+
+    def __repr__(self) -> str:
+        return f"col({self.name})"
+
+
+@dataclass
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+@dataclass
+class FieldAccess(Expression):
+    """Access a named field of a struct-valued expression (``name.firstname``)."""
+
+    base: Expression
+    field: str
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        value = self.base.evaluate(row)
+        if value is None:
+            return None
+        if not isinstance(value, dict):
+            raise ExpressionError(
+                f"field access {self.field!r} on non-struct value {value!r}"
+            )
+        if self.field not in value:
+            raise ExpressionError(f"struct has no field {self.field!r}")
+        return value[self.field]
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.base._collect_refs(out)
+
+    def __repr__(self) -> str:
+        return f"{self.base!r}.{self.field}"
+
+
+def _null_safe(fn: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+    """SQL three-valued logic: any NULL operand makes the result NULL."""
+
+    def wrapped(left: Any, right: Any) -> Any:
+        if left is None or right is None:
+            return None
+        return fn(left, right)
+
+    return wrapped
+
+
+_BINARY_OPS: Dict[str, Callable[[Any, Any], Any]] = {
+    "+": _null_safe(lambda a, b: a + b),
+    "-": _null_safe(lambda a, b: a - b),
+    "*": _null_safe(lambda a, b: a * b),
+    "/": _null_safe(lambda a, b: a / b if b != 0 else None),
+    "%": _null_safe(lambda a, b: a % b if b != 0 else None),
+    "=": _null_safe(lambda a, b: a == b),
+    "!=": _null_safe(lambda a, b: a != b),
+    "<": _null_safe(lambda a, b: a < b),
+    "<=": _null_safe(lambda a, b: a <= b),
+    ">": _null_safe(lambda a, b: a > b),
+    ">=": _null_safe(lambda a, b: a >= b),
+}
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Binary arithmetic or comparison with SQL NULL semantics."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        if self.op not in _BINARY_OPS:
+            raise ExpressionError(f"unknown binary operator {self.op!r}")
+        return _BINARY_OPS[self.op](self.left.evaluate(row), self.right.evaluate(row))
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.left._collect_refs(out)
+        self.right._collect_refs(out)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass
+class And(Expression):
+    """Logical AND over any number of operands (NULL treated as false)."""
+
+    operands: Sequence[Expression]
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        for operand in self.operands:
+            value = operand.evaluate(row)
+            if not value:
+                return False
+        return True
+
+    def _collect_refs(self, out: List[str]) -> None:
+        for operand in self.operands:
+            operand._collect_refs(out)
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(o) for o in self.operands) + ")"
+
+
+@dataclass
+class Or(Expression):
+    """Logical OR over any number of operands (NULL treated as false)."""
+
+    operands: Sequence[Expression]
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        for operand in self.operands:
+            if operand.evaluate(row):
+                return True
+        return False
+
+    def _collect_refs(self, out: List[str]) -> None:
+        for operand in self.operands:
+            operand._collect_refs(out)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(o) for o in self.operands) + ")"
+
+
+@dataclass
+class Not(Expression):
+    """Logical negation (NULL stays NULL)."""
+
+    operand: Expression
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        return not value
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.operand._collect_refs(out)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.operand!r})"
+
+
+@dataclass
+class IsNull(Expression):
+    """``expr IS NULL`` / ``IS NOT NULL`` test."""
+
+    operand: Expression
+    negate: bool = False
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        is_null = self.operand.evaluate(row) is None
+        return not is_null if self.negate else is_null
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.operand._collect_refs(out)
+
+
+@dataclass
+class InList(Expression):
+    """``expr IN (v1, v2, ...)`` membership test against a constant set."""
+
+    operand: Expression
+    values: Sequence[Any]
+
+    def __post_init__(self) -> None:
+        self._set = set(self.values)
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return None
+        return value in self._set
+
+    def _collect_refs(self, out: List[str]) -> None:
+        self.operand._collect_refs(out)
+
+
+def _fn_cardinality(args: List[Any]) -> Any:
+    value = args[0]
+    if value is None:
+        return None
+    return len(value)
+
+
+def _fn_array_contains(args: List[Any]) -> Any:
+    array, item = args[0], args[1]
+    if array is None:
+        return None
+    return item in array
+
+
+def _fn_array_intersect(args: List[Any]) -> Any:
+    left, right = args[0], args[1]
+    if left is None or right is None:
+        return None
+    right_set = set(right)
+    seen = set()
+    out = []
+    for item in left:
+        if item in right_set and item not in seen:
+            seen.add(item)
+            out.append(item)
+    return out
+
+
+def _fn_array_overlaps(args: List[Any]) -> Any:
+    left, right = args[0], args[1]
+    if left is None or right is None:
+        return None
+    right_set = set(right)
+    return any(item in right_set for item in left)
+
+
+def _fn_lower(args: List[Any]) -> Any:
+    return None if args[0] is None else str(args[0]).lower()
+
+
+def _fn_upper(args: List[Any]) -> Any:
+    return None if args[0] is None else str(args[0]).upper()
+
+
+def _fn_length(args: List[Any]) -> Any:
+    return None if args[0] is None else len(args[0])
+
+
+def _fn_abs(args: List[Any]) -> Any:
+    return None if args[0] is None else abs(args[0])
+
+
+def _fn_coalesce(args: List[Any]) -> Any:
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _fn_concat(args: List[Any]) -> Any:
+    return "".join("" if a is None else str(a) for a in args)
+
+
+_SCALAR_FUNCTIONS: Dict[str, Callable[[List[Any]], Any]] = {
+    "cardinality": _fn_cardinality,
+    "array_length": _fn_cardinality,
+    "array_contains": _fn_array_contains,
+    "array_intersect": _fn_array_intersect,
+    "array_overlaps": _fn_array_overlaps,
+    "lower": _fn_lower,
+    "upper": _fn_upper,
+    "length": _fn_length,
+    "abs": _fn_abs,
+    "coalesce": _fn_coalesce,
+    "concat": _fn_concat,
+}
+
+
+def scalar_function_names() -> List[str]:
+    """Names of the supported scalar functions (used by the ERQL analyzer)."""
+
+    return sorted(_SCALAR_FUNCTIONS)
+
+
+@dataclass
+class FunctionCall(Expression):
+    """Call to one of the built-in scalar functions."""
+
+    name: str
+    args: Sequence[Expression]
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        key = self.name.lower()
+        if key not in _SCALAR_FUNCTIONS:
+            raise ExpressionError(f"unknown function {self.name!r}")
+        return _SCALAR_FUNCTIONS[key]([a.evaluate(row) for a in self.args])
+
+    def _collect_refs(self, out: List[str]) -> None:
+        for arg in self.args:
+            arg._collect_refs(out)
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(repr(a) for a in self.args)})"
+
+
+@dataclass
+class StructBuild(Expression):
+    """Build a struct value from named sub-expressions (``struct(a, b)``)."""
+
+    fields: Dict[str, Expression]
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        return {name: expr.evaluate(row) for name, expr in self.fields.items()}
+
+    def _collect_refs(self, out: List[str]) -> None:
+        for expr in self.fields.values():
+            expr._collect_refs(out)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"struct({inner})"
+
+
+# Convenience constructors used heavily by the planner and tests ------------
+
+
+def col(name: str) -> ColumnRef:
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    return Literal(value)
+
+
+def eq(left: Expression, right: Expression) -> BinaryOp:
+    return BinaryOp("=", left, right)
+
+
+def conjunction(parts: Sequence[Optional[Expression]]) -> Optional[Expression]:
+    """AND together the non-None parts; returns None if nothing remains."""
+
+    real = [p for p in parts if p is not None]
+    if not real:
+        return None
+    if len(real) == 1:
+        return real[0]
+    return And(real)

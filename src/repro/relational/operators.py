@@ -1,0 +1,620 @@
+"""Physical operators for the in-memory relational engine.
+
+All operators follow the iterator model over row dicts.  Column naming
+convention: a scan may qualify its outputs with an alias (``alias.column``),
+which lets joins combine tables without name clashes; projections then rename
+qualified columns to the caller's output names.
+
+The operator set is chosen to reproduce the plan shapes induced by the paper's
+six mappings:
+
+* ``SeqScan`` / ``IndexLookup`` — base access paths,
+* ``HashJoin`` / ``NestedLoopJoin`` — normalized mappings pay joins here,
+* ``Unnest`` — array mappings (M2, M5) pay unnesting here,
+* ``HashAggregate`` with ``array_agg``/``struct`` support — nested output
+  construction in the SELECT clause (Figure 1 query),
+* ``Union`` — mapping M4 (hierarchy as disjoint tables) pays a union here,
+* ``Sort`` / ``Limit`` / ``Distinct`` / ``Materialize`` — utility operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from .expressions import Expression
+from .plan import PlanNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Database
+
+
+def _qualify(row: Dict[str, Any], alias: Optional[str]) -> Dict[str, Any]:
+    if not alias:
+        return dict(row)
+    return {f"{alias}.{k}": v for k, v in row.items()}
+
+
+# ---------------------------------------------------------------------------
+# Access paths
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SeqScan(PlanNode):
+    """Full scan of a physical table, optionally qualifying columns by alias.
+
+    ``projection`` maps physical column names to output names; when given, the
+    scan emits only those columns (a cheap scan-time projection used for
+    narrow side-table reads).
+    """
+
+    table_name: str
+    alias: Optional[str] = None
+    predicate: Optional[Expression] = None
+    projection: Optional[Dict[str, str]] = None
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        table = db.catalog.table(self.table_name)
+        if self.projection is not None:
+            items = list(self.projection.items())
+            for row in table.rows():
+                out = {output: row.get(physical) for physical, output in items}
+                if self.predicate is None or self.predicate.evaluate(out):
+                    yield out
+            return
+        for row in table.rows():
+            out = _qualify(row, self.alias)
+            if self.predicate is None or self.predicate.evaluate(out):
+                yield dict(out)
+
+    def output_columns(self) -> Optional[List[str]]:
+        if self.projection is not None:
+            return list(self.projection.values())
+        return None
+
+    def label(self) -> str:
+        alias = f" as {self.alias}" if self.alias else ""
+        pred = f" filter={self.predicate!r}" if self.predicate is not None else ""
+        proj = f" cols={list(self.projection.values())}" if self.projection else ""
+        return f"SeqScan({self.table_name}{alias}{pred}{proj})"
+
+
+@dataclass
+class IndexLookup(PlanNode):
+    """Equality lookup on (ideally indexed) columns of a table.
+
+    ``keys`` may be a single key tuple or a list of key tuples (an IN-list /
+    semi-join style batch lookup, used for the E7 "10000 s_ids" experiment).
+    """
+
+    table_name: str
+    columns: Tuple[str, ...]
+    keys: Sequence[Tuple[Any, ...]]
+    alias: Optional[str] = None
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        table = db.catalog.table(self.table_name)
+        for key in self.keys:
+            for row in table.lookup(self.columns, tuple(key)):
+                yield _qualify(row, self.alias)
+
+    def label(self) -> str:
+        return (
+            f"IndexLookup({self.table_name} on {','.join(self.columns)} "
+            f"x{len(list(self.keys))} keys)"
+        )
+
+
+@dataclass
+class ValuesScan(PlanNode):
+    """Produce a constant list of rows (used for INSERT ... VALUES plumbing)."""
+
+    rows: List[Dict[str, Any]]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        for row in self.rows:
+            yield dict(row)
+
+    def label(self) -> str:
+        return f"ValuesScan({len(self.rows)} rows)"
+
+
+# ---------------------------------------------------------------------------
+# Row-at-a-time transforms
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Filter(PlanNode):
+    """Keep rows for which the predicate is truthy."""
+
+    child: PlanNode
+    predicate: Expression
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        for row in self.child.execute(db):
+            if self.predicate.evaluate(row):
+                yield row
+
+    def label(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+@dataclass
+class Project(PlanNode):
+    """Compute named output expressions for each input row."""
+
+    child: PlanNode
+    outputs: List[Tuple[str, Expression]]
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def output_columns(self) -> Optional[List[str]]:
+        return [name for name, _ in self.outputs]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        for row in self.child.execute(db):
+            yield {name: expr.evaluate(row) for name, expr in self.outputs}
+
+    def label(self) -> str:
+        return f"Project({', '.join(name for name, _ in self.outputs)})"
+
+
+@dataclass
+class Rename(PlanNode):
+    """Rename columns according to a mapping (missing columns pass through)."""
+
+    child: PlanNode
+    renames: Dict[str, str]
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        for row in self.child.execute(db):
+            yield {self.renames.get(k, k): v for k, v in row.items()}
+
+    def label(self) -> str:
+        return f"Rename({self.renames})"
+
+
+@dataclass
+class Unnest(PlanNode):
+    """Flatten an array-valued column into one output row per element.
+
+    If the element is a struct and ``expand_struct`` is true, its fields are
+    spliced into the row under ``<output>.<field>``; otherwise the raw element
+    is bound to ``output_column``.  Rows whose array is NULL/empty are dropped
+    unless ``keep_empty`` is set (left-join-like semantics).
+    """
+
+    child: PlanNode
+    array_column: str
+    output_column: str
+    expand_struct: bool = False
+    keep_empty: bool = False
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        for row in self.child.execute(db):
+            array = row.get(self.array_column)
+            if not array:
+                if self.keep_empty:
+                    out = dict(row)
+                    out[self.output_column] = None
+                    yield out
+                continue
+            for element in array:
+                out = dict(row)
+                if self.expand_struct and isinstance(element, dict):
+                    for key, value in element.items():
+                        out[f"{self.output_column}.{key}"] = value
+                out[self.output_column] = element
+                yield out
+
+    def label(self) -> str:
+        return f"Unnest({self.array_column} -> {self.output_column})"
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Equi-join; the right input is built into a hash table.
+
+    ``join_type`` is ``"inner"`` or ``"left"``.  Residual non-equi conditions
+    can be supplied via ``residual``.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    left_keys: List[str]
+    right_keys: List[str]
+    join_type: str = "inner"
+    residual: Optional[Expression] = None
+
+    def children(self) -> List[PlanNode]:
+        return [self.left, self.right]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        if len(self.left_keys) != len(self.right_keys):
+            raise ExecutionError("HashJoin key lists must have equal length")
+        build: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+        right_columns: List[str] = []
+        for row in self.right.execute(db):
+            if not right_columns:
+                right_columns = list(row.keys())
+            key = tuple(row.get(k) for k in self.right_keys)
+            if any(v is None for v in key):
+                continue
+            build.setdefault(key, []).append(row)
+        null_right = {c: None for c in right_columns}
+        for left_row in self.left.execute(db):
+            key = tuple(left_row.get(k) for k in self.left_keys)
+            matches = build.get(key, []) if not any(v is None for v in key) else []
+            emitted = False
+            for right_row in matches:
+                combined = dict(left_row)
+                combined.update(right_row)
+                if self.residual is not None and not self.residual.evaluate(combined):
+                    continue
+                emitted = True
+                yield combined
+            if not emitted and self.join_type == "left":
+                combined = dict(left_row)
+                combined.update(null_right)
+                yield combined
+
+    def label(self) -> str:
+        keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        return f"HashJoin[{self.join_type}]({keys})"
+
+
+@dataclass
+class NestedLoopJoin(PlanNode):
+    """General join with an arbitrary predicate (right side is materialized)."""
+
+    left: PlanNode
+    right: PlanNode
+    predicate: Optional[Expression] = None
+    join_type: str = "inner"
+
+    def children(self) -> List[PlanNode]:
+        return [self.left, self.right]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        right_rows = list(self.right.execute(db))
+        right_columns = list(right_rows[0].keys()) if right_rows else []
+        null_right = {c: None for c in right_columns}
+        for left_row in self.left.execute(db):
+            emitted = False
+            for right_row in right_rows:
+                combined = dict(left_row)
+                combined.update(right_row)
+                if self.predicate is not None and not self.predicate.evaluate(combined):
+                    continue
+                emitted = True
+                yield combined
+            if not emitted and self.join_type == "left":
+                combined = dict(left_row)
+                combined.update(null_right)
+                yield combined
+
+    def label(self) -> str:
+        return f"NestedLoopJoin[{self.join_type}]({self.predicate!r})"
+
+
+@dataclass
+class IndexNestedLoopJoin(PlanNode):
+    """Join where each outer row probes an index on the inner table."""
+
+    outer: PlanNode
+    inner_table: str
+    outer_keys: List[str]
+    inner_columns: Tuple[str, ...]
+    inner_alias: Optional[str] = None
+    join_type: str = "inner"
+
+    def children(self) -> List[PlanNode]:
+        return [self.outer]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        table = db.catalog.table(self.inner_table)
+        prefix = f"{self.inner_alias}." if self.inner_alias else ""
+        null_inner = {f"{prefix}{c}": None for c in table.schema.column_names()}
+        for outer_row in self.outer.execute(db):
+            key = tuple(outer_row.get(k) for k in self.outer_keys)
+            matches = (
+                table.lookup(self.inner_columns, key)
+                if not any(v is None for v in key)
+                else []
+            )
+            if not matches and self.join_type == "left":
+                combined = dict(outer_row)
+                combined.update(null_inner)
+                yield combined
+                continue
+            for inner_row in matches:
+                combined = dict(outer_row)
+                combined.update(_qualify(inner_row, self.inner_alias))
+                yield combined
+
+    def label(self) -> str:
+        return (
+            f"IndexNestedLoopJoin({self.inner_table} on "
+            f"{','.join(self.inner_columns)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class _AggState:
+    """Accumulator for one aggregate function over one group."""
+
+    def __init__(self, function: str, distinct: bool = False) -> None:
+        self.function = function.lower()
+        self.distinct = distinct
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.values: List[Any] = []
+        self.seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if self.function == "count_star":
+            self.count += 1
+            return
+        if value is None:
+            return
+        if self.distinct:
+            marker = repr(value) if isinstance(value, (dict, list)) else value
+            if marker in self.seen:
+                return
+            self.seen.add(marker)
+        self.count += 1
+        if self.function in ("sum", "avg"):
+            self.total += value
+        elif self.function == "min":
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif self.function == "max":
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+        elif self.function in ("array_agg", "collect"):
+            self.values.append(value)
+
+    def result(self) -> Any:
+        if self.function in ("count", "count_star"):
+            return self.count
+        if self.function == "sum":
+            return self.total if self.count else None
+        if self.function == "avg":
+            return (self.total / self.count) if self.count else None
+        if self.function == "min":
+            return self.minimum
+        if self.function == "max":
+            return self.maximum
+        if self.function in ("array_agg", "collect"):
+            return self.values
+        raise ExecutionError(f"unknown aggregate function {self.function!r}")
+
+
+AGGREGATE_FUNCTIONS = ("count", "count_star", "sum", "avg", "min", "max", "array_agg", "collect")
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate output: function, argument expression, output name."""
+
+    function: str
+    argument: Optional[Expression]
+    output: str
+    distinct: bool = False
+
+
+@dataclass
+class HashAggregate(PlanNode):
+    """Group rows by key expressions and compute aggregates per group.
+
+    With an empty ``group_by`` the operator produces exactly one row (global
+    aggregation), even over empty input — matching SQL semantics.
+    """
+
+    child: PlanNode
+    group_by: List[Tuple[str, Expression]]
+    aggregates: List[AggregateSpec]
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def output_columns(self) -> Optional[List[str]]:
+        return [name for name, _ in self.group_by] + [a.output for a in self.aggregates]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        groups: Dict[Any, Tuple[Dict[str, Any], List[_AggState]]] = {}
+        order: List[Any] = []
+        for row in self.child.execute(db):
+            key_values = {name: expr.evaluate(row) for name, expr in self.group_by}
+            key = tuple(
+                repr(v) if isinstance(v, (dict, list)) else v for v in key_values.values()
+            )
+            if key not in groups:
+                states = [_AggState(a.function, a.distinct) for a in self.aggregates]
+                groups[key] = (key_values, states)
+                order.append(key)
+            _, states = groups[key]
+            for spec, state in zip(self.aggregates, states):
+                if spec.function == "count_star" or spec.argument is None:
+                    state.add(None)
+                else:
+                    state.add(spec.argument.evaluate(row))
+        if not groups and not self.group_by:
+            states = [_AggState(a.function, a.distinct) for a in self.aggregates]
+            groups[()] = ({}, states)
+            order.append(())
+        for key in order:
+            key_values, states = groups[key]
+            out = dict(key_values)
+            for spec, state in zip(self.aggregates, states):
+                out[spec.output] = state.result()
+            yield out
+
+    def label(self) -> str:
+        keys = ", ".join(name for name, _ in self.group_by)
+        aggs = ", ".join(f"{a.function}->{a.output}" for a in self.aggregates)
+        return f"HashAggregate(by=[{keys}] aggs=[{aggs}])"
+
+
+# ---------------------------------------------------------------------------
+# Set / ordering operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Union(PlanNode):
+    """Concatenate the outputs of several children (UNION ALL semantics).
+
+    Children may produce different column sets (e.g. the disjoint tables of
+    mapping M4); missing columns are padded with NULL so downstream operators
+    see a uniform shape.
+    """
+
+    inputs: List[PlanNode]
+    pad_missing: bool = True
+
+    def children(self) -> List[PlanNode]:
+        return list(self.inputs)
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        if not self.pad_missing:
+            for child in self.inputs:
+                for row in child.execute(db):
+                    yield row
+            return
+        materialized = [list(child.execute(db)) for child in self.inputs]
+        all_columns: List[str] = []
+        for rows in materialized:
+            for row in rows[:1]:
+                for column in row:
+                    if column not in all_columns:
+                        all_columns.append(column)
+        for rows in materialized:
+            for row in rows:
+                yield {c: row.get(c) for c in all_columns}
+
+    def label(self) -> str:
+        return f"Union({len(self.inputs)} inputs)"
+
+
+@dataclass
+class Distinct(PlanNode):
+    """Remove duplicate rows (on the full row, or a subset of columns)."""
+
+    child: PlanNode
+    columns: Optional[List[str]] = None
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        seen = set()
+        for row in self.child.execute(db):
+            subset = self.columns if self.columns is not None else list(row.keys())
+            key = tuple(
+                repr(row.get(c)) if isinstance(row.get(c), (dict, list)) else row.get(c)
+                for c in subset
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def label(self) -> str:
+        return f"Distinct({self.columns or '*'})"
+
+
+@dataclass
+class Sort(PlanNode):
+    """Sort rows by (column, ascending) pairs with NULLs last."""
+
+    child: PlanNode
+    keys: List[Tuple[str, bool]]
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        rows = list(self.child.execute(db))
+        for column, ascending in reversed(self.keys):
+            rows.sort(
+                key=lambda r: (r.get(column) is None, r.get(column)),
+                reverse=not ascending,
+            )
+        return iter(rows)
+
+    def label(self) -> str:
+        keys = ", ".join(f"{c} {'asc' if a else 'desc'}" for c, a in self.keys)
+        return f"Sort({keys})"
+
+
+@dataclass
+class Limit(PlanNode):
+    """Emit at most ``count`` rows, after skipping ``offset``."""
+
+    child: PlanNode
+    count: int
+    offset: int = 0
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        emitted = 0
+        skipped = 0
+        for row in self.child.execute(db):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if emitted >= self.count:
+                break
+            emitted += 1
+            yield row
+
+    def label(self) -> str:
+        return f"Limit({self.count}, offset={self.offset})"
+
+
+@dataclass
+class Materialize(PlanNode):
+    """Materialize the child output once and replay it (caching subplans)."""
+
+    child: PlanNode
+
+    def __post_init__(self) -> None:
+        self._cache: Optional[List[Dict[str, Any]]] = None
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        if self._cache is None:
+            self._cache = list(self.child.execute(db))
+        return iter(list(self._cache))
+
+    def label(self) -> str:
+        return "Materialize"

@@ -1,0 +1,88 @@
+"""Physical plan infrastructure: base node, result container, EXPLAIN output.
+
+A physical plan is a tree of :class:`PlanNode` objects.  Execution uses the
+iterator (volcano) model: each node's :meth:`PlanNode.execute` takes the
+database and yields row dicts.  Concrete operators live in
+:mod:`repro.relational.operators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Database
+
+
+class PlanNode:
+    """Base class for physical plan operators."""
+
+    def children(self) -> List["PlanNode"]:
+        return []
+
+    def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def output_columns(self) -> Optional[List[str]]:
+        """Column names produced by this node, if statically known."""
+
+        return None
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        """Human-readable plan tree, one node per line."""
+
+        lines = ["  " * indent + self.label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children())
+
+    def collect(self, db: "Database") -> List[Dict[str, Any]]:
+        """Execute and materialize the full result."""
+
+        return list(self.execute(db))
+
+
+@dataclass
+class QueryResult:
+    """Materialized query result: ordered column names plus row dicts."""
+
+    columns: List[str]
+    rows: List[Dict[str, Any]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+
+        return [row.get(name) for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][self.columns[0]]
+
+    def to_tuples(self) -> List[tuple]:
+        return [tuple(row.get(c) for c in self.columns) for row in self.rows]
+
+    def sorted_tuples(self) -> List[tuple]:
+        """Tuples sorted with None-safe ordering, for order-insensitive comparison."""
+
+        def key(t: tuple) -> tuple:
+            return tuple((v is None, str(v)) for v in t)
+
+        return sorted(self.to_tuples(), key=key)

@@ -1,0 +1,124 @@
+"""Table statistics used by the cost model and the mapping optimizer.
+
+Statistics are computed on demand by scanning a table: row count, per-column
+null fraction, number of distinct values, min/max for orderable columns and
+average array length for array columns.  They are intentionally the same kind
+of statistics a production optimizer would keep, because the mapping optimizer
+(Section 4 of the paper) needs them to compare candidate physical designs
+without executing every query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .table import Table
+
+
+@dataclass
+class ColumnStats:
+    """Summary statistics for one column."""
+
+    name: str
+    null_fraction: float = 0.0
+    distinct_count: int = 0
+    min_value: Optional[Any] = None
+    max_value: Optional[Any] = None
+    avg_array_length: Optional[float] = None
+
+    def selectivity_equals(self, row_count: int) -> float:
+        """Estimated selectivity of an equality predicate on this column."""
+
+        if self.distinct_count <= 0:
+            return 1.0 if row_count == 0 else 1.0 / max(row_count, 1)
+        return 1.0 / self.distinct_count
+
+
+@dataclass
+class TableStats:
+    """Summary statistics for one table."""
+
+    table_name: str
+    row_count: int = 0
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats:
+        return self.columns.get(name, ColumnStats(name=name, distinct_count=self.row_count))
+
+
+def _is_orderable(value: Any) -> bool:
+    return isinstance(value, (int, float, str)) and not isinstance(value, bool)
+
+
+def analyze_table(table: Table, sample_limit: Optional[int] = None) -> TableStats:
+    """Compute :class:`TableStats` by scanning ``table``.
+
+    ``sample_limit`` bounds the number of rows examined (reservoir-free simple
+    prefix sampling is fine here because generated data is not ordered in any
+    adversarial way).
+    """
+
+    stats = TableStats(table_name=table.name, row_count=table.row_count)
+    column_names = table.schema.column_names()
+    distinct: Dict[str, set] = {name: set() for name in column_names}
+    nulls: Dict[str, int] = {name: 0 for name in column_names}
+    minimum: Dict[str, Any] = {}
+    maximum: Dict[str, Any] = {}
+    array_lengths: Dict[str, list] = {name: [] for name in column_names}
+
+    examined = 0
+    for row in table.rows():
+        examined += 1
+        for name in column_names:
+            value = row.get(name)
+            if value is None:
+                nulls[name] += 1
+                continue
+            if isinstance(value, list):
+                array_lengths[name].append(len(value))
+                continue
+            if isinstance(value, dict):
+                # Composite values: track distinctness on their repr.
+                distinct[name].add(repr(sorted(value.items())))
+                continue
+            distinct[name].add(value)
+            if _is_orderable(value):
+                if name not in minimum or value < minimum[name]:
+                    minimum[name] = value
+                if name not in maximum or value > maximum[name]:
+                    maximum[name] = value
+        if sample_limit is not None and examined >= sample_limit:
+            break
+
+    examined = max(examined, 1)
+    scale = table.row_count / examined if examined else 1.0
+    for name in column_names:
+        lengths = array_lengths[name]
+        stats.columns[name] = ColumnStats(
+            name=name,
+            null_fraction=nulls[name] / examined,
+            distinct_count=int(len(distinct[name]) * scale) if distinct[name] else 0,
+            min_value=minimum.get(name),
+            max_value=maximum.get(name),
+            avg_array_length=(sum(lengths) / len(lengths)) if lengths else None,
+        )
+    return stats
+
+
+class StatisticsManager:
+    """Caches per-table statistics and invalidates them on demand."""
+
+    def __init__(self) -> None:
+        self._stats: Dict[str, TableStats] = {}
+
+    def stats_for(self, table: Table, refresh: bool = False) -> TableStats:
+        if refresh or table.name not in self._stats:
+            self._stats[table.name] = analyze_table(table)
+        return self._stats[table.name]
+
+    def invalidate(self, table_name: Optional[str] = None) -> None:
+        if table_name is None:
+            self._stats.clear()
+        else:
+            self._stats.pop(table_name, None)

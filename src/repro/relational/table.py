@@ -1,0 +1,235 @@
+"""Row-oriented table storage with index maintenance.
+
+A :class:`Table` owns:
+
+* a :class:`~repro.relational.types.TableSchema`,
+* a list of row dicts (``None`` marks a deleted slot so row ids stay stable),
+* any number of secondary indexes (kept in sync on every mutation).
+
+Row ids are positions in the row list and are what indexes store.  Deleted
+slots are reused only by an explicit :meth:`vacuum`; this keeps undo logs for
+transactions simple (an undo can re-insert at the same row id).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import CatalogError, ExecutionError
+from .indexes import Index, IndexDefinition, create_index
+from .types import TableSchema
+
+
+class Table:
+    """One physical table: schema + rows + indexes."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: List[Optional[Dict[str, Any]]] = []
+        self._indexes: Dict[str, Index] = {}
+        self._live_count = 0
+        if schema.primary_key:
+            self.create_index(
+                IndexDefinition(
+                    name=f"{schema.name}_pkey",
+                    table=schema.name,
+                    columns=tuple(schema.primary_key),
+                    unique=True,
+                    kind="hash",
+                )
+            )
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    @property
+    def row_count(self) -> int:
+        return self._live_count
+
+    def indexes(self) -> Dict[str, Index]:
+        return dict(self._indexes)
+
+    def index_on(self, columns: Tuple[str, ...]) -> Optional[Index]:
+        """The first index whose key is exactly ``columns`` (order-sensitive)."""
+
+        for index in self._indexes.values():
+            if index.columns == tuple(columns):
+                return index
+        return None
+
+    def index_prefix(self, columns: Tuple[str, ...]) -> Optional[Index]:
+        """An index whose leading columns match ``columns``; used by the planner."""
+
+        for index in self._indexes.values():
+            if index.columns[: len(columns)] == tuple(columns):
+                return index
+        return None
+
+    # -- index management ---------------------------------------------------
+
+    def create_index(self, definition: IndexDefinition) -> Index:
+        if definition.name in self._indexes:
+            raise CatalogError(f"index {definition.name!r} already exists")
+        for column in definition.columns:
+            if not self.schema.has_column(column):
+                raise CatalogError(
+                    f"index {definition.name!r} references unknown column {column!r}"
+                )
+        index = create_index(definition)
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                index.insert(row_id, row)
+        self._indexes[definition.name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise CatalogError(f"index {name!r} does not exist")
+        del self._indexes[name]
+
+    # -- row access ---------------------------------------------------------
+
+    def get_row(self, row_id: int) -> Dict[str, Any]:
+        if row_id < 0 or row_id >= len(self._rows) or self._rows[row_id] is None:
+            raise ExecutionError(f"invalid row id {row_id} for table {self.name!r}")
+        return self._rows[row_id]
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Iterate live rows (shared dicts; callers must not mutate them)."""
+
+        for row in self._rows:
+            if row is not None:
+                yield row
+
+    def rows_with_ids(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        for row_id, row in enumerate(self._rows):
+            if row is not None:
+                yield row_id, row
+
+    def scan(self) -> Iterator[Dict[str, Any]]:
+        """Iterate copies of live rows (safe to mutate downstream)."""
+
+        for row in self._rows:
+            if row is not None:
+                yield dict(row)
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, row: Dict[str, Any]) -> int:
+        """Validate and append a row, returning its row id."""
+
+        validated = self.schema.validate_row(row)
+        row_id = len(self._rows)
+        self._rows.append(validated)
+        self._live_count += 1
+        for index in self._indexes.values():
+            index.insert(row_id, validated)
+        return row_id
+
+    def insert_at(self, row_id: int, row: Dict[str, Any]) -> None:
+        """Re-insert a row at a previously deleted slot (transaction undo)."""
+
+        if row_id < 0 or row_id >= len(self._rows):
+            raise ExecutionError(f"cannot re-insert at unknown row id {row_id}")
+        if self._rows[row_id] is not None:
+            raise ExecutionError(f"row id {row_id} is not free")
+        validated = self.schema.validate_row(row)
+        self._rows[row_id] = validated
+        self._live_count += 1
+        for index in self._indexes.values():
+            index.insert(row_id, validated)
+
+    def delete_row(self, row_id: int) -> Dict[str, Any]:
+        row = self.get_row(row_id)
+        for index in self._indexes.values():
+            index.delete(row_id, row)
+        self._rows[row_id] = None
+        self._live_count -= 1
+        return row
+
+    def update_row(self, row_id: int, changes: Dict[str, Any]) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+        """Apply ``changes`` to a row; returns (old_row, new_row)."""
+
+        old = self.get_row(row_id)
+        merged = dict(old)
+        merged.update(changes)
+        validated = self.schema.validate_row(merged)
+        for index in self._indexes.values():
+            index.delete(row_id, old)
+            index.insert(row_id, validated)
+        self._rows[row_id] = validated
+        return old, validated
+
+    def delete_where(self, predicate: Callable[[Dict[str, Any]], bool]) -> int:
+        """Delete all rows matching a Python predicate; returns count deleted."""
+
+        deleted = 0
+        for row_id, row in list(self.rows_with_ids()):
+            if predicate(row):
+                self.delete_row(row_id)
+                deleted += 1
+        return deleted
+
+    def update_where(
+        self,
+        predicate: Callable[[Dict[str, Any]], bool],
+        changes_fn: Callable[[Dict[str, Any]], Dict[str, Any]],
+    ) -> int:
+        """Update all rows matching a predicate; returns count updated."""
+
+        updated = 0
+        for row_id, row in list(self.rows_with_ids()):
+            if predicate(row):
+                self.update_row(row_id, changes_fn(row))
+                updated += 1
+        return updated
+
+    def truncate(self) -> None:
+        self._rows.clear()
+        self._live_count = 0
+        for index in self._indexes.values():
+            index.clear()
+
+    def vacuum(self) -> None:
+        """Compact the row list, reassigning row ids and rebuilding indexes."""
+
+        live = [row for row in self._rows if row is not None]
+        self._rows = list(live)
+        self._live_count = len(live)
+        for index in self._indexes.values():
+            index.clear()
+            for row_id, row in enumerate(self._rows):
+                index.insert(row_id, row)
+
+    # -- lookups used by operators -------------------------------------------
+
+    def lookup(self, columns: Tuple[str, ...], key: Tuple[Any, ...]) -> List[Dict[str, Any]]:
+        """Equality lookup, via an index when one exists, else a scan."""
+
+        index = self.index_on(columns)
+        if index is not None:
+            return [dict(self.get_row(rid)) for rid in index.lookup(key)]
+        return [
+            dict(row)
+            for row in self.rows()
+            if tuple(row[c] for c in columns) == tuple(key)
+        ]
+
+    def lookup_ids(self, columns: Tuple[str, ...], key: Tuple[Any, ...]) -> List[int]:
+        index = self.index_on(columns)
+        if index is not None:
+            return index.lookup(key)
+        return [
+            row_id
+            for row_id, row in self.rows_with_ids()
+            if tuple(row[c] for c in columns) == tuple(key)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Table {self.name} rows={self._live_count} cols={self.schema.column_names()}>"

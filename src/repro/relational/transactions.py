@@ -1,0 +1,120 @@
+"""Minimal transaction support: undo-log based rollback.
+
+The paper notes that entity-level updates may touch several physical tables
+(e.g. inserting a Person under mapping M1 writes the person table plus one row
+per phone number).  The CRUD templates wrap such multi-table updates in a
+transaction so that a constraint violation midway leaves the database
+unchanged.
+
+The implementation is a classic undo log: every mutation records the inverse
+operation; rollback replays the log backwards.  There is no concurrency
+control — the engine is single-threaded, as is the paper's prototype layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+
+from ..errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Database
+
+
+@dataclass
+class UndoRecord:
+    """One inverse action; ``apply`` undoes the original mutation."""
+
+    description: str
+    apply: Callable[[], None]
+
+
+class Transaction:
+    """A single open transaction with an undo log."""
+
+    def __init__(self, db: "Database") -> None:
+        self._db = db
+        self._undo: List[UndoRecord] = []
+        self.active = True
+
+    def record(self, description: str, undo: Callable[[], None]) -> None:
+        if not self.active:
+            raise TransactionError("cannot record undo action on a closed transaction")
+        self._undo.append(UndoRecord(description, undo))
+
+    def commit(self) -> None:
+        if not self.active:
+            raise TransactionError("transaction is not active")
+        self._undo.clear()
+        self.active = False
+
+    def rollback(self) -> None:
+        if not self.active:
+            raise TransactionError("transaction is not active")
+        while self._undo:
+            record = self._undo.pop()
+            record.apply()
+        self.active = False
+
+    def __len__(self) -> int:
+        return len(self._undo)
+
+
+class TransactionManager:
+    """Owns the (single) current transaction of a database."""
+
+    def __init__(self, db: "Database") -> None:
+        self._db = db
+        self._current: Optional[Transaction] = None
+
+    @property
+    def current(self) -> Optional[Transaction]:
+        return self._current
+
+    def in_transaction(self) -> bool:
+        return self._current is not None and self._current.active
+
+    def begin(self) -> Transaction:
+        if self.in_transaction():
+            raise TransactionError("a transaction is already active")
+        self._current = Transaction(self._db)
+        return self._current
+
+    def commit(self) -> None:
+        if not self.in_transaction():
+            raise TransactionError("no active transaction to commit")
+        assert self._current is not None
+        self._current.commit()
+        self._current = None
+
+    def rollback(self) -> None:
+        if not self.in_transaction():
+            raise TransactionError("no active transaction to roll back")
+        assert self._current is not None
+        self._current.rollback()
+        self._current = None
+
+    def record(self, description: str, undo: Callable[[], None]) -> None:
+        """Record an undo action if a transaction is open (no-op otherwise)."""
+
+        if self.in_transaction():
+            assert self._current is not None
+            self._current.record(description, undo)
+
+
+class transaction:
+    """Context manager: ``with transaction(db): ...`` commits or rolls back."""
+
+    def __init__(self, db: "Database") -> None:
+        self._db = db
+
+    def __enter__(self) -> Transaction:
+        return self._db.transactions.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._db.transactions.commit()
+        else:
+            self._db.transactions.rollback()
+        return False

@@ -1,0 +1,300 @@
+"""Data types for the in-memory relational engine.
+
+The engine supports the types that the paper's physical mappings need:
+
+* scalar types (``INT``, ``BIGINT``, ``FLOAT``, ``TEXT``, ``BOOL``),
+* ``ARRAY`` of any element type (used for multi-valued attributes, mapping M2),
+* ``STRUCT`` with named, typed fields (used for composite attributes and for
+  folding weak entity sets into their owner, mapping M5),
+* arrays of structs (nested hierarchical storage).
+
+A type is responsible for validating and lightly coercing Python values on
+insert so that the rest of the engine can assume well-typed rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TypeMismatchError
+
+
+class DataType:
+    """Base class for column data types.
+
+    Subclasses implement :meth:`validate`, which returns a (possibly coerced)
+    value or raises :class:`TypeMismatchError`.  ``None`` is always accepted at
+    the type level; NOT NULL is enforced by constraints, not by types.
+    """
+
+    name: str = "ANY"
+
+    def validate(self, value: Any) -> Any:
+        return value
+
+    def is_array(self) -> bool:
+        return False
+
+    def is_struct(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DataType) and repr(self) == repr(other)
+
+    def __hash__(self) -> int:
+        return hash(repr(self))
+
+
+class IntType(DataType):
+    """32/64-bit integers (Python int)."""
+
+    name = "INT"
+
+    def validate(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"expected INT, got bool {value!r}")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeMismatchError(f"expected INT, got {type(value).__name__} {value!r}")
+
+
+class BigIntType(IntType):
+    """Alias for INT kept for schema fidelity with the paper's DDL."""
+
+    name = "BIGINT"
+
+
+class FloatType(DataType):
+    """Double precision floats; ints are coerced."""
+
+    name = "FLOAT"
+
+    def validate(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"expected FLOAT, got bool {value!r}")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise TypeMismatchError(f"expected FLOAT, got {type(value).__name__} {value!r}")
+
+
+class TextType(DataType):
+    """Unicode strings (``varchar`` in the paper's DDL)."""
+
+    name = "TEXT"
+
+    def validate(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"expected TEXT, got {type(value).__name__} {value!r}")
+
+
+class BoolType(DataType):
+    """Booleans."""
+
+    name = "BOOL"
+
+    def validate(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return value
+        raise TypeMismatchError(f"expected BOOL, got {type(value).__name__} {value!r}")
+
+
+@dataclass(frozen=True)
+class StructField:
+    """One named, typed field of a STRUCT."""
+
+    name: str
+    dtype: DataType
+
+
+class StructType(DataType):
+    """A composite value with named fields, stored as a dict.
+
+    Used for composite attributes (``name composite (firstname, lastname)``)
+    and for elements of nested arrays (weak entities folded into their owner).
+    """
+
+    def __init__(self, fields: Sequence[StructField]) -> None:
+        self.fields: Tuple[StructField, ...] = tuple(fields)
+        self._by_name: Dict[str, StructField] = {f.name: f for f in self.fields}
+        if len(self._by_name) != len(self.fields):
+            raise TypeMismatchError("duplicate field names in STRUCT")
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        inner = ", ".join(f"{f.name} {f.dtype!r}" for f in self.fields)
+        return f"STRUCT({inner})"
+
+    def is_struct(self) -> bool:
+        return True
+
+    def field(self, name: str) -> StructField:
+        if name not in self._by_name:
+            raise TypeMismatchError(f"STRUCT has no field {name!r}")
+        return self._by_name[name]
+
+    def field_names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def validate(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if not isinstance(value, dict):
+            raise TypeMismatchError(
+                f"expected STRUCT (dict), got {type(value).__name__} {value!r}"
+            )
+        unknown = set(value) - set(self._by_name)
+        if unknown:
+            raise TypeMismatchError(f"unknown STRUCT fields {sorted(unknown)}")
+        out = {}
+        for f in self.fields:
+            out[f.name] = f.dtype.validate(value.get(f.name))
+        return out
+
+
+class ArrayType(DataType):
+    """A variable-length list of values of a single element type."""
+
+    def __init__(self, element: DataType) -> None:
+        self.element = element
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"ARRAY<{self.element!r}>"
+
+    def is_array(self) -> bool:
+        return True
+
+    def validate(self, value: Any) -> Any:
+        if value is None:
+            return None
+        if isinstance(value, (list, tuple)):
+            return [self.element.validate(v) for v in value]
+        raise TypeMismatchError(
+            f"expected ARRAY, got {type(value).__name__} {value!r}"
+        )
+
+
+# Convenient singletons for the scalar types.
+INT = IntType()
+BIGINT = BigIntType()
+FLOAT = FloatType()
+TEXT = TextType()
+BOOL = BoolType()
+
+_SCALARS_BY_NAME: Dict[str, DataType] = {
+    "int": INT,
+    "integer": INT,
+    "bigint": BIGINT,
+    "float": FLOAT,
+    "double": FLOAT,
+    "real": FLOAT,
+    "text": TEXT,
+    "varchar": TEXT,
+    "string": TEXT,
+    "bool": BOOL,
+    "boolean": BOOL,
+}
+
+
+def scalar_type(name: str) -> DataType:
+    """Look up a scalar type by its DDL name (``varchar``, ``int``, ...)."""
+
+    key = name.strip().lower()
+    if key not in _SCALARS_BY_NAME:
+        raise TypeMismatchError(f"unknown scalar type {name!r}")
+    return _SCALARS_BY_NAME[key]
+
+
+def array_of(element: DataType) -> ArrayType:
+    """Shorthand constructor for an array type."""
+
+    return ArrayType(element)
+
+
+def struct_of(**fields: DataType) -> StructType:
+    """Shorthand constructor: ``struct_of(x=INT, y=TEXT)``."""
+
+    return StructType([StructField(n, t) for n, t in fields.items()])
+
+
+@dataclass
+class Column:
+    """A physical column: name, type and nullability."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+    default: Any = None
+    description: Optional[str] = None
+
+    def validate(self, value: Any) -> Any:
+        return self.dtype.validate(value)
+
+
+@dataclass
+class TableSchema:
+    """Schema of one physical table: ordered columns plus key metadata."""
+
+    name: str
+    columns: List[Column] = field(default_factory=list)
+    primary_key: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self._index: Dict[str, int] = {c.name: i for i, c in enumerate(self.columns)}
+        if len(self._index) != len(self.columns):
+            raise TypeMismatchError(f"duplicate column names in table {self.name!r}")
+        for key_col in self.primary_key:
+            if key_col not in self._index:
+                raise TypeMismatchError(
+                    f"primary key column {key_col!r} not in table {self.name!r}"
+                )
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        if name not in self._index:
+            raise TypeMismatchError(f"table {self.name!r} has no column {name!r}")
+        return self.columns[self._index[name]]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    def position(self, name: str) -> int:
+        if name not in self._index:
+            raise TypeMismatchError(f"table {self.name!r} has no column {name!r}")
+        return self._index[name]
+
+    def validate_row(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate a row dict against the schema, applying defaults.
+
+        Unknown keys raise; missing keys take the column default (``None`` if
+        none was declared).  NOT NULL enforcement happens in the constraint
+        layer so that constraint errors are reported uniformly.
+        """
+
+        unknown = set(row) - set(self._index)
+        if unknown:
+            raise TypeMismatchError(
+                f"unknown columns {sorted(unknown)} for table {self.name!r}"
+            )
+        out = {}
+        for col in self.columns:
+            value = row.get(col.name, col.default)
+            out[col.name] = col.validate(value)
+        return out

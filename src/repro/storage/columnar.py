@@ -1,0 +1,93 @@
+"""A simple column-oriented store.
+
+Columns are Python lists (numpy arrays for numeric columns when possible),
+which makes full-column scans and selective projections cheaper than reading
+row dicts — the same effect that makes Parquet/DataFusion attractive for the
+read-only workloads discussed in the paper.  The store intentionally supports
+only append + scan + filter-by-column; updates go through rebuilds, mirroring
+the "updates are typically harder" caveat in Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CatalogError, ExecutionError
+
+
+class ColumnStore:
+    """Append-only columnar table."""
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        if len(set(columns)) != len(columns):
+            raise CatalogError(f"duplicate column names in column store {name!r}")
+        self.name = name
+        self.column_names: List[str] = list(columns)
+        self._data: Dict[str, List[Any]] = {c: [] for c in columns}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, row: Dict[str, Any]) -> None:
+        unknown = set(row) - set(self.column_names)
+        if unknown:
+            raise CatalogError(f"unknown columns {sorted(unknown)} for {self.name!r}")
+        for column in self.column_names:
+            self._data[column].append(row.get(column))
+        self._count += 1
+
+    def extend(self, rows: Iterable[Dict[str, Any]]) -> None:
+        for row in rows:
+            self.append(row)
+
+    def column(self, name: str) -> List[Any]:
+        if name not in self._data:
+            raise CatalogError(f"column store {self.name!r} has no column {name!r}")
+        return self._data[name]
+
+    def numeric_column(self, name: str) -> np.ndarray:
+        """Column as a numpy array (raises if the column holds non-numerics)."""
+
+        values = self.column(name)
+        try:
+            return np.asarray(values, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise ExecutionError(f"column {name!r} is not numeric") from exc
+
+    def project(self, columns: Sequence[str]) -> Iterator[Dict[str, Any]]:
+        """Yield row dicts restricted to ``columns`` (a cheap projection)."""
+
+        selected = [self.column(c) for c in columns]
+        for i in range(self._count):
+            yield {c: selected[j][i] for j, c in enumerate(columns)}
+
+    def scan(self) -> Iterator[Dict[str, Any]]:
+        return self.project(self.column_names)
+
+    def filter_indices(self, column: str, predicate: Callable[[Any], bool]) -> List[int]:
+        """Row positions whose ``column`` value satisfies the predicate."""
+
+        return [i for i, v in enumerate(self.column(column)) if predicate(v)]
+
+    def take(self, indices: Sequence[int], columns: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
+        columns = list(columns) if columns is not None else self.column_names
+        data = [self.column(c) for c in columns]
+        return [{c: data[j][i] for j, c in enumerate(columns)} for i in indices]
+
+    def rebuild(self, rows: Iterable[Dict[str, Any]]) -> None:
+        """Replace all contents (the only way to 'update' a column store)."""
+
+        self._data = {c: [] for c in self.column_names}
+        self._count = 0
+        self.extend(rows)
+
+    @classmethod
+    def from_rows(cls, name: str, rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None) -> "ColumnStore":
+        if columns is None:
+            columns = list(rows[0].keys()) if rows else []
+        store = cls(name, columns)
+        store.extend(rows)
+        return store

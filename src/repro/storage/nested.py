@@ -1,0 +1,154 @@
+"""Hierarchical (nested) storage with a predefined schema.
+
+This models the "hierarchical structures with a pre-defined schema" target
+representation from Section 4: documents whose fields may be scalars, structs,
+or arrays of structs (which may themselves contain arrays).  It is the storage
+shape used when weak entity sets are folded into their owner (mapping M5) and
+is also what API-style nested outputs are staged into.
+
+Reads are cheap (the whole subtree of an owner is co-located); updates rewrite
+the owning document, mirroring the update-cost caveat of nested formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import CatalogError, ExecutionError
+
+
+@dataclass
+class NestedField:
+    """Schema node for one field of a nested document."""
+
+    name: str
+    kind: str = "scalar"  # "scalar" | "struct" | "array" | "array_of_struct"
+    children: List["NestedField"] = field(default_factory=list)
+
+    def child(self, name: str) -> "NestedField":
+        for candidate in self.children:
+            if candidate.name == name:
+                return candidate
+        raise CatalogError(f"nested field {self.name!r} has no child {name!r}")
+
+
+@dataclass
+class NestedSchema:
+    """Top-level schema of a nested collection: key field + field tree."""
+
+    name: str
+    key: str
+    fields: List[NestedField] = field(default_factory=list)
+
+    def field(self, name: str) -> NestedField:
+        for candidate in self.fields:
+            if candidate.name == name:
+                return candidate
+        raise CatalogError(f"nested schema {self.name!r} has no field {name!r}")
+
+    def field_names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+
+class NestedCollection:
+    """A keyed collection of nested documents."""
+
+    def __init__(self, schema: NestedSchema) -> None:
+        self.schema = schema
+        self._documents: Dict[Any, Dict[str, Any]] = {}
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    # -- writes --------------------------------------------------------------
+
+    def put(self, document: Dict[str, Any]) -> None:
+        """Insert or replace a document (validated shallowly against the schema)."""
+
+        if self.schema.key not in document:
+            raise ExecutionError(
+                f"document for {self.name!r} is missing key field {self.schema.key!r}"
+            )
+        known = set(self.schema.field_names()) | {self.schema.key}
+        unknown = set(document) - known
+        if unknown:
+            raise ExecutionError(f"unknown fields {sorted(unknown)} for {self.name!r}")
+        self._documents[document[self.schema.key]] = dict(document)
+
+    def put_many(self, documents: Iterable[Dict[str, Any]]) -> int:
+        count = 0
+        for document in documents:
+            self.put(document)
+            count += 1
+        return count
+
+    def delete(self, key: Any) -> bool:
+        return self._documents.pop(key, None) is not None
+
+    def update(self, key: Any, changes: Dict[str, Any]) -> None:
+        """Rewrite a document with ``changes`` merged in (full-document rewrite)."""
+
+        if key not in self._documents:
+            raise ExecutionError(f"no document with key {key!r} in {self.name!r}")
+        merged = dict(self._documents[key])
+        merged.update(changes)
+        self.put(merged)
+
+    def append_to_array(self, key: Any, field_name: str, element: Any) -> None:
+        """Append one element to an array field of a document."""
+
+        document = self.get(key)
+        if document is None:
+            raise ExecutionError(f"no document with key {key!r} in {self.name!r}")
+        values = list(document.get(field_name) or [])
+        values.append(element)
+        self.update(key, {field_name: values})
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, key: Any) -> Optional[Dict[str, Any]]:
+        document = self._documents.get(key)
+        return dict(document) if document is not None else None
+
+    def get_many(self, keys: Sequence[Any]) -> List[Dict[str, Any]]:
+        out = []
+        for key in keys:
+            document = self._documents.get(key)
+            if document is not None:
+                out.append(dict(document))
+        return out
+
+    def scan(self) -> Iterator[Dict[str, Any]]:
+        for document in self._documents.values():
+            yield dict(document)
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._documents)
+
+    def unnest(self, field_name: str) -> Iterator[Dict[str, Any]]:
+        """Flatten an array-of-struct field: one row per (owner, element).
+
+        The owner key is preserved under the schema's key name; element struct
+        fields are exposed under ``<field>.<subfield>``.
+        """
+
+        for document in self._documents.values():
+            elements = document.get(field_name) or []
+            for element in elements:
+                row = {self.schema.key: document[self.schema.key]}
+                if isinstance(element, dict):
+                    for sub_name, sub_value in element.items():
+                        row[f"{field_name}.{sub_name}"] = sub_value
+                else:
+                    row[field_name] = element
+                yield row
+
+    def filter(self, predicate: Callable[[Dict[str, Any]], bool]) -> Iterator[Dict[str, Any]]:
+        for document in self.scan():
+            if predicate(document):
+                yield document

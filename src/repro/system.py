@@ -1,0 +1,243 @@
+"""The :class:`ErbiumDB` facade: the whole prototype behind one object.
+
+This mirrors the architecture in Figure 3 of the paper:
+
+* **Schema DDL** — :meth:`ErbiumDB.execute_ddl` parses and applies
+  ``create entity`` / ``create relationship`` statements, keeping the E/R
+  graph up to date;
+* **Physical mapping** — :meth:`ErbiumDB.set_mapping` compiles a
+  :class:`~repro.mapping.MappingSpec` (or one chosen by the
+  :class:`~repro.mapping.MappingOptimizer`) and installs the physical tables
+  in the relational backend; the serialized mapping is stored in the catalog
+  as a JSON object, as the paper describes;
+* **CRUD operations** — :meth:`insert`, :meth:`get`, :meth:`update`,
+  :meth:`delete`, :meth:`link`, :meth:`unlink` go through the CRUD templates;
+* **Ad-hoc queries** — :meth:`query` parses, analyzes, plans (against the
+  active mapping) and executes an ERQL SELECT;
+* **API calls** — :mod:`repro.api` wraps an ErbiumDB instance in a REST-like
+  in-process service.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .core import (
+    EntityInstance,
+    ERGraph,
+    ERSchema,
+    RelationshipInstance,
+    ensure_valid,
+)
+from .erql import Planner, analyze_query, apply_ddl, parse_query, parse_statement
+from .erql import ast_nodes as _ast
+from .errors import ErbiumError, MappingError
+from .mapping import (
+    AccessPathBuilder,
+    CrudTemplates,
+    Mapping,
+    MappingOptimizer,
+    MappingSpec,
+    Workload,
+    check_mapping,
+    compile_mapping,
+    fully_normalized_spec,
+)
+from .relational import Database, QueryResult
+
+
+class ErbiumDB:
+    """An embedded ErbiumDB instance: E/R schema + mapping + backend database."""
+
+    def __init__(self, name: str = "erbium", schema: Optional[ERSchema] = None) -> None:
+        self.name = name
+        self.schema = schema if schema is not None else ERSchema(name)
+        self.db = Database(name)
+        self.mapping: Optional[Mapping] = None
+        self.crud: Optional[CrudTemplates] = None
+        self._planner: Optional[Planner] = None
+
+    # ------------------------------------------------------------------- DDL
+
+    def execute_ddl(self, text: str) -> "ErbiumDB":
+        """Parse and apply a DDL script (create entity / relationship / drop).
+
+        DDL must run before a mapping is installed; evolving a mapped schema
+        goes through :mod:`repro.evolution` instead.
+        """
+
+        if self.mapping is not None:
+            raise MappingError(
+                "schema is already mapped; use the evolution subsystem to change it"
+            )
+        apply_ddl(self.schema, text)
+        return self
+
+    def validate_schema(self) -> List[str]:
+        """Validate the schema; returns warning messages (raises on errors)."""
+
+        return [str(w) for w in ensure_valid(self.schema)]
+
+    def er_graph(self) -> ERGraph:
+        return ERGraph(self.schema)
+
+    # -------------------------------------------------------------- mapping
+
+    def set_mapping(self, spec: Optional[MappingSpec] = None) -> Mapping:
+        """Compile and install a mapping (fully normalized by default)."""
+
+        ensure_valid(self.schema)
+        if spec is None:
+            spec = fully_normalized_spec(self.schema)
+        mapping = compile_mapping(self.schema, spec)
+        check_mapping(self.schema, mapping).raise_if_invalid()
+        if self.mapping is not None:
+            raise MappingError(
+                "a mapping is already installed; create a new ErbiumDB or use "
+                "the evolution subsystem to migrate"
+            )
+        mapping.install(self.db)
+        self.mapping = mapping
+        self.crud = CrudTemplates(self.schema, mapping, self.db)
+        self._planner = Planner(self.schema, mapping, self.db)
+        return mapping
+
+    def choose_mapping(
+        self,
+        workload: Workload,
+        sample_entities: Sequence[EntityInstance] = (),
+        sample_relationships: Sequence[RelationshipInstance] = (),
+        limit: int = 32,
+    ) -> MappingSpec:
+        """Run the mapping optimizer and install the winning mapping."""
+
+        optimizer = MappingOptimizer(self.schema, sample_entities, sample_relationships)
+        result = optimizer.optimize(workload, limit=limit)
+        best = result.best.spec
+        self.set_mapping(best)
+        return best
+
+    def active_mapping(self) -> Mapping:
+        if self.mapping is None:
+            raise MappingError("no mapping installed; call set_mapping() first")
+        return self.mapping
+
+    def _require_crud(self) -> CrudTemplates:
+        if self.crud is None:
+            raise MappingError("no mapping installed; call set_mapping() first")
+        return self.crud
+
+    def access_paths(self) -> AccessPathBuilder:
+        return AccessPathBuilder(self.schema, self.active_mapping(), self.db)
+
+    # ------------------------------------------------------------------ CRUD
+
+    def insert(self, entity: str, values: Dict[str, Any]) -> EntityInstance:
+        """Insert one entity instance."""
+
+        return self._require_crud().insert_entity(EntityInstance(entity, dict(values)))
+
+    def insert_many(self, entity: str, rows: Sequence[Dict[str, Any]]) -> int:
+        crud = self._require_crud()
+        count = 0
+        for values in rows:
+            crud.insert_entity(EntityInstance(entity, dict(values)))
+            count += 1
+        return count
+
+    def get(self, entity: str, key: Union[Any, Sequence[Any]]) -> Optional[Dict[str, Any]]:
+        """Fetch one entity instance by key (None if absent)."""
+
+        instance = self._require_crud().get_entity(entity, key)
+        return dict(instance.values) if instance is not None else None
+
+    def update(self, entity: str, key: Union[Any, Sequence[Any]], changes: Dict[str, Any]) -> None:
+        self._require_crud().update_entity(entity, key, changes)
+
+    def delete(self, entity: str, key: Union[Any, Sequence[Any]]) -> int:
+        """Entity-centric delete: removes every physical trace of the instance."""
+
+        return self._require_crud().delete_entity(entity, key)
+
+    def link(
+        self,
+        relationship: str,
+        endpoints: Dict[str, Union[Any, Sequence[Any]]],
+        values: Optional[Dict[str, Any]] = None,
+    ) -> RelationshipInstance:
+        """Insert a relationship occurrence, e.g. ``link("takes", {"student": 7, "section": (2, 1)})``."""
+
+        normalized = {
+            role: tuple(v) if isinstance(v, (tuple, list)) else (v,)
+            for role, v in endpoints.items()
+        }
+        instance = RelationshipInstance(relationship, normalized, dict(values or {}))
+        return self._require_crud().insert_relationship(instance)
+
+    def unlink(self, relationship: str, endpoints: Dict[str, Union[Any, Sequence[Any]]]) -> int:
+        normalized = {
+            role: tuple(v) if isinstance(v, (tuple, list)) else (v,)
+            for role, v in endpoints.items()
+        }
+        return self._require_crud().delete_relationship(relationship, normalized)
+
+    def related(
+        self, relationship: str, from_entity: str, key: Union[Any, Sequence[Any]]
+    ) -> List[Tuple[Any, ...]]:
+        return self._require_crud().related_keys(relationship, from_entity, key)
+
+    def count(self, entity: str) -> int:
+        return self._require_crud().count_entities(entity)
+
+    def load(
+        self,
+        entities: Sequence[EntityInstance] = (),
+        relationships: Sequence[RelationshipInstance] = (),
+    ) -> int:
+        """Bulk-load pre-built instances (used by generators and benchmarks)."""
+
+        crud = self._require_crud()
+        count = 0
+        for instance in entities:
+            crud.insert_entity(instance)
+            count += 1
+        for instance in relationships:
+            crud.insert_relationship(instance)
+            count += 1
+        return count
+
+    # ----------------------------------------------------------------- queries
+
+    def query(self, text: str) -> QueryResult:
+        """Parse, plan (under the active mapping) and execute an ERQL SELECT."""
+
+        plan = self.plan(text)
+        return self.db.execute(plan)
+
+    def plan(self, text: str):
+        """The physical plan an ERQL query compiles to under the active mapping."""
+
+        if self._planner is None:
+            raise MappingError("no mapping installed; call set_mapping() first")
+        statement = parse_query(text)
+        bound = analyze_query(self.schema, statement)
+        return self._planner.plan(bound)
+
+    def explain(self, text: str) -> str:
+        plan = self.plan(text)
+        return self.db.explain(plan)
+
+    # ------------------------------------------------------------------ info
+
+    def describe(self) -> Dict[str, Any]:
+        out = {
+            "name": self.name,
+            "schema": self.schema.describe(),
+            "backend": self.db.describe(),
+        }
+        if self.mapping is not None:
+            out["mapping"] = self.mapping.describe()
+        return out
+
+    def total_rows(self) -> int:
+        return self.db.total_rows()

@@ -1,0 +1,26 @@
+"""Schemas and synthetic data generators used by examples, tests and benchmarks.
+
+* :mod:`repro.workloads.university` — the Figure 1 running example (person /
+  instructor / student / course / section, takes / teaches / advisor / prereq);
+* :mod:`repro.workloads.synthetic` — the Figure 4 schema used by the paper's
+  illustrative experiments (R hierarchy, S with two weak entity sets, the six
+  mappings M1–M6);
+* :mod:`repro.workloads.generator` — a generic deterministic data generator
+  that works from any :class:`~repro.core.ERSchema`.
+"""
+
+from .generator import DataGenerator, GeneratorConfig
+from .synthetic import SyntheticDataset, build_synthetic_schema, generate_synthetic_data, synthetic_mappings
+from .university import UniversityDataset, build_university_schema, generate_university_data
+
+__all__ = [
+    "DataGenerator",
+    "GeneratorConfig",
+    "build_university_schema",
+    "generate_university_data",
+    "UniversityDataset",
+    "build_synthetic_schema",
+    "generate_synthetic_data",
+    "synthetic_mappings",
+    "SyntheticDataset",
+]

@@ -1,0 +1,295 @@
+"""The Figure 4 synthetic schema and data generator (paper Section 6).
+
+The schema has, as in the paper:
+
+* an entity set ``S`` (key ``s_id``, attributes ``s_x``, ``s_y``);
+* two weak entity sets ``S1`` and ``S2`` depending on ``S`` (discriminators
+  ``s1_id`` / ``s2_id`` plus two payload attributes each);
+* an entity set ``R`` (key ``r_id``) with a composite attribute ``r_x``
+  (components ``r_x1``, ``r_x2``), a scalar ``r_y``, two scalar multi-valued
+  attributes ``r_mv1`` / ``r_mv2`` and a composite multi-valued attribute
+  ``r_mv3`` (components ``x``, ``y``);
+* a five-member type hierarchy: ``R1`` and ``R2`` specialize ``R``; ``R3`` and
+  ``R4`` specialize ``R1`` (so reading all of ``R3``'s information under the
+  delta layout needs a three-way join, as the paper reports);
+* a many-to-one relationship ``r_s`` from ``R`` to ``S`` (used by experiment
+  E6's R⋈S query) and a many-to-many relationship ``r2_s1`` between ``R2`` and
+  ``S1`` (the pair pre-joined by mapping M6).
+
+``generate_synthetic_data`` produces a deterministic dataset whose size scales
+linearly with ``scale`` (the paper uses ≈5M total rows; the default here is
+laptop-friendly — see DESIGN.md for the substitution note).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import (
+    Attribute,
+    CompositeAttribute,
+    EntityInstance,
+    ERSchema,
+    EntitySet,
+    MultiValuedAttribute,
+    Participant,
+    RelationshipInstance,
+    RelationshipSet,
+    WeakEntitySet,
+)
+from ..mapping import MappingSpec, named_mapping
+
+
+def build_synthetic_schema() -> ERSchema:
+    """Construct the Figure 4 E/R schema."""
+
+    schema = ERSchema("synthetic_fig4")
+
+    schema.add_entity(
+        EntitySet(
+            name="S",
+            attributes=[
+                Attribute("s_id", "int", required=True),
+                Attribute("s_x", "int"),
+                Attribute("s_y", "varchar"),
+            ],
+            key=["s_id"],
+            description="Plain entity set S with two weak dependants",
+        )
+    )
+    schema.add_entity(
+        WeakEntitySet(
+            name="S1",
+            attributes=[
+                Attribute("s1_id", "int", required=True),
+                Attribute("s1_x", "int"),
+                Attribute("s1_y", "varchar"),
+            ],
+            owner="S",
+            discriminator=["s1_id"],
+            description="Weak entity set S1 of S",
+        )
+    )
+    schema.add_entity(
+        WeakEntitySet(
+            name="S2",
+            attributes=[
+                Attribute("s2_id", "int", required=True),
+                Attribute("s2_x", "int"),
+                Attribute("s2_y", "varchar"),
+            ],
+            owner="S",
+            discriminator=["s2_id"],
+            description="Weak entity set S2 of S",
+        )
+    )
+    schema.add_entity(
+        EntitySet(
+            name="R",
+            attributes=[
+                Attribute("r_id", "int", required=True),
+                CompositeAttribute(
+                    "r_x",
+                    components=[Attribute("r_x1", "int"), Attribute("r_x2", "varchar")],
+                ),
+                Attribute("r_y", "int"),
+                MultiValuedAttribute("r_mv1", "int"),
+                MultiValuedAttribute("r_mv2", "int"),
+                MultiValuedAttribute(
+                    "r_mv3",
+                    element_components=[Attribute("x", "int"), Attribute("y", "varchar")],
+                ),
+            ],
+            key=["r_id"],
+            description="Root of the five-member type hierarchy",
+        )
+    )
+    schema.add_entity(
+        EntitySet(name="R1", attributes=[Attribute("r1_x", "int")], parent="R")
+    )
+    schema.add_entity(
+        EntitySet(name="R2", attributes=[Attribute("r2_x", "int")], parent="R")
+    )
+    schema.add_entity(
+        EntitySet(name="R3", attributes=[Attribute("r3_x", "int")], parent="R1")
+    )
+    schema.add_entity(
+        EntitySet(name="R4", attributes=[Attribute("r4_x", "int")], parent="R1")
+    )
+    schema.add_relationship(
+        RelationshipSet(
+            name="r_s",
+            participants=[
+                Participant("R", cardinality="many", participation="partial"),
+                Participant("S", cardinality="one", participation="partial"),
+            ],
+            description="Many-to-one relationship from R to S (experiment E6)",
+        )
+    )
+    schema.add_relationship(
+        RelationshipSet(
+            name="r2_s1",
+            participants=[
+                Participant("R2", cardinality="many", participation="partial"),
+                Participant("S1", cardinality="many", participation="partial"),
+            ],
+            description="Many-to-many relationship between R2 and S1 (mapping M6)",
+        )
+    )
+    return schema
+
+
+def synthetic_mappings(schema: Optional[ERSchema] = None) -> Dict[str, MappingSpec]:
+    """The six mapping specs M1–M6 of Section 6 for the Figure 4 schema."""
+
+    schema = schema or build_synthetic_schema()
+    return {
+        "M1": named_mapping(schema, "M1"),
+        "M2": named_mapping(schema, "M2"),
+        "M3": named_mapping(schema, "M3"),
+        "M4": named_mapping(schema, "M4"),
+        "M5": named_mapping(schema, "M5"),
+        "M6": named_mapping(schema, "M6", co_stored_relationship="r2_s1"),
+    }
+
+
+@dataclass
+class SyntheticDataset:
+    """Deterministically generated instances for the Figure 4 schema."""
+
+    scale: int
+    entities: List[EntityInstance] = field(default_factory=list)
+    relationships: List[RelationshipInstance] = field(default_factory=list)
+    r_ids: List[int] = field(default_factory=list)
+    s_ids: List[int] = field(default_factory=list)
+    types_by_r_id: Dict[int, str] = field(default_factory=dict)
+
+    def total_instances(self) -> int:
+        return len(self.entities) + len(self.relationships)
+
+
+# Fractions of R instances assigned to each hierarchy member (most specific type).
+_TYPE_FRACTIONS: Tuple[Tuple[str, float], ...] = (
+    ("R", 0.30),
+    ("R1", 0.20),
+    ("R2", 0.20),
+    ("R3", 0.15),
+    ("R4", 0.15),
+)
+
+
+def _type_for_index(index: int, total: int) -> str:
+    position = index / max(total, 1)
+    cumulative = 0.0
+    for name, fraction in _TYPE_FRACTIONS:
+        cumulative += fraction
+        if position < cumulative:
+            return name
+    return _TYPE_FRACTIONS[-1][0]
+
+
+def generate_synthetic_data(
+    scale: int = 1000,
+    seed: int = 42,
+    mv_length: int = 4,
+    weak_per_owner: int = 3,
+    links_per_r2: int = 2,
+) -> SyntheticDataset:
+    """Generate a dataset for the Figure 4 schema.
+
+    ``scale`` is the number of R entities; the number of S entities is
+    ``scale // 2``; each S owns ``weak_per_owner`` S1 and S2 instances; each R
+    entity carries ``mv_length`` values in each multi-valued attribute; each R2
+    entity links to ``links_per_r2`` S1 instances.  Everything is derived from
+    ``seed`` so two calls with the same arguments produce identical data.
+    """
+
+    rng = random.Random(seed)
+    dataset = SyntheticDataset(scale=scale)
+
+    n_r = scale
+    n_s = max(scale // 2, 1)
+
+    # --- S and its weak entity sets
+    for s_id in range(n_s):
+        dataset.s_ids.append(s_id)
+        dataset.entities.append(
+            EntityInstance(
+                "S",
+                {"s_id": s_id, "s_x": rng.randint(0, 1000), "s_y": f"s-{s_id % 97}"},
+            )
+        )
+        for s1_id in range(weak_per_owner):
+            dataset.entities.append(
+                EntityInstance(
+                    "S1",
+                    {
+                        "s_id": s_id,
+                        "s1_id": s1_id,
+                        "s1_x": rng.randint(0, 1000),
+                        "s1_y": f"s1-{(s_id + s1_id) % 53}",
+                    },
+                )
+            )
+        for s2_id in range(weak_per_owner):
+            dataset.entities.append(
+                EntityInstance(
+                    "S2",
+                    {
+                        "s_id": s_id,
+                        "s2_id": s2_id,
+                        "s2_x": rng.randint(0, 1000),
+                        "s2_y": f"s2-{(s_id + s2_id) % 53}",
+                    },
+                )
+            )
+
+    # --- R hierarchy
+    for r_id in range(n_r):
+        most_specific = _type_for_index(r_id, n_r)
+        dataset.r_ids.append(r_id)
+        dataset.types_by_r_id[r_id] = most_specific
+        # multi-valued attributes follow set semantics: sample without replacement
+        values = {
+            "r_id": r_id,
+            "r_x": {"r_x1": rng.randint(0, 10000), "r_x2": f"x-{r_id % 101}"},
+            "r_y": rng.randint(0, 100),
+            "r_mv1": rng.sample(range(500), mv_length),
+            "r_mv2": rng.sample(range(500), mv_length),
+            "r_mv3": [
+                {"x": x, "y": f"mv3-{x % 21}"}
+                for x in rng.sample(range(100), max(mv_length // 2, 1))
+            ],
+        }
+        if most_specific in ("R1", "R3", "R4"):
+            values["r1_x"] = rng.randint(0, 1000)
+        if most_specific == "R2":
+            values["r2_x"] = rng.randint(0, 1000)
+        if most_specific == "R3":
+            values["r3_x"] = rng.randint(0, 1000)
+        if most_specific == "R4":
+            values["r4_x"] = rng.randint(0, 1000)
+        dataset.entities.append(EntityInstance(most_specific, values))
+
+    # --- relationships
+    for r_id in range(n_r):
+        s_id = rng.randrange(n_s)
+        dataset.relationships.append(
+            RelationshipInstance("r_s", {"R": (r_id,), "S": (s_id,)})
+        )
+    for r_id in range(n_r):
+        if dataset.types_by_r_id[r_id] != "R2":
+            continue
+        seen = set()
+        for _ in range(links_per_r2):
+            s_id = rng.randrange(n_s)
+            s1_id = rng.randrange(weak_per_owner)
+            if (s_id, s1_id) in seen:
+                continue
+            seen.add((s_id, s1_id))
+            dataset.relationships.append(
+                RelationshipInstance("r2_s1", {"R2": (r_id,), "S1": (s_id, s1_id)})
+            )
+    return dataset

@@ -1,0 +1,297 @@
+"""The Figure 1 university schema and a small data generator.
+
+The schema mirrors the paper's running example (adapted from Silberschatz et
+al.): ``person`` with composite ``name`` and multi-valued ``phone_numbers``,
+subclasses ``instructor`` and ``student``, ``course`` with the weak entity set
+``section``, and relationships ``takes`` (student/section, with a ``grade``
+attribute), ``teaches`` (instructor/section), ``advisor`` (student/instructor,
+many-to-one) and the self-relationship ``prereq`` on courses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core import (
+    Attribute,
+    CompositeAttribute,
+    EntityInstance,
+    ERSchema,
+    EntitySet,
+    MultiValuedAttribute,
+    Participant,
+    RelationshipInstance,
+    RelationshipSet,
+    WeakEntitySet,
+)
+
+_GRADES = ("A", "A-", "B+", "B", "B-", "C+", "C", "D", "F")
+_SEMESTERS = ("Spring", "Fall")
+_CITIES = ("College Park", "Baltimore", "Arlington", "Rockville", "Bethesda")
+_RANKS = ("assistant", "associate", "full")
+
+
+def build_university_schema() -> ERSchema:
+    """Construct the Figure 1 university E/R schema."""
+
+    schema = ERSchema("university")
+    schema.add_entity(
+        EntitySet(
+            name="person",
+            attributes=[
+                Attribute("person_id", "int", required=True, description="Identifier"),
+                CompositeAttribute(
+                    "name",
+                    components=[
+                        Attribute("firstname", "varchar"),
+                        Attribute("lastname", "varchar"),
+                    ],
+                    description="Composite name",
+                ),
+                Attribute("street", "varchar", pii=True),
+                Attribute("city", "varchar", pii=True),
+                MultiValuedAttribute("phone_numbers", "varchar", pii=True),
+            ],
+            key=["person_id"],
+            description="People on campus (root of the specialization hierarchy)",
+        )
+    )
+    schema.add_entity(
+        EntitySet(
+            name="instructor",
+            attributes=[Attribute("rank", "varchar")],
+            parent="person",
+            description="Instructors (specializes person)",
+        )
+    )
+    schema.add_entity(
+        EntitySet(
+            name="student",
+            attributes=[Attribute("tot_credits", "int")],
+            parent="person",
+            description="Students (specializes person)",
+        )
+    )
+    schema.add_entity(
+        EntitySet(
+            name="course",
+            attributes=[
+                Attribute("course_id", "int", required=True),
+                Attribute("title", "varchar"),
+                Attribute("credits", "int"),
+            ],
+            key=["course_id"],
+            description="Courses in the catalog",
+        )
+    )
+    schema.add_entity(
+        WeakEntitySet(
+            name="section",
+            attributes=[
+                Attribute("sec_id", "int", required=True),
+                Attribute("semester", "varchar"),
+                Attribute("year", "int"),
+            ],
+            owner="course",
+            discriminator=["sec_id"],
+            description="Course sections (weak entity set of course)",
+        )
+    )
+    schema.add_relationship(
+        RelationshipSet(
+            name="sec_course",
+            participants=[
+                Participant("section", cardinality="many", participation="total"),
+                Participant("course", cardinality="one", participation="partial"),
+            ],
+            identifying=True,
+            description="Identifying relationship between section and course",
+        )
+    )
+    schema.add_relationship(
+        RelationshipSet(
+            name="takes",
+            participants=[
+                Participant("student", cardinality="many", participation="total"),
+                Participant("section", cardinality="many", participation="total"),
+            ],
+            attributes=[Attribute("grade", "varchar")],
+            description="Students take sections, earning a grade",
+        )
+    )
+    schema.add_relationship(
+        RelationshipSet(
+            name="teaches",
+            participants=[
+                Participant("instructor", cardinality="many", participation="partial"),
+                Participant("section", cardinality="many", participation="partial"),
+            ],
+            description="Instructors teach sections",
+        )
+    )
+    schema.add_relationship(
+        RelationshipSet(
+            name="advisor",
+            participants=[
+                Participant("student", cardinality="many", participation="partial"),
+                Participant("instructor", cardinality="one", participation="partial"),
+            ],
+            description="Each student has at most one advisor",
+        )
+    )
+    schema.add_relationship(
+        RelationshipSet(
+            name="prereq",
+            participants=[
+                Participant("course", role="course", cardinality="many"),
+                Participant("course", role="prerequisite", cardinality="many"),
+            ],
+            description="Course prerequisites (self-relationship)",
+        )
+    )
+    return schema
+
+
+@dataclass
+class UniversityDataset:
+    """Deterministically generated instances for the university schema."""
+
+    entities: List[EntityInstance] = field(default_factory=list)
+    relationships: List[RelationshipInstance] = field(default_factory=list)
+    student_ids: List[int] = field(default_factory=list)
+    instructor_ids: List[int] = field(default_factory=list)
+    course_ids: List[int] = field(default_factory=list)
+    sections: List[Tuple[int, int]] = field(default_factory=list)
+
+    def total_instances(self) -> int:
+        return len(self.entities) + len(self.relationships)
+
+
+def generate_university_data(
+    students: int = 200,
+    instructors: int = 20,
+    courses: int = 30,
+    sections_per_course: int = 2,
+    takes_per_student: int = 4,
+    seed: int = 7,
+) -> UniversityDataset:
+    """Generate a deterministic dataset for the university schema."""
+
+    rng = random.Random(seed)
+    dataset = UniversityDataset()
+    next_person_id = 0
+
+    for _ in range(instructors):
+        person_id = next_person_id
+        next_person_id += 1
+        dataset.instructor_ids.append(person_id)
+        dataset.entities.append(
+            EntityInstance(
+                "instructor",
+                {
+                    "person_id": person_id,
+                    "name": {
+                        "firstname": f"Ina{person_id}",
+                        "lastname": f"Prof{person_id % 13}",
+                    },
+                    "street": f"{100 + person_id} Faculty Way",
+                    "city": rng.choice(_CITIES),
+                    "phone_numbers": [f"301-555-{1000 + person_id}"],
+                    "rank": rng.choice(_RANKS),
+                },
+            )
+        )
+    for _ in range(students):
+        person_id = next_person_id
+        next_person_id += 1
+        dataset.student_ids.append(person_id)
+        dataset.entities.append(
+            EntityInstance(
+                "student",
+                {
+                    "person_id": person_id,
+                    "name": {
+                        "firstname": f"Stu{person_id}",
+                        "lastname": f"Dent{person_id % 29}",
+                    },
+                    "street": f"{person_id} Campus Dr",
+                    "city": rng.choice(_CITIES),
+                    "phone_numbers": [
+                        f"240-555-{2000 + person_id}",
+                        f"240-555-{6000 + person_id}",
+                    ][: rng.randint(1, 2)],
+                    "tot_credits": rng.randint(0, 120),
+                },
+            )
+        )
+
+    for course_id in range(courses):
+        dataset.course_ids.append(course_id)
+        dataset.entities.append(
+            EntityInstance(
+                "course",
+                {
+                    "course_id": course_id,
+                    "title": f"Course {course_id}",
+                    "credits": rng.choice((1, 3, 4)),
+                },
+            )
+        )
+        for sec_id in range(sections_per_course):
+            dataset.sections.append((course_id, sec_id))
+            dataset.entities.append(
+                EntityInstance(
+                    "section",
+                    {
+                        "course_id": course_id,
+                        "sec_id": sec_id,
+                        "semester": rng.choice(_SEMESTERS),
+                        "year": rng.choice((2023, 2024, 2025)),
+                    },
+                )
+            )
+
+    # prerequisites: each course (except the first few) requires an earlier one
+    for course_id in range(3, courses):
+        prerequisite = rng.randrange(0, course_id)
+        dataset.relationships.append(
+            RelationshipInstance(
+                "prereq",
+                {"course": (course_id,), "prerequisite": (prerequisite,)},
+            )
+        )
+
+    # teaching assignments: every section gets one instructor
+    for course_id, sec_id in dataset.sections:
+        instructor = rng.choice(dataset.instructor_ids)
+        dataset.relationships.append(
+            RelationshipInstance(
+                "teaches",
+                {"instructor": (instructor,), "section": (course_id, sec_id)},
+            )
+        )
+
+    # advisors: most students have one
+    for student in dataset.student_ids:
+        if rng.random() < 0.9:
+            advisor = rng.choice(dataset.instructor_ids)
+            dataset.relationships.append(
+                RelationshipInstance(
+                    "advisor", {"student": (student,), "instructor": (advisor,)}
+                )
+            )
+
+    # enrollment
+    for student in dataset.student_ids:
+        enrolled = rng.sample(dataset.sections, min(takes_per_student, len(dataset.sections)))
+        for course_id, sec_id in enrolled:
+            dataset.relationships.append(
+                RelationshipInstance(
+                    "takes",
+                    {"student": (student,), "section": (course_id, sec_id)},
+                    {"grade": rng.choice(_GRADES)},
+                )
+            )
+    return dataset

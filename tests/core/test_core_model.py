@@ -1,0 +1,363 @@
+"""Unit tests for the E/R core: attributes, entities, relationships, schema,
+graph, instances and validation."""
+
+import pytest
+
+from repro.core import (
+    Attribute,
+    CompositeAttribute,
+    DerivedAttribute,
+    EntityInstance,
+    EntitySet,
+    ERGraph,
+    ERSchema,
+    MultiValuedAttribute,
+    Participant,
+    RelationshipInstance,
+    RelationshipSet,
+    WeakEntitySet,
+    attribute_node,
+    ensure_valid,
+    entity_node,
+    node_kind,
+    relationship_node,
+    validate_entity_instance,
+    validate_relationship_instance,
+    validate_schema,
+)
+from repro.errors import (
+    DuplicateElementError,
+    InstanceError,
+    SchemaError,
+    UnknownElementError,
+    ValidationError,
+)
+
+
+class TestAttributes:
+    def test_simple_attribute_types(self):
+        attribute = Attribute("age", "int")
+        assert attribute.validate_value(4) == 4
+        assert not attribute.is_composite() and not attribute.is_multivalued()
+
+    def test_unknown_scalar_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("a", "uuid")
+
+    def test_composite_attribute(self):
+        name = CompositeAttribute("name", components=[Attribute("first"), Attribute("last")])
+        assert name.is_composite()
+        assert name.component_names() == ["first", "last"]
+        assert name.component("first").type_name == "varchar"
+        with pytest.raises(SchemaError):
+            name.component("middle")
+
+    def test_composite_rejects_nested_composites(self):
+        inner = CompositeAttribute("inner", components=[Attribute("x")])
+        with pytest.raises(SchemaError):
+            CompositeAttribute("outer", components=[inner])
+
+    def test_composite_needs_components(self):
+        with pytest.raises(SchemaError):
+            CompositeAttribute("empty", components=[])
+
+    def test_multivalued_scalar_and_composite(self):
+        phones = MultiValuedAttribute("phones", "varchar")
+        assert phones.is_multivalued() and not phones.element_is_composite()
+        points = MultiValuedAttribute("points", element_components=[Attribute("x", "int"), Attribute("y", "int")])
+        assert points.element_is_composite()
+        assert points.validate_value([{"x": 1, "y": 2}]) == [{"x": 1, "y": 2}]
+
+    def test_derived_attribute(self):
+        age = DerivedAttribute("age", "int", formula="today - birth_date")
+        assert age.is_derived()
+        assert age.describe()["formula"] == "today - birth_date"
+
+    def test_describe_shapes(self):
+        assert Attribute("a").describe()["kind"] == "simple"
+        assert MultiValuedAttribute("m", "int").describe()["kind"] == "multivalued"
+
+
+class TestEntitySets:
+    def test_key_must_be_declared(self):
+        with pytest.raises(SchemaError):
+            EntitySet("e", attributes=[Attribute("a")], key=["missing"])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            EntitySet("e", attributes=[Attribute("a"), Attribute("a")])
+
+    def test_add_remove_replace_attribute(self):
+        entity = EntitySet("e", attributes=[Attribute("id", "int")], key=["id"])
+        entity.add_attribute(Attribute("x"))
+        assert entity.has_attribute("x")
+        with pytest.raises(SchemaError):
+            entity.add_attribute(Attribute("x"))
+        entity.replace_attribute("x", MultiValuedAttribute("x", "varchar"))
+        assert entity.attribute("x").is_multivalued()
+        entity.remove_attribute("x")
+        assert not entity.has_attribute("x")
+        with pytest.raises(SchemaError):
+            entity.remove_attribute("id")
+
+    def test_weak_entity_requires_owner_and_known_discriminator(self):
+        with pytest.raises(SchemaError):
+            WeakEntitySet("w", attributes=[Attribute("d", "int")], owner="", discriminator=["d"])
+        with pytest.raises(SchemaError):
+            WeakEntitySet("w", attributes=[Attribute("d", "int")], owner="o", discriminator=["zzz"])
+        weak = WeakEntitySet("w", attributes=[Attribute("d", "int")], owner="o", discriminator=["d"])
+        assert weak.is_weak()
+
+
+class TestRelationships:
+    def test_requires_two_participants(self):
+        with pytest.raises(SchemaError):
+            RelationshipSet("r", participants=[Participant("a")])
+
+    def test_self_relationship_needs_roles(self):
+        with pytest.raises(SchemaError):
+            RelationshipSet("r", participants=[Participant("a"), Participant("a")])
+        ok = RelationshipSet(
+            "r", participants=[Participant("a", role="x"), Participant("a", role="y")]
+        )
+        assert ok.labels() == ["x", "y"]
+
+    def test_kind_classification(self):
+        def rel(c1, c2):
+            return RelationshipSet(
+                "r",
+                participants=[Participant("a", cardinality=c1), Participant("b", cardinality=c2)],
+            )
+
+        assert rel("many", "one").kind() == "many_to_one"
+        assert rel("many", "many").kind() == "many_to_many"
+        assert rel("one", "one").kind() == "one_to_one"
+
+    def test_many_and_one_side(self):
+        r = RelationshipSet(
+            "advisor",
+            participants=[
+                Participant("student", cardinality="many"),
+                Participant("instructor", cardinality="one"),
+            ],
+        )
+        assert r.many_side().entity == "student"
+        assert r.one_side().entity == "instructor"
+        assert r.other("student").entity == "instructor"
+
+    def test_invalid_cardinality_string(self):
+        with pytest.raises(ValueError):
+            Participant("a", cardinality="lots")
+
+
+def build_schema() -> ERSchema:
+    schema = ERSchema("test")
+    schema.add_entity(
+        EntitySet(
+            "person",
+            attributes=[
+                Attribute("id", "int", required=True),
+                Attribute("city"),
+                MultiValuedAttribute("phones", "varchar"),
+            ],
+            key=["id"],
+        )
+    )
+    schema.add_entity(EntitySet("student", attributes=[Attribute("credits", "int")], parent="person"))
+    schema.add_entity(EntitySet("grad", attributes=[Attribute("thesis")], parent="student"))
+    schema.add_entity(
+        EntitySet("course", attributes=[Attribute("cid", "int", required=True), Attribute("title")], key=["cid"])
+    )
+    schema.add_entity(
+        WeakEntitySet(
+            "section",
+            attributes=[Attribute("sec", "int", required=True), Attribute("year", "int")],
+            owner="course",
+            discriminator=["sec"],
+        )
+    )
+    schema.add_relationship(
+        RelationshipSet(
+            "takes",
+            participants=[
+                Participant("student", cardinality="many"),
+                Participant("section", cardinality="many"),
+            ],
+            attributes=[Attribute("grade")],
+        )
+    )
+    return schema
+
+
+class TestERSchema:
+    def test_duplicate_names_rejected(self):
+        schema = build_schema()
+        with pytest.raises(DuplicateElementError):
+            schema.add_entity(EntitySet("person", attributes=[Attribute("id", "int")], key=["id"]))
+        with pytest.raises(DuplicateElementError):
+            schema.add_relationship(
+                RelationshipSet("person", participants=[Participant("course"), Participant("section")])
+            )
+
+    def test_hierarchy_navigation(self):
+        schema = build_schema()
+        assert [e.name for e in schema.ancestors_of("grad")] == ["student", "person"]
+        assert schema.hierarchy_root("grad").name == "person"
+        assert {e.name for e in schema.descendants_of("person")} == {"student", "grad"}
+        assert [e.name for e in schema.hierarchy_roots()] == ["person"]
+
+    def test_effective_attributes_and_keys(self):
+        schema = build_schema()
+        names = [a.name for a in schema.effective_attributes("grad")]
+        assert names == ["id", "city", "phones", "credits", "thesis"]
+        assert schema.effective_key("grad") == ["id"]
+        assert schema.effective_key("section") == ["cid", "sec"]
+        assert schema.owning_entity_of_attribute("grad", "city").name == "person"
+        with pytest.raises(UnknownElementError):
+            schema.effective_attribute("grad", "nope")
+
+    def test_relationships_of_covers_ancestors(self):
+        schema = build_schema()
+        assert [r.name for r in schema.relationships_of("grad")] == ["takes"]
+        assert [r.name for r in schema.relationship_between("grad", "section")] == ["takes"]
+        assert schema.weak_entities_of("course")[0].name == "section"
+
+    def test_drop_protections(self):
+        schema = build_schema()
+        with pytest.raises(SchemaError):
+            schema.drop_entity("person")  # has subclasses
+        with pytest.raises(SchemaError):
+            schema.drop_entity("course")  # weak entity depends on it
+        with pytest.raises(SchemaError):
+            schema.drop_entity("section")  # participates in takes
+        schema.drop_relationship("takes")
+        schema.drop_entity("section")
+        assert not schema.has_entity("section")
+
+    def test_clone_is_deep(self):
+        schema = build_schema()
+        clone = schema.clone("copy")
+        clone.entity("person").add_attribute(Attribute("extra"))
+        assert not schema.entity("person").has_attribute("extra")
+        assert clone.name == "copy"
+
+
+class TestValidation:
+    def test_valid_schema_has_no_errors(self):
+        assert ensure_valid(build_schema()) == [] or True  # warnings allowed
+
+    def test_missing_key_is_error(self):
+        schema = ERSchema("bad")
+        schema.add_entity(EntitySet("a", attributes=[Attribute("x")]))
+        findings = validate_schema(schema)
+        assert any(f.is_error() and "no key" in f.message for f in findings)
+        with pytest.raises(ValidationError):
+            ensure_valid(schema)
+
+    def test_unknown_parent_is_error(self):
+        schema = build_schema()
+        schema.add_entity(EntitySet("orphan", attributes=[Attribute("z")], parent="ghost"))
+        assert any("ghost" in f.message for f in validate_schema(schema) if f.is_error())
+
+    def test_attribute_shadowing_is_error(self):
+        schema = build_schema()
+        schema.add_entity(EntitySet("phd", attributes=[Attribute("city")], parent="student"))
+        findings = validate_schema(schema)
+        assert any("shadows" in f.message for f in findings)
+
+    def test_unknown_relationship_participant_is_error(self):
+        schema = build_schema()
+        schema.add_relationship(
+            RelationshipSet("broken", participants=[Participant("person"), Participant("ghost")])
+        )
+        assert any("ghost" in f.message for f in validate_schema(schema) if f.is_error())
+
+    def test_relationship_attribute_clash_is_warning(self):
+        schema = build_schema()
+        schema.add_relationship(
+            RelationshipSet(
+                "named",
+                participants=[Participant("person"), Participant("course")],
+                attributes=[Attribute("city")],
+            )
+        )
+        findings = validate_schema(schema)
+        assert any(f.severity == "warning" and "city" in f.message for f in findings)
+
+
+class TestERGraph:
+    def test_graph_structure(self):
+        schema = build_schema()
+        graph = ERGraph(schema)
+        summary = graph.summary()
+        assert summary["entities"] == 5
+        assert summary["relationships"] == 1
+        assert graph.has_node(entity_node("person"))
+        assert graph.has_node(attribute_node("takes", "grade"))
+        assert node_kind(relationship_node("takes")) == "relationship"
+        assert entity_node("person") in graph.neighbours(attribute_node("person", "city"))
+
+    def test_connected_subsets_and_covers(self):
+        schema = build_schema()
+        graph = ERGraph(schema)
+        connected = {entity_node("person"), attribute_node("person", "city")}
+        assert graph.is_connected_subset(connected)
+        disconnected = {attribute_node("person", "city"), attribute_node("course", "title")}
+        assert not graph.is_connected_subset(disconnected)
+        assert not graph.is_connected_subset([])
+        assert graph.uncovered_nodes([graph.nodes()]) == set()
+        assert graph.is_cover([graph.nodes()])
+
+    def test_attributes_of(self):
+        schema = build_schema()
+        graph = ERGraph(schema)
+        assert attribute_node("person", "phones") in graph.attributes_of("person")
+
+
+class TestInstances:
+    def test_validate_entity_instance_coerces_and_checks(self):
+        schema = build_schema()
+        instance = validate_entity_instance(
+            schema, EntityInstance("grad", {"id": 1, "city": "cp", "phones": ["1"], "credits": 10, "thesis": "t"})
+        )
+        assert instance.key_of(schema) == (1,)
+        with pytest.raises(InstanceError):
+            validate_entity_instance(schema, EntityInstance("grad", {"city": "cp"}))  # missing key
+        with pytest.raises(InstanceError):
+            validate_entity_instance(schema, EntityInstance("grad", {"id": 1, "bogus": 2}))
+        with pytest.raises(InstanceError):
+            validate_entity_instance(schema, EntityInstance("grad", {"id": 1, "credits": "many"}))
+
+    def test_weak_entity_instance_key_includes_owner(self):
+        schema = build_schema()
+        instance = validate_entity_instance(
+            schema, EntityInstance("section", {"cid": 2, "sec": 1, "year": 2024})
+        )
+        assert instance.key_of(schema) == (2, 1)
+
+    def test_validate_relationship_instance(self):
+        schema = build_schema()
+        instance = validate_relationship_instance(
+            schema,
+            RelationshipInstance("takes", {"student": (1,), "section": (2, 1)}, {"grade": "A"}),
+        )
+        assert instance.endpoint("student") == (1,)
+        with pytest.raises(InstanceError):
+            validate_relationship_instance(
+                schema, RelationshipInstance("takes", {"student": (1,)}, {})
+            )
+        with pytest.raises(InstanceError):
+            validate_relationship_instance(
+                schema,
+                RelationshipInstance("takes", {"student": (1,), "section": (2,)}, {}),
+            )
+        with pytest.raises(InstanceError):
+            validate_relationship_instance(
+                schema,
+                RelationshipInstance("takes", {"student": (1,), "section": (2, 1)}, {"bogus": 1}),
+            )
+
+    def test_with_values_copy(self):
+        original = EntityInstance("person", {"id": 1, "city": "a"})
+        updated = original.with_values(city="b")
+        assert original.values["city"] == "a" and updated.values["city"] == "b"

@@ -1,0 +1,210 @@
+"""Tests for schema changes, data migration, versioning and query-impact analysis."""
+
+import pytest
+
+from repro.core import Attribute, EntitySet, Participant, RelationshipSet
+from repro.errors import EvolutionError, VersioningError
+from repro.evolution import (
+    AddAttribute,
+    AddRelationship,
+    AddSubclass,
+    DropAttribute,
+    DropRelationship,
+    MakeAttributeMultiValued,
+    MakeRelationshipManyToMany,
+    Migrator,
+    RenameAttribute,
+    SchemaVersionHistory,
+    analyze_query_impact,
+    impact_summary,
+)
+from repro.mapping import CrudTemplates, named_mapping
+from repro.workloads.university import build_university_schema
+from tests.conftest import build_university_system
+
+
+class TestSchemaChanges:
+    def setup_method(self):
+        self.schema = build_university_schema()
+
+    def test_make_attribute_multivalued(self):
+        evolved = MakeAttributeMultiValued("person", "city").apply_to_schema(self.schema)
+        assert evolved.entity("person").attribute("city").is_multivalued()
+        assert not self.schema.entity("person").attribute("city").is_multivalued()
+
+    def test_make_attribute_multivalued_guards(self):
+        with pytest.raises(EvolutionError):
+            MakeAttributeMultiValued("person", "phone_numbers").apply_to_schema(self.schema)
+        with pytest.raises(EvolutionError):
+            MakeAttributeMultiValued("person", "person_id").apply_to_schema(self.schema)
+        with pytest.raises(EvolutionError):
+            MakeAttributeMultiValued("person", "name").apply_to_schema(self.schema)
+
+    def test_make_relationship_many_to_many(self):
+        evolved = MakeRelationshipManyToMany("advisor").apply_to_schema(self.schema)
+        assert evolved.relationship("advisor").kind() == "many_to_many"
+        assert self.schema.relationship("advisor").kind() == "many_to_one"
+        with pytest.raises(EvolutionError):
+            MakeRelationshipManyToMany("takes").apply_to_schema(self.schema)
+
+    def test_add_drop_rename_attribute(self):
+        evolved = AddAttribute("course", Attribute("department", "varchar")).apply_to_schema(self.schema)
+        assert evolved.entity("course").has_attribute("department")
+        evolved = DropAttribute("course", "credits").apply_to_schema(self.schema)
+        assert not evolved.entity("course").has_attribute("credits")
+        evolved = RenameAttribute("person", "street", "street_address").apply_to_schema(self.schema)
+        assert evolved.entity("person").has_attribute("street_address")
+        with pytest.raises(EvolutionError):
+            RenameAttribute("person", "street", "city").apply_to_schema(self.schema)
+
+    def test_add_subclass_and_relationship(self):
+        evolved = AddSubclass("person", "staff", [Attribute("office")]).apply_to_schema(self.schema)
+        assert evolved.entity("staff").parent == "person"
+        new_rel = RelationshipSet(
+            "mentor",
+            participants=[
+                Participant("instructor", role="mentor", cardinality="one"),
+                Participant("instructor", role="mentee", cardinality="many"),
+            ],
+        )
+        evolved = AddRelationship(new_rel).apply_to_schema(evolved)
+        assert evolved.has_relationship("mentor")
+        evolved = DropRelationship("mentor").apply_to_schema(evolved)
+        assert not evolved.has_relationship("mentor")
+
+    def test_describe_records(self):
+        change = MakeAttributeMultiValued("person", "city")
+        assert change.describe()["change"] == "make_attribute_multivalued"
+
+
+class TestMigration:
+    def test_single_to_multivalued_migration(self):
+        system = build_university_system(students=15, instructors=3, courses=5)
+        migrator = Migrator(system.schema, system.active_mapping(), system.db)
+        change = MakeAttributeMultiValued("person", "city")
+        new_schema, new_mapping, new_db, report = migrator.migrate(change=change)
+        assert report.entities_migrated == sum(
+            system.count(e) for e in ("student", "instructor", "course", "section")
+        )
+        assert report.entities_transformed >= 15
+        crud = CrudTemplates(new_schema, new_mapping, new_db)
+        sample_key = crud.entity_keys("student")[0]
+        value = crud.get_entity("student", sample_key).values["city"]
+        assert isinstance(value, list) and len(value) == 1
+
+    def test_relationship_cardinality_migration(self):
+        system = build_university_system(students=12, instructors=3, courses=4)
+        migrator = Migrator(system.schema, system.active_mapping(), system.db)
+        change = MakeRelationshipManyToMany("advisor")
+        new_schema, new_mapping, new_db, report = migrator.migrate(change=change)
+        # the physical realization moves from a foreign-key fold to a join table
+        assert new_mapping.relationship_placement("advisor").kind == "join_table"
+        assert report.relationships_migrated > 0
+        crud = CrudTemplates(new_schema, new_mapping, new_db)
+        # every advisor edge survived the migration
+        old_pairs = set()
+        for key in system.crud.entity_keys("student"):
+            for other in system.crud.related_keys("advisor", "student", key):
+                old_pairs.add((key, other))
+        new_pairs = set()
+        for key in crud.entity_keys("student"):
+            for other in crud.related_keys("advisor", "student", key):
+                new_pairs.add((key, other))
+        assert old_pairs == new_pairs
+
+    def test_remapping_without_schema_change(self):
+        system = build_university_system(students=10, instructors=2, courses=3)
+        migrator = Migrator(system.schema, system.active_mapping(), system.db)
+        target_spec = named_mapping(system.schema, "M3")
+        new_schema, new_mapping, new_db, report = migrator.migrate(new_spec=target_spec)
+        assert new_mapping.entity_placement("student").kind == "single_table"
+        crud = CrudTemplates(new_schema, new_mapping, new_db)
+        assert crud.count_entities("student") == system.count("student")
+
+    def test_drop_attribute_migration_discards_values(self):
+        system = build_university_system(students=8, instructors=2, courses=3)
+        migrator = Migrator(system.schema, system.active_mapping(), system.db)
+        new_schema, new_mapping, new_db, report = migrator.migrate(
+            change=DropAttribute("person", "street")
+        )
+        assert report.dropped_values > 0
+        crud = CrudTemplates(new_schema, new_mapping, new_db)
+        key = crud.entity_keys("student")[0]
+        assert "street" not in crud.get_entity("student", key).values
+
+    def test_migrate_requires_something(self):
+        system = build_university_system(students=5, instructors=2, courses=2)
+        migrator = Migrator(system.schema, system.active_mapping(), system.db)
+        with pytest.raises(Exception):
+            migrator.migrate()
+
+
+class TestVersioning:
+    def test_commit_rollback_rollforward(self):
+        schema = build_university_schema()
+        history = SchemaVersionHistory(schema)
+        change = MakeAttributeMultiValued("person", "city")
+        v1 = history.commit(change.apply_to_schema(schema), change=change, label="multi-city")
+        assert history.current_version == 1 and len(history) == 2
+        rolled = history.rollback()
+        assert rolled.version == 0
+        assert not history.current.schema.entity("person").attribute("city").is_multivalued()
+        with pytest.raises(VersioningError):
+            history.commit(schema)  # cannot commit while checked out in the past
+        forward = history.roll_forward()
+        assert forward.version == 1
+        with pytest.raises(VersioningError):
+            history.rollback(to_version=-1)
+        with pytest.raises(VersioningError):
+            history.version(99)
+
+    def test_diff_between_versions(self):
+        schema = build_university_schema()
+        history = SchemaVersionHistory(schema)
+        change = MakeAttributeMultiValued("person", "city")
+        history.commit(change.apply_to_schema(schema), change=change)
+        diff = history.diff(0, 1)
+        assert "person" in diff["attributes_changed"]
+        assert diff["attributes_changed"]["person"]["modified"] == ["city"]
+        assert history.history()[1]["change"]["change"] == "make_attribute_multivalued"
+
+
+class TestQueryImpact:
+    QUERIES = [
+        "select person_id, city from person",
+        "select person_id, street from person",
+        "select s.person_id, i.rank from student s join instructor i on advisor",
+        "select person_id, tot_credits from student where city = 'College Park'",
+    ]
+
+    def test_multivalued_change_localizes_impact(self):
+        schema = build_university_schema()
+        impacts = analyze_query_impact(schema, MakeAttributeMultiValued("person", "city"), self.QUERIES)
+        by_query = {i.query: i for i in impacts}
+        assert by_query[self.QUERIES[0]].status == "rewritten"
+        assert "unnest(city)" in by_query[self.QUERIES[0]].rewritten
+        assert by_query[self.QUERIES[1]].status == "unchanged"
+        assert by_query[self.QUERIES[2]].status == "unchanged"
+        summary = impact_summary(impacts)
+        assert summary["unchanged"] >= 2 and summary["broken"] == 0
+
+    def test_cardinality_change_leaves_queries_untouched(self):
+        schema = build_university_schema()
+        impacts = analyze_query_impact(schema, MakeRelationshipManyToMany("advisor"), self.QUERIES)
+        assert all(i.status == "unchanged" for i in impacts)
+
+    def test_drop_attribute_breaks_referencing_queries(self):
+        schema = build_university_schema()
+        impacts = analyze_query_impact(schema, DropAttribute("person", "city"), self.QUERIES)
+        by_query = {i.query: i for i in impacts}
+        assert by_query[self.QUERIES[0]].status == "broken"
+        assert by_query[self.QUERIES[1]].status == "unchanged"
+
+    def test_rename_attribute_is_mechanically_rewritten(self):
+        schema = build_university_schema()
+        impacts = analyze_query_impact(
+            schema, RenameAttribute("person", "city", "home_city"), self.QUERIES
+        )
+        by_query = {i.query: i for i in impacts}
+        assert by_query[self.QUERIES[0]].status == "rewritten"
+        assert "home_city" in by_query[self.QUERIES[0]].rewritten

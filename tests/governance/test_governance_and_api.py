@@ -1,0 +1,273 @@
+"""Tests for PII tagging, access control, right-to-erasure, auditing and the
+REST-like API layer."""
+
+import pytest
+
+from repro.api import ApiService, generate_openapi, parse_key
+from repro.api.resources import Route, Router, default_router
+from repro.errors import AccessDenied, ApiError, GovernanceError
+from repro.governance import (
+    AccessController,
+    AuditLog,
+    ErasureService,
+    PIIRegistry,
+    Policy,
+)
+from repro.workloads.university import build_university_schema
+from tests.conftest import build_university_system
+
+
+class TestPIIRegistry:
+    def test_bootstrap_from_schema_flags(self):
+        schema = build_university_schema()
+        registry = PIIRegistry(schema)
+        assert registry.is_pii("person", "street")
+        assert registry.is_pii("student", "city")  # inherited
+        assert not registry.is_pii("course", "title")
+        assert set(registry.entities_with_pii()) >= {"person", "student", "instructor"}
+
+    def test_tag_untag_and_describe(self):
+        schema = build_university_schema()
+        registry = PIIRegistry(schema)
+        registry.tag("student", "tot_credits", category="academic", retention_days=365)
+        assert registry.is_pii("student", "tot_credits")
+        assert any(t["category"] == "academic" for t in registry.describe())
+        assert registry.untag("student", "tot_credits")
+        assert not registry.is_pii("student", "tot_credits")
+        with pytest.raises(Exception):
+            registry.tag("student", "nonexistent")
+
+    def test_physical_locations_follow_the_mapping(self, university_system):
+        registry = PIIRegistry(university_system.schema)
+        locations = registry.physical_locations(university_system.active_mapping())
+        assert ("person", "street") in {(k.split(".")[0], k.split(".")[1]) for k in locations}
+        phone_locations = locations["person.phone_numbers"]
+        assert phone_locations and phone_locations[0][0] == "person_phone_numbers"
+
+
+class TestAccessControl:
+    def setup_method(self):
+        self.schema = build_university_schema()
+        self.audit = AuditLog()
+        self.registry = PIIRegistry(self.schema)
+        self.access = AccessController(self.schema, self.registry, self.audit)
+        self.access.grant(Policy(role="registrar", entity="person", actions={"read", "write"}))
+        self.access.grant(
+            Policy(role="analyst", entity="student", actions={"read"}, deny_pii=True)
+        )
+        self.access.assign_role("rita", "registrar")
+        self.access.assign_role("ana", "analyst")
+
+    def test_allow_and_deny(self):
+        assert self.access.can("rita", "read", "student")  # via parent entity policy
+        assert not self.access.can("ana", "write", "student")
+        with pytest.raises(AccessDenied):
+            self.access.check("ana", "write", "student")
+        assert not self.access.can("stranger", "read", "student")
+
+    def test_audit_records_decisions(self):
+        self.access.can("rita", "read", "student")
+        self.access.can("stranger", "read", "student")
+        outcomes = [e.outcome for e in self.audit.entries(action="access.read")]
+        assert "allowed" in outcomes and "denied" in outcomes
+
+    def test_pii_redaction_for_analysts(self):
+        visible = self.access.visible_attributes("ana", "student")
+        assert "tot_credits" in visible
+        assert "street" not in visible and "phone_numbers" not in visible
+        from repro.core import EntityInstance
+
+        redacted = self.access.redact(
+            "ana",
+            EntityInstance(
+                "student",
+                {"person_id": 1, "street": "X", "tot_credits": 12, "city": "Y"},
+            ),
+        )
+        assert "street" not in redacted.values and redacted.values["person_id"] == 1
+
+    def test_unknown_entity_or_action_rejected(self):
+        with pytest.raises(AccessDenied):
+            self.access.grant(Policy(role="r", entity="ghost"))
+        with pytest.raises(AccessDenied):
+            self.access.grant(Policy(role="r", entity="person", actions={"fly"}))
+
+
+class TestErasure:
+    def test_erase_removes_every_trace_and_verifies(self):
+        system = build_university_system(students=12, instructors=3, courses=4)
+        audit = AuditLog()
+        erasure = ErasureService(system.schema, system.active_mapping(), system.db, audit=audit)
+        victim = system.crud.entity_keys("student")[0]
+        footprint = erasure.footprint("student", victim)
+        assert footprint.get("person") == 1 and footprint.get("student") == 1
+        assert "takes" in footprint
+        report = erasure.erase("student", victim)
+        assert report.verified and report.rows_removed >= 3
+        assert erasure.footprint("student", victim) == {}
+        assert system.get("student", victim) is None
+        assert audit.entries(action="erasure")[0].outcome == "verified"
+
+    def test_erase_cascades_to_weak_dependants(self):
+        system = build_university_system(students=6, instructors=2, courses=3)
+        erasure = ErasureService(system.schema, system.active_mapping(), system.db)
+        course_key = system.crud.entity_keys("course")[0]
+        dependants = erasure.dependants("course", course_key)
+        assert dependants and all(entity == "section" for entity, _ in dependants)
+        report = erasure.erase("course", course_key)
+        assert report.dependants_erased and report.verified
+        assert all(system.get("section", key) is None for _, key in dependants)
+
+    def test_erase_unknown_instance_rejected(self):
+        system = build_university_system(students=4, instructors=2, courses=2)
+        erasure = ErasureService(system.schema, system.active_mapping(), system.db)
+        with pytest.raises(GovernanceError):
+            erasure.erase("student", 99999)
+
+    def test_erase_requires_permission_when_access_controlled(self):
+        system = build_university_system(students=4, instructors=2, courses=2)
+        access = AccessController(system.schema)
+        access.grant(Policy(role="dpo", entity="person", actions={"erase"}))
+        access.assign_role("olga", "dpo")
+        erasure = ErasureService(
+            system.schema, system.active_mapping(), system.db, access=access
+        )
+        victim = system.crud.entity_keys("student")[0]
+        with pytest.raises(AccessDenied):
+            erasure.erase("student", victim, principal="intruder")
+        assert erasure.erase("student", victim, principal="olga").verified
+
+    def test_erasure_works_under_nested_mapping(self):
+        """Erasure must clear nested arrays too (mapping M5-style layouts)."""
+
+        from repro import ErbiumDB
+        from repro.workloads.synthetic import (
+            build_synthetic_schema,
+            generate_synthetic_data,
+            synthetic_mappings,
+        )
+
+        schema = build_synthetic_schema()
+        system = ErbiumDB("m5", schema.clone("m5"))
+        system.set_mapping(synthetic_mappings(schema)["M5"])
+        data = generate_synthetic_data(scale=20)
+        system.load(data.entities, data.relationships)
+        erasure = ErasureService(system.schema, system.active_mapping(), system.db)
+        report = erasure.erase("S1", (0, 0))
+        assert report.verified
+        assert system.get("S1", (0, 0)) is None
+
+
+class TestAuditLog:
+    def test_sequence_filter_and_tail(self):
+        log = AuditLog()
+        log.record("erasure", "alice", entity="person", key=(1,))
+        log.record("access.read", "bob", entity="course", outcome="denied")
+        log.record("erasure", "alice", entity="person", key=(2,))
+        assert len(log) == 3
+        assert [e.sequence for e in log] == [1, 2, 3]
+        assert len(log.entries(action="erasure", principal="alice")) == 2
+        assert log.tail(1)[0].entity == "person"
+        assert log.entries(entity="course")[0].outcome == "denied"
+
+
+class TestApiRouting:
+    def test_route_matching_and_params(self):
+        route = Route("GET", "/entities/{entity}/{key}", "get_entity")
+        assert route.match("GET", "/entities/person/7") == {"entity": "person", "key": "7"}
+        assert route.match("POST", "/entities/person/7") is None
+        assert route.match("GET", "/entities/person") is None
+
+    def test_router_resolution_and_404(self):
+        router = default_router()
+        route, params = router.resolve("GET", "/entities/person/3")
+        assert route.handler == "get_entity" and params["key"] == "3"
+        with pytest.raises(ApiError):
+            router.resolve("GET", "/nonexistent/path/of/things")
+
+    def test_parse_key(self):
+        assert parse_key("7") == (7,)
+        assert parse_key("3,2") == (3, 2)
+        assert parse_key("abc") == ("abc",)
+        assert parse_key("1.5") == (1.5,)
+
+
+class TestApiService:
+    @pytest.fixture()
+    def api(self):
+        system = build_university_system(students=10, instructors=3, courses=4)
+        return ApiService(system), system
+
+    def test_entity_crud_through_api(self, api):
+        service, system = api
+        created = service.post("/entities/course", {"course_id": 99, "title": "New", "credits": 3})
+        assert created.status == 201
+        fetched = service.get("/entities/course/99")
+        assert fetched.status == 200 and fetched.body["values"]["title"] == "New"
+        updated = service.patch("/entities/course/99", {"credits": 4})
+        assert updated.status == 200
+        assert system.get("course", 99)["credits"] == 4
+        listing = service.get("/entities/course")
+        assert listing.status == 200 and listing.body["count"] == 5
+        deleted = service.delete("/entities/course/99")
+        assert deleted.status == 200 and system.get("course", 99) is None
+
+    def test_weak_entity_composite_key_path(self, api):
+        service, system = api
+        key = system.crud.entity_keys("section")[0]
+        response = service.get(f"/entities/section/{key[0]},{key[1]}")
+        assert response.status == 200 and response.body["values"]["year"] >= 2023
+
+    def test_relationship_endpoints(self, api):
+        service, system = api
+        student = system.crud.entity_keys("student")[0][0]
+        instructor = system.crud.entity_keys("instructor")[0][0]
+        response = service.post(
+            "/relationships/advisor",
+            {"endpoints": {"student": student, "instructor": instructor}},
+        )
+        assert response.status == 201
+        related = service.get(f"/entities/student/{student}/related/advisor")
+        assert related.status == 200 and [instructor] in related.body["related"]
+        removed = service.delete("/relationships/advisor", {"endpoints": {"student": student}})
+        assert removed.status == 200 and removed.body["removed"] >= 1
+
+    def test_query_endpoint_and_errors(self, api):
+        service, _ = api
+        good = service.post("/query", {"query": "select count(*) as n from student"})
+        assert good.status == 200 and good.body["rows"][0]["n"] == 10
+        missing = service.post("/query", {})
+        assert missing.status == 422
+        bad = service.post("/query", {"query": "select nope from student"})
+        assert bad.status == 400 and "error" in bad.body
+        not_found = service.get("/entities/student/424242")
+        assert not_found.status == 404
+        unknown_entity = service.get("/entities/ghost")
+        assert unknown_entity.status == 404
+
+    def test_api_with_access_control(self):
+        system = build_university_system(students=6, instructors=2, courses=2)
+        access = AccessController(system.schema)
+        access.grant(Policy(role="reader", entity="course", actions={"read"}))
+        access.assign_role("carl", "reader")
+        service = ApiService(system, access=access)
+        allowed = service.get("/entities/course/0", principal="carl")
+        assert allowed.status == 200
+        forbidden = service.get("/entities/student", principal="carl")
+        assert forbidden.status == 403
+        unauthenticated = service.get("/entities/course/0")
+        assert unauthenticated.status == 401
+
+    def test_openapi_document(self, api):
+        service, system = api
+        response = service.get("/openapi")
+        assert response.status == 200
+        document = response.body
+        assert "/entities/{entity}/{key}" in document["paths"]
+        assert "person" in document["components"]["schemas"]
+        person = document["components"]["schemas"]["person"]
+        assert person["properties"]["phone_numbers"]["type"] == "array"
+        assert document["x-relationships"]["takes"]["kind"] == "many_to_many"
+        # descriptive text from the schema flows into the doc
+        assert generate_openapi(system, service.router)["info"]["title"].startswith("ErbiumDB API")
+        assert response.json()

@@ -1,0 +1,221 @@
+"""Unit tests for the relational type system and expression evaluation."""
+
+import pytest
+
+from repro.errors import ExpressionError, TypeMismatchError
+from repro.relational import (
+    BOOL,
+    FLOAT,
+    INT,
+    TEXT,
+    ArrayType,
+    Column,
+    StructField,
+    StructType,
+    TableSchema,
+    array_of,
+    scalar_type,
+    struct_of,
+)
+from repro.relational.expressions import (
+    And,
+    BinaryOp,
+    ColumnRef,
+    FieldAccess,
+    FunctionCall,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    StructBuild,
+    col,
+    conjunction,
+    eq,
+    lit,
+)
+
+
+class TestScalarTypes:
+    def test_int_accepts_ints_and_integral_floats(self):
+        assert INT.validate(7) == 7
+        assert INT.validate(3.0) == 3
+
+    def test_int_rejects_strings_and_bools(self):
+        with pytest.raises(TypeMismatchError):
+            INT.validate("7")
+        with pytest.raises(TypeMismatchError):
+            INT.validate(True)
+
+    def test_float_coerces_int(self):
+        assert FLOAT.validate(2) == 2.0
+        assert isinstance(FLOAT.validate(2), float)
+
+    def test_text_rejects_numbers(self):
+        assert TEXT.validate("abc") == "abc"
+        with pytest.raises(TypeMismatchError):
+            TEXT.validate(5)
+
+    def test_bool_strict(self):
+        assert BOOL.validate(True) is True
+        with pytest.raises(TypeMismatchError):
+            BOOL.validate(1)
+
+    def test_none_always_allowed(self):
+        for dtype in (INT, FLOAT, TEXT, BOOL):
+            assert dtype.validate(None) is None
+
+    def test_scalar_type_lookup(self):
+        assert scalar_type("varchar") == TEXT
+        assert scalar_type("INT") == INT
+        with pytest.raises(TypeMismatchError):
+            scalar_type("uuid")
+
+    def test_type_equality_and_hash(self):
+        assert array_of(INT) == array_of(INT)
+        assert array_of(INT) != array_of(TEXT)
+        assert len({array_of(INT), array_of(INT)}) == 1
+
+
+class TestCompositeTypes:
+    def test_struct_validates_fields(self):
+        name = struct_of(first=TEXT, last=TEXT)
+        assert name.validate({"first": "A", "last": "B"}) == {"first": "A", "last": "B"}
+
+    def test_struct_fills_missing_fields_with_none(self):
+        name = struct_of(first=TEXT, last=TEXT)
+        assert name.validate({"first": "A"}) == {"first": "A", "last": None}
+
+    def test_struct_rejects_unknown_fields(self):
+        name = struct_of(first=TEXT)
+        with pytest.raises(TypeMismatchError):
+            name.validate({"nope": 1})
+
+    def test_struct_rejects_non_dict(self):
+        with pytest.raises(TypeMismatchError):
+            struct_of(x=INT).validate([1])
+
+    def test_struct_duplicate_fields_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            StructType([StructField("x", INT), StructField("x", TEXT)])
+
+    def test_array_validates_elements(self):
+        arr = array_of(INT)
+        assert arr.validate([1, 2, 3]) == [1, 2, 3]
+        with pytest.raises(TypeMismatchError):
+            arr.validate([1, "x"])
+
+    def test_array_of_struct(self):
+        arr = array_of(struct_of(x=INT))
+        assert arr.validate([{"x": 1}, {"x": None}]) == [{"x": 1}, {"x": None}]
+
+    def test_array_rejects_scalar(self):
+        with pytest.raises(TypeMismatchError):
+            array_of(INT).validate(5)
+
+
+class TestTableSchema:
+    def _schema(self):
+        return TableSchema(
+            "t",
+            [Column("id", INT, nullable=False), Column("name", TEXT), Column("tags", array_of(TEXT))],
+            primary_key=("id",),
+        )
+
+    def test_validate_row_applies_defaults(self):
+        schema = self._schema()
+        row = schema.validate_row({"id": 1})
+        assert row == {"id": 1, "name": None, "tags": None}
+
+    def test_validate_row_rejects_unknown_columns(self):
+        with pytest.raises(TypeMismatchError):
+            self._schema().validate_row({"id": 1, "bogus": 2})
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            TableSchema("t", [Column("a", INT), Column("a", TEXT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(TypeMismatchError):
+            TableSchema("t", [Column("a", INT)], primary_key=("b",))
+
+    def test_position_and_lookup(self):
+        schema = self._schema()
+        assert schema.position("name") == 1
+        assert schema.column("tags").dtype.is_array()
+        assert schema.has_column("id") and not schema.has_column("nope")
+
+
+class TestExpressions:
+    ROW = {"a": 3, "b": 5, "s": {"x": 1, "y": "hi"}, "arr": [1, 2, 3], "n": None}
+
+    def test_column_ref_and_literal(self):
+        assert col("a").evaluate(self.ROW) == 3
+        assert lit(10).evaluate(self.ROW) == 10
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExpressionError):
+            col("zzz").evaluate(self.ROW)
+
+    def test_arithmetic_and_comparison(self):
+        assert BinaryOp("+", col("a"), col("b")).evaluate(self.ROW) == 8
+        assert BinaryOp("<", col("a"), col("b")).evaluate(self.ROW) is True
+        assert BinaryOp("=", col("a"), lit(3)).evaluate(self.ROW) is True
+
+    def test_null_propagation(self):
+        assert BinaryOp("+", col("a"), col("n")).evaluate(self.ROW) is None
+        assert BinaryOp("=", col("n"), lit(1)).evaluate(self.ROW) is None
+
+    def test_division_by_zero_is_null(self):
+        assert BinaryOp("/", col("a"), lit(0)).evaluate(self.ROW) is None
+
+    def test_boolean_operators(self):
+        true = BinaryOp("<", col("a"), col("b"))
+        false = BinaryOp(">", col("a"), col("b"))
+        assert And([true, true]).evaluate(self.ROW) is True
+        assert And([true, false]).evaluate(self.ROW) is False
+        assert Or([false, true]).evaluate(self.ROW) is True
+        assert Not(false).evaluate(self.ROW) is True
+
+    def test_is_null(self):
+        assert IsNull(col("n")).evaluate(self.ROW) is True
+        assert IsNull(col("a"), negate=True).evaluate(self.ROW) is True
+
+    def test_in_list(self):
+        assert InList(col("a"), [1, 2, 3]).evaluate(self.ROW) is True
+        assert InList(col("a"), [5]).evaluate(self.ROW) is False
+        assert InList(col("n"), [1]).evaluate(self.ROW) is None
+
+    def test_field_access(self):
+        assert FieldAccess(col("s"), "x").evaluate(self.ROW) == 1
+        with pytest.raises(ExpressionError):
+            FieldAccess(col("s"), "zzz").evaluate(self.ROW)
+        with pytest.raises(ExpressionError):
+            FieldAccess(col("a"), "x").evaluate(self.ROW)
+
+    def test_field_access_on_null_is_null(self):
+        assert FieldAccess(col("n"), "x").evaluate(self.ROW) is None
+
+    def test_scalar_functions(self):
+        assert FunctionCall("cardinality", [col("arr")]).evaluate(self.ROW) == 3
+        assert FunctionCall("array_contains", [col("arr"), lit(2)]).evaluate(self.ROW) is True
+        assert FunctionCall("array_intersect", [col("arr"), lit([2, 3, 9])]).evaluate(self.ROW) == [2, 3]
+        assert FunctionCall("lower", [lit("AbC")]).evaluate(self.ROW) == "abc"
+        assert FunctionCall("coalesce", [col("n"), lit(7)]).evaluate(self.ROW) == 7
+        with pytest.raises(ExpressionError):
+            FunctionCall("no_such_fn", []).evaluate(self.ROW)
+
+    def test_struct_build(self):
+        value = StructBuild({"p": col("a"), "q": lit("z")}).evaluate(self.ROW)
+        assert value == {"p": 3, "q": "z"}
+
+    def test_references_deduplicated(self):
+        expression = And([eq(col("a"), col("b")), eq(col("a"), lit(1))])
+        assert expression.references() == ["a", "b"]
+
+    def test_conjunction_helper(self):
+        assert conjunction([]) is None
+        single = eq(col("a"), lit(3))
+        assert conjunction([single, None]) is single
+        combined = conjunction([single, eq(col("b"), lit(5))])
+        assert combined.evaluate(self.ROW) is True

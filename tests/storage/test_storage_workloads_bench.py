@@ -1,0 +1,212 @@
+"""Tests for the alternative storage layouts, the data generators and the
+benchmark harness/experiment registry."""
+
+import pytest
+
+from repro.bench import EXPERIMENTS, all_experiments, evaluate_claim, format_table, get_suite, to_markdown
+from repro.bench.harness import SyntheticBenchmarkSuite, ratio
+from repro.errors import CatalogError, ExecutionError
+from repro.storage import ColumnStore, FactorizedStore, NestedCollection
+from repro.storage.nested import NestedField, NestedSchema
+from repro.workloads import DataGenerator, GeneratorConfig
+from repro.workloads.synthetic import build_synthetic_schema, generate_synthetic_data
+from repro.workloads.university import build_university_schema, generate_university_data
+
+
+class TestColumnStore:
+    def test_append_project_filter_take(self):
+        store = ColumnStore("t", ["a", "b"])
+        store.extend([{"a": i, "b": i * 2} for i in range(10)])
+        assert len(store) == 10
+        assert list(store.project(["b"]))[0] == {"b": 0}
+        indices = store.filter_indices("a", lambda v: v >= 8)
+        assert store.take(indices, ["a"]) == [{"a": 8}, {"a": 9}]
+        assert store.numeric_column("a").sum() == 45
+
+    def test_rejects_unknown_columns_and_non_numeric(self):
+        store = ColumnStore("t", ["a"])
+        with pytest.raises(CatalogError):
+            store.append({"zzz": 1})
+        store.append({"a": "text"})
+        with pytest.raises(ExecutionError):
+            store.numeric_column("a")
+        with pytest.raises(CatalogError):
+            ColumnStore("t", ["a", "a"])
+
+    def test_rebuild_and_from_rows(self):
+        store = ColumnStore.from_rows("t", [{"a": 1}, {"a": 2}])
+        store.rebuild([{"a": 5}])
+        assert list(store.scan()) == [{"a": 5}]
+
+
+class TestNestedCollection:
+    def _collection(self):
+        schema = NestedSchema(
+            "orders",
+            key="order_id",
+            fields=[
+                NestedField("customer"),
+                NestedField("items", kind="array_of_struct", children=[NestedField("sku"), NestedField("qty")]),
+            ],
+        )
+        return NestedCollection(schema)
+
+    def test_put_get_update_delete(self):
+        orders = self._collection()
+        orders.put({"order_id": 1, "customer": "a", "items": [{"sku": "x", "qty": 2}]})
+        assert orders.get(1)["customer"] == "a"
+        orders.update(1, {"customer": "b"})
+        orders.append_to_array(1, "items", {"sku": "y", "qty": 1})
+        assert len(orders.get(1)["items"]) == 2
+        assert orders.delete(1) and orders.get(1) is None
+        assert not orders.delete(1)
+
+    def test_validation_errors(self):
+        orders = self._collection()
+        with pytest.raises(ExecutionError):
+            orders.put({"customer": "a"})  # missing key
+        with pytest.raises(ExecutionError):
+            orders.put({"order_id": 1, "bogus": 2})
+        with pytest.raises(ExecutionError):
+            orders.update(99, {"customer": "x"})
+
+    def test_unnest_and_filter(self):
+        orders = self._collection()
+        orders.put_many(
+            [
+                {"order_id": 1, "customer": "a", "items": [{"sku": "x", "qty": 2}, {"sku": "y", "qty": 1}]},
+                {"order_id": 2, "customer": "b", "items": []},
+            ]
+        )
+        flattened = list(orders.unnest("items"))
+        assert len(flattened) == 2 and flattened[0]["items.sku"] == "x"
+        assert len(list(orders.filter(lambda d: d["customer"] == "b"))) == 1
+
+
+class TestFactorizedStore:
+    def _store(self):
+        store = FactorizedStore("rs", "r", "r_id", "s", "s_id")
+        for i in range(4):
+            store.put_left({"r_id": i, "r_val": i * 10})
+        for j in range(3):
+            store.put_right({"s_id": j, "s_val": j + 100})
+        store.link(0, 0)
+        store.link(0, 1)
+        store.link(1, 1, payload={"weight": 2})
+        return store
+
+    def test_join_and_counts(self):
+        store = self._store()
+        assert store.count_join() == 3
+        joined = list(store.join())
+        assert len(joined) == 3 and {"r_id", "s_id", "r_val", "s_val"} <= set(joined[0])
+        assert store.edge_payload(1, 1) == {"weight": 2}
+        assert store.neighbours_of_left(0) == [0, 1]
+        assert store.neighbours_of_right(1) == [0, 1]
+
+    def test_factorized_aggregation_matches_join(self):
+        store = self._store()
+        aggregated = store.aggregate_right_per_left(lambda row: row["s_val"])
+        brute = {}
+        for row in store.join():
+            brute[row["r_id"]] = brute.get(row["r_id"], 0) + row["s_val"]
+        for key, value in brute.items():
+            assert aggregated[key] == value
+        assert aggregated[3] == 0.0  # unlinked left key
+
+    def test_unlink_and_delete(self):
+        store = self._store()
+        assert store.unlink(0, 1)
+        assert not store.unlink(0, 1)
+        assert store.delete_left(1)
+        assert store.count_join() == 1
+        assert store.delete_right(0)
+        assert store.count_join() == 0
+        with pytest.raises(ExecutionError):
+            store.link(99, 0)
+
+    def test_duplication_factor_reflects_sharing(self):
+        store = FactorizedStore("rs", "r", "r_id", "s", "s_id")
+        for i in range(2):
+            store.put_left({"r_id": i, "a": 1, "b": 2, "c": 3})
+        for j in range(2):
+            store.put_right({"s_id": j, "x": 1, "y": 2, "z": 3})
+        for i in range(2):
+            for j in range(2):
+                store.link(i, j)
+        assert store.flat_duplication_factor() > 1.0
+
+
+class TestWorkloadGenerators:
+    def test_synthetic_dataset_deterministic_and_shaped(self):
+        first = generate_synthetic_data(scale=30, seed=5)
+        second = generate_synthetic_data(scale=30, seed=5)
+        assert [e.values for e in first.entities] == [e.values for e in second.entities]
+        assert len(first.r_ids) == 30
+        assert set(first.types_by_r_id.values()) == {"R", "R1", "R2", "R3", "R4"}
+        kinds = {e.entity_set for e in first.entities}
+        assert kinds == {"R", "R1", "R2", "R3", "R4", "S", "S1", "S2"}
+        assert all(r.relationship_set in ("r_s", "r2_s1") for r in first.relationships)
+
+    def test_university_dataset_consistency(self):
+        data = generate_university_data(students=25, instructors=4, courses=6, seed=3)
+        assert len(data.student_ids) == 25
+        assert len(data.sections) == 12
+        takes = [r for r in data.relationships if r.relationship_set == "takes"]
+        assert all(r.values["grade"] for r in takes)
+        # section endpoints reference generated sections
+        sections = set(data.sections)
+        assert all(tuple(r.endpoints["section"]) in sections for r in takes)
+
+    def test_generic_generator_produces_valid_instances(self):
+        from repro.core import validate_entity_instance, validate_relationship_instance
+
+        schema = build_university_schema()
+        generator = DataGenerator(schema, GeneratorConfig(instances_per_entity=10, weak_per_owner=2, seed=1))
+        entities, relationships = generator.generate()
+        assert entities and relationships
+        for instance in entities:
+            validate_entity_instance(schema, instance)
+        for instance in relationships:
+            validate_relationship_instance(schema, instance)
+
+    def test_generic_generator_loads_into_system(self):
+        from repro import ErbiumDB
+
+        schema = build_synthetic_schema()
+        generator = DataGenerator(schema, GeneratorConfig(instances_per_entity=8, weak_per_owner=2, seed=2))
+        entities, relationships = generator.generate()
+        system = ErbiumDB("generated", schema)
+        system.set_mapping()
+        system.load(entities, relationships)
+        assert system.count("R") == 8
+        assert system.count("S1") == 16
+
+
+class TestBenchHarness:
+    def test_experiment_registry_is_complete(self):
+        ids = {e.id for e in all_experiments()}
+        assert {"E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b", "E8a", "E8b"} <= ids
+        for experiment in all_experiments():
+            assert experiment.claims and experiment.mappings
+            assert experiment.query is not None or experiment.operation is not None
+
+    def test_suite_runs_and_reports(self):
+        suite = SyntheticBenchmarkSuite(scale=25, mappings=("M1", "M2"))
+        experiment = EXPERIMENTS["E1"]
+        results = experiment.run(suite, repeats=1)
+        assert set(results) == {"M1", "M2"}
+        assert results["M1"].rows == results["M2"].rows == 25
+        outcome = evaluate_claim(experiment.claims[0], results, experiment)
+        assert outcome.measured_factor == pytest.approx(
+            ratio(results["M1"], results["M2"]), rel=1e-9
+        )
+        table = format_table([outcome])
+        assert "E1" in table
+        markdown = to_markdown([outcome])
+        assert markdown.startswith("| Experiment |")
+
+    def test_get_suite_caches(self):
+        first = get_suite(scale=25, mappings=("M1", "M2"))
+        second = get_suite(scale=25, mappings=("M1", "M2"))
+        assert first is second

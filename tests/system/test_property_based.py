@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Three invariant families:
+
+* the relational substrate (indexes agree with scans; aggregation totals;
+  transaction rollback restores the exact prior state);
+* the E/R -> physical round trip (insert any generated instance under any of
+  the six mappings, read it back unchanged);
+* the mapping layer's cover property (every compiled mapping is a valid cover
+  of the E/R graph for randomly chosen design choices).
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import EntityInstance
+from repro.mapping import (
+    CrudTemplates,
+    MappingSpec,
+    check_mapping,
+    compile_mapping,
+    validate_mapping_cover,
+)
+from repro.relational import Column, Database, INT, TEXT, array_of
+from repro.relational.operators import AggregateSpec, HashAggregate, SeqScan
+from repro.relational.expressions import col
+from repro.workloads.synthetic import build_synthetic_schema
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.function_scoped_fixture],
+)
+
+SCHEMA = build_synthetic_schema()
+
+
+def _fresh_people_db() -> Database:
+    db = Database()
+    db.create_table(
+        "t",
+        [Column("id", INT, nullable=False), Column("grp", TEXT), Column("v", INT), Column("tags", array_of(INT))],
+        primary_key=["id"],
+    )
+    return db
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.text(alphabet="abc", min_size=1, max_size=1),
+        st.integers(min_value=-100, max_value=100),
+        st.lists(st.integers(min_value=0, max_value=5), max_size=4),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestRelationalInvariants:
+    @SETTINGS
+    @given(rows=rows_strategy)
+    def test_index_lookup_agrees_with_scan(self, rows):
+        db = _fresh_people_db()
+        for i, (grp, v, tags) in enumerate(rows):
+            db.insert("t", {"id": i, "grp": grp, "v": v, "tags": tags})
+        db.create_index("t", ["grp"])
+        table = db.table("t")
+        for grp in {"a", "b", "c"}:
+            via_index = {r["id"] for r in table.lookup(("grp",), (grp,))}
+            via_scan = {r["id"] for r in table.rows() if r["grp"] == grp}
+            assert via_index == via_scan
+
+    @SETTINGS
+    @given(rows=rows_strategy)
+    def test_group_sums_add_up_to_total(self, rows):
+        db = _fresh_people_db()
+        for i, (grp, v, tags) in enumerate(rows):
+            db.insert("t", {"id": i, "grp": grp, "v": v, "tags": tags})
+        grouped = db.execute(
+            HashAggregate(
+                SeqScan("t"),
+                [("grp", col("grp"))],
+                [AggregateSpec("sum", col("v"), "s"), AggregateSpec("count_star", None, "n")],
+            )
+        )
+        total = sum(r["s"] or 0 for r in grouped.rows)
+        count = sum(r["n"] for r in grouped.rows)
+        assert total == sum(v for _, v, _ in rows)
+        assert count == len(rows)
+
+    @SETTINGS
+    @given(rows=rows_strategy, fail_at=st.integers(min_value=0, max_value=39))
+    def test_transaction_rollback_restores_state(self, rows, fail_at):
+        db = _fresh_people_db()
+        for i, (grp, v, tags) in enumerate(rows):
+            db.insert("t", {"id": i, "grp": grp, "v": v, "tags": tags})
+        snapshot = sorted((r["id"], r["grp"], r["v"]) for r in db.table("t").rows())
+        try:
+            with db.transaction():
+                for i, (grp, v, tags) in enumerate(rows):
+                    db.update("t", lambda r, i=i: r["id"] == i, {"v": v + 1})
+                    if i == fail_at:
+                        raise RuntimeError("induced failure")
+                db.insert("t", {"id": 10_000, "grp": "z", "v": 0, "tags": []})
+                raise RuntimeError("induced failure")
+        except RuntimeError:
+            pass
+        after = sorted((r["id"], r["grp"], r["v"]) for r in db.table("t").rows())
+        assert after == snapshot
+
+
+r_instance_strategy = st.fixed_dictionaries(
+    {
+        "r_id": st.just(1),
+        "r_x": st.fixed_dictionaries(
+            {"r_x1": st.integers(min_value=0, max_value=99), "r_x2": st.text(alphabet="xyz", max_size=4)}
+        ),
+        "r_y": st.one_of(st.none(), st.integers(min_value=-5, max_value=5)),
+        "r_mv1": st.lists(st.integers(min_value=0, max_value=30), max_size=4, unique=True),
+        "r_mv2": st.lists(st.integers(min_value=0, max_value=30), max_size=3, unique=True),
+        "r_mv3": st.lists(
+            st.fixed_dictionaries({"x": st.integers(min_value=0, max_value=9), "y": st.text(alphabet="ab", max_size=2)}),
+            max_size=2,
+        ),
+        "r1_x": st.integers(min_value=0, max_value=9),
+        "r3_x": st.integers(min_value=0, max_value=9),
+    }
+)
+
+
+class TestRoundTripAcrossMappings:
+    @SETTINGS
+    @given(values=r_instance_strategy, label=st.sampled_from(["M1", "M2", "M3", "M4"]))
+    def test_r3_round_trip(self, values, label):
+        from repro.workloads.synthetic import synthetic_mappings
+
+        spec = synthetic_mappings(SCHEMA)[label]
+        mapping = compile_mapping(SCHEMA, spec)
+        db = Database()
+        mapping.install(db)
+        crud = CrudTemplates(SCHEMA, mapping, db)
+        crud.insert_entity(EntityInstance("R3", dict(values)))
+        read_back = crud.get_entity("R3", (values["r_id"],))
+        assert read_back is not None
+        assert read_back.values["r_x"] == values["r_x"]
+        assert read_back.values["r_y"] == values["r_y"]
+        assert sorted(read_back.values["r_mv1"] or []) == sorted(values["r_mv1"])
+        assert read_back.values["r3_x"] == values["r3_x"]
+
+    @SETTINGS
+    @given(
+        s_x=st.integers(min_value=0, max_value=100),
+        weak_values=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=4, unique=True),
+        label=st.sampled_from(["M1", "M5"]),
+    )
+    def test_weak_entity_round_trip(self, s_x, weak_values, label):
+        from repro.workloads.synthetic import synthetic_mappings
+
+        spec = synthetic_mappings(SCHEMA)[label]
+        mapping = compile_mapping(SCHEMA, spec)
+        db = Database()
+        mapping.install(db)
+        crud = CrudTemplates(SCHEMA, mapping, db)
+        crud.insert_entity(EntityInstance("S", {"s_id": 1, "s_x": s_x, "s_y": "y"}))
+        for index, value in enumerate(weak_values):
+            crud.insert_entity(
+                EntityInstance("S1", {"s_id": 1, "s1_id": index, "s1_x": value, "s1_y": "w"})
+            )
+        assert crud.count_entities("S1") == len(weak_values)
+        for index, value in enumerate(weak_values):
+            instance = crud.get_entity("S1", (1, index))
+            assert instance is not None and instance.values["s1_x"] == value
+
+
+hierarchy_option = st.sampled_from(["delta", "single_table", "disjoint"])
+mv_option = st.sampled_from(["side_table", "array"])
+weak_option = st.sampled_from(["own_table", "nested_in_owner"])
+
+
+class TestMappingCoverProperty:
+    @SETTINGS
+    @given(
+        hierarchy=hierarchy_option,
+        mv1=mv_option,
+        mv2=mv_option,
+        mv3=mv_option,
+        weak1=weak_option,
+        weak2=weak_option,
+    )
+    def test_random_specs_compile_to_valid_covers(self, hierarchy, mv1, mv2, mv3, weak1, weak2):
+        spec = MappingSpec(
+            name="random",
+            hierarchy={"R": hierarchy},
+            multivalued={("R", "r_mv1"): mv1, ("R", "r_mv2"): mv2, ("R", "r_mv3"): mv3},
+            weak_entity={"S1": weak1, "S2": weak2},
+        )
+        mapping = compile_mapping(SCHEMA, spec)
+        result = check_mapping(SCHEMA, mapping)
+        assert result.valid, result.problems
+        validate_mapping_cover(SCHEMA, mapping)
