@@ -15,6 +15,18 @@ from repro.bench import get_suite
 BENCH_SCALE = int(os.environ.get("ERBIUM_BENCH_SCALE", "400"))
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ so unit runs can deselect it.
+
+    ``pytest -m "not benchmark"`` runs the fast tier-1 tests only; the full
+    invocation (no ``-m``) still runs both suites.
+    """
+
+    for item in items:
+        if "benchmarks" in item.nodeid.split("::", 1)[0]:
+            item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture(scope="session")
 def suite():
     """Six mapped and loaded Figure 4 databases (M1..M6), built once."""

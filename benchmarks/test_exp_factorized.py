@@ -23,7 +23,7 @@ class TestE8aPrejoinedQuery:
 
     def test_e8a_direction(self, suite):
         experiment = get_experiment("E8a")
-        results = experiment.run(suite, repeats=3)
+        results = experiment.run(suite)
         outcomes = [evaluate_claim(c, results, experiment) for c in experiment.claims]
         assert all(o.direction_reproduced for o in outcomes), [o.describe() for o in outcomes]
 
@@ -39,7 +39,7 @@ class TestE8bSingleTablePenalty:
 
     def test_e8b_direction(self, suite):
         experiment = get_experiment("E8b")
-        results = experiment.run(suite, repeats=3)
+        results = experiment.run(suite)
         outcomes = [evaluate_claim(c, results, experiment) for c in experiment.claims]
         assert all(o.direction_reproduced for o in outcomes), [o.describe() for o in outcomes]
 

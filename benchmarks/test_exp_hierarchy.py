@@ -25,7 +25,7 @@ class TestE5SubclassScan:
 
     def test_e5_directions(self, suite):
         experiment = get_experiment("E5")
-        results = experiment.run(suite, repeats=3)
+        results = experiment.run(suite)
         outcomes = [evaluate_claim(c, results, experiment) for c in experiment.claims]
         assert all(o.direction_reproduced for o in outcomes), [o.describe() for o in outcomes]
 
@@ -46,6 +46,6 @@ class TestE6JoinWithPredicates:
 
     def test_e6_parity(self, suite):
         experiment = get_experiment("E6")
-        results = experiment.run(suite, repeats=3)
+        results = experiment.run(suite)
         outcomes = [evaluate_claim(c, results, experiment) for c in experiment.claims]
         assert all(o.direction_reproduced for o in outcomes), [o.describe() for o in outcomes]

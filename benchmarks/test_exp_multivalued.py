@@ -19,7 +19,7 @@ def _run_and_check(suite, experiment_id, benchmark, bench_mapping):
         benchmark(lambda: experiment.operation(suite.system(bench_mapping)))
     else:
         benchmark(lambda: suite.run_query(bench_mapping, query_or_op))
-    results = experiment.run(suite, repeats=3)
+    results = experiment.run(suite)
     return [evaluate_claim(claim, results, experiment) for claim in experiment.claims]
 
 

@@ -20,7 +20,7 @@ class TestE7aNestedFetch:
 
     def test_e7a_direction(self, suite):
         experiment = get_experiment("E7a")
-        results = experiment.run(suite, repeats=3)
+        results = experiment.run(suite)
         outcomes = [evaluate_claim(c, results, experiment) for c in experiment.claims]
         assert all(o.direction_reproduced for o in outcomes), [o.describe() for o in outcomes]
 
@@ -43,6 +43,6 @@ class TestE7bUnnestJoin:
 
     def test_e7b_direction(self, suite):
         experiment = get_experiment("E7b")
-        results = experiment.run(suite, repeats=3)
+        results = experiment.run(suite)
         outcomes = [evaluate_claim(c, results, experiment) for c in experiment.claims]
         assert all(o.direction_reproduced for o in outcomes), [o.describe() for o in outcomes]

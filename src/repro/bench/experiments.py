@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..system import ErbiumDB
-from .harness import Measurement, SyntheticBenchmarkSuite
+from .harness import DEFAULT_REPEATS, DEFAULT_WARMUP, Measurement, SyntheticBenchmarkSuite
 
 
 @dataclass
@@ -48,14 +48,23 @@ class Experiment:
     claims: List[PaperClaim] = field(default_factory=list)
     operation: Optional[Callable[[ErbiumDB], object]] = None
 
-    def run(self, suite: SyntheticBenchmarkSuite, repeats: int = 3) -> Dict[str, Measurement]:
+    def run(
+        self,
+        suite: SyntheticBenchmarkSuite,
+        repeats: int = DEFAULT_REPEATS,
+        warmup: int = DEFAULT_WARMUP,
+    ) -> Dict[str, Measurement]:
         results: Dict[str, Measurement] = {}
         for mapping in self.mappings:
             if self.operation is not None:
-                results[mapping] = suite.time_callable(self.id, mapping, self.operation, repeats)
+                results[mapping] = suite.time_callable(
+                    self.id, mapping, self.operation, repeats, warmup=warmup
+                )
             else:
                 assert self.query is not None
-                results[mapping] = suite.time_query(self.id, mapping, self.query, repeats)
+                results[mapping] = suite.time_query(
+                    self.id, mapping, self.query, repeats, warmup=warmup
+                )
         return results
 
 

@@ -67,8 +67,8 @@ def evaluate_claim(claim: PaperClaim, results: Dict[str, Measurement],
         slower_mapping=claim.slower_mapping,
         reported_factor=claim.factor,
         measured_factor=measured,
-        faster_seconds=fast.median_seconds,
-        slower_seconds=slow.median_seconds,
+        faster_seconds=fast.best_seconds,
+        slower_seconds=slow.best_seconds,
         direction_reproduced=direction,
         paper_numbers=claim.paper_numbers,
     )

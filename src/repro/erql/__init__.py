@@ -12,6 +12,7 @@ from .ddl import apply_ddl, apply_statement, schema_from_ddl
 from .logical import BoundQuery
 from .parser import Parser, parse_query, parse_script, parse_statement
 from .planner import Planner
+from .unparse import unparse_expr, unparse_query
 
 __all__ = [
     "Parser",
@@ -22,6 +23,8 @@ __all__ = [
     "analyze_query",
     "BoundQuery",
     "Planner",
+    "unparse_query",
+    "unparse_expr",
     "apply_ddl",
     "apply_statement",
     "schema_from_ddl",

@@ -58,6 +58,7 @@ from ..relational.operators import (
     Unnest,
 )
 from ..relational.plan import PlanNode, QueryResult
+from ..relational.vectorized import annotate_required_columns
 from .logical import (
     BoundAggregate,
     BoundBinOp,
@@ -109,7 +110,9 @@ class Planner:
             plan = Sort(plan, [(o.column, o.ascending) for o in query.order_by])
         if query.limit is not None:
             plan = Limit(plan, query.limit)
-        return plan
+        # Scans below the final projection only need the columns the plan
+        # actually consumes; the batch executor projects them at scan time.
+        return annotate_required_columns(plan)
 
     def explain(self, query: BoundQuery) -> str:
         return self.plan(query).explain()

@@ -1,0 +1,122 @@
+"""Render ERQL query ASTs back to source text.
+
+``parse_query(unparse_query(ast))`` returns an AST equal to ``ast`` for every
+tree the parser can produce — the round-trip property checked by
+``tests/erql/test_property_roundtrip.py``.  Expressions are parenthesized
+conservatively (the parser folds redundant parentheses away, so they never
+break equality), and string literals re-escape embedded quotes the way the
+lexer consumes them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ParseError
+from .ast_nodes import (
+    BinOp,
+    Expr,
+    FromEntity,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    Name,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    StructCall,
+    UnaryOp,
+)
+
+
+def _literal(value: Any) -> str:
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)
+
+
+def unparse_expr(expr: Expr) -> str:
+    """One expression back to ERQL text."""
+
+    if isinstance(expr, Literal):
+        return _literal(expr.value)
+    if isinstance(expr, Name):
+        return expr.dotted()
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, BinOp):
+        return f"({unparse_expr(expr.left)} {expr.op} {unparse_expr(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return f"(not {unparse_expr(expr.operand)})"
+        return f"(-{unparse_expr(expr.operand)})"
+    if isinstance(expr, IsNull):
+        keyword = "is not null" if expr.negate else "is null"
+        return f"({unparse_expr(expr.operand)} {keyword})"
+    if isinstance(expr, InList):
+        values = ", ".join(_literal(v) for v in expr.values)
+        return f"({unparse_expr(expr.operand)} in ({values}))"
+    if isinstance(expr, FuncCall):
+        inner = ", ".join(unparse_expr(a) for a in expr.args)
+        distinct = "distinct " if expr.distinct else ""
+        return f"{expr.name}({distinct}{inner})"
+    if isinstance(expr, StructCall):
+        parts = []
+        for alias, value in expr.fields:
+            rendered = unparse_expr(value)
+            parts.append(f"{rendered} as {alias}" if alias else rendered)
+        return f"struct({', '.join(parts)})"
+    raise ParseError(f"cannot unparse expression {expr!r}")
+
+
+def _select_item(item: SelectItem) -> str:
+    rendered = unparse_expr(item.expression)
+    return f"{rendered} as {item.alias}" if item.alias else rendered
+
+
+def _from_entity(source: FromEntity) -> str:
+    if source.alias and source.alias != source.entity:
+        return f"{source.entity} {source.alias}"
+    if source.alias:
+        return f"{source.entity} as {source.alias}"
+    return source.entity
+
+
+def _join(join: Join) -> str:
+    keyword = "left join" if join.join_type == "left" else "join"
+    return f"{keyword} {_from_entity(join.entity)} on {join.relationship}"
+
+
+def _order_item(item: OrderItem) -> str:
+    direction = "asc" if item.ascending else "desc"
+    return f"{unparse_expr(item.expression)} {direction}"
+
+
+def unparse_query(statement: SelectStatement) -> str:
+    """A full SELECT statement back to ERQL text."""
+
+    parts = [
+        "select " + ", ".join(_select_item(item) for item in statement.items),
+        "from " + _from_entity(statement.source),
+    ]
+    for join in statement.joins:
+        parts.append(_join(join))
+    if statement.where is not None:
+        parts.append("where " + unparse_expr(statement.where))
+    if statement.group_by:
+        parts.append("group by " + ", ".join(unparse_expr(e) for e in statement.group_by))
+    if statement.order_by:
+        parts.append("order by " + ", ".join(_order_item(o) for o in statement.order_by))
+    if statement.limit is not None:
+        parts.append(f"limit {statement.limit}")
+    return " ".join(parts)

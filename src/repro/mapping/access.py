@@ -249,6 +249,14 @@ class AccessPathBuilder:
         own_renames: Dict[str, str] = {}
         tables_needed: Dict[str, List[str]] = {}
         for attribute in requested:
+            if attribute in key_names:
+                # The hierarchy key is the delta table's own key (FK = PK in a
+                # delta layout), so inherited key attributes never need a join
+                # up to the declaring ancestor's table.
+                column = placement.key_columns[key_names.index(attribute)]
+                if f"{alias}.{column}" != qualified(alias, attribute):
+                    own_renames[f"{alias}.{column}"] = qualified(alias, attribute)
+                continue
             attr_placement = self._attribute_placement(entity, attribute)
             if attr_placement.kind not in ("inline", "inline_array"):
                 continue

@@ -10,8 +10,10 @@ This package replaces the PostgreSQL backend used by the paper's prototype
 * physical operators in :mod:`repro.relational.operators`.
 """
 
+from .batch import Batch
 from .engine import Database
 from .plan import PlanNode, QueryResult
+from .vectorized import BatchExecutor, annotate_required_columns, execute_batch
 from .types import (
     BIGINT,
     BOOL,
@@ -33,6 +35,10 @@ __all__ = [
     "Database",
     "PlanNode",
     "QueryResult",
+    "Batch",
+    "BatchExecutor",
+    "execute_batch",
+    "annotate_required_columns",
     "Column",
     "TableSchema",
     "DataType",

@@ -1,0 +1,178 @@
+"""Columnar record batches: the data unit of the vectorized executor.
+
+A :class:`Batch` is a set of named columns of equal length.  Values are plain
+Python lists (the repo has no hard numpy dependency on the query path), but
+the layout removes the per-row dict construction and per-row expression-tree
+interpretation that dominate the row executor — each operator touches each
+column once instead of touching each row once per column.
+
+Column order is significant: it mirrors the key order of the row dicts the
+row executor would produce, so ``to_rows()`` round-trips exactly and the two
+executors can be compared row-for-row (see
+``tests/relational/test_vectorized_parity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..errors import ExecutionError
+
+
+class Batch:
+    """A fixed-length collection of named value columns."""
+
+    __slots__ = ("columns", "data", "length")
+
+    def __init__(self, columns: Sequence[str], data: Dict[str, List[Any]], length: int) -> None:
+        self.columns: List[str] = list(columns)
+        self.data = data
+        self.length = length
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def empty(cls, columns: Sequence[str] = ()) -> "Batch":
+        return cls(columns, {c: [] for c in columns}, 0)
+
+    @classmethod
+    def from_rows(
+        cls, rows: Sequence[Dict[str, Any]], columns: Optional[Sequence[str]] = None
+    ) -> "Batch":
+        """Build a batch from row dicts.
+
+        When ``columns`` is not given, the column set is the union of row key
+        sets in first-seen order (ragged rows are padded with ``None``, which
+        is also what the row operators' ``row.get`` convention produces).
+        """
+
+        if columns is None:
+            names: List[str] = []
+            seen = set()
+            for row in rows:
+                for key in row:
+                    if key not in seen:
+                        seen.add(key)
+                        names.append(key)
+            columns = names
+        data = {c: [row.get(c) for row in rows] for c in columns}
+        return cls(columns, data, len(rows))
+
+    @classmethod
+    def from_columns(cls, columns: Sequence[str], data: Dict[str, List[Any]]) -> "Batch":
+        length = len(data[columns[0]]) if columns else 0
+        for name in columns:
+            if len(data[name]) != length:
+                raise ExecutionError(
+                    f"batch column {name!r} has length {len(data[name])}, expected {length}"
+                )
+        return cls(columns, data, length)
+
+    # -- basic access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.length
+
+    def has_column(self, name: str) -> bool:
+        return name in self.data
+
+    def column(self, name: str) -> List[Any]:
+        """One column's values; raises like a row-mode ``ColumnRef`` would."""
+
+        try:
+            return self.data[name]
+        except KeyError:
+            raise ExecutionError(f"batch has no column {name!r}") from None
+
+    def row(self, index: int) -> Dict[str, Any]:
+        return {c: self.data[c][index] for c in self.columns}
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """Materialize row dicts (the boundary back to the row-oriented API)."""
+
+        columns = self.columns
+        if not columns:
+            return [{} for _ in range(self.length)]
+        pairs = [(c, self.data[c]) for c in columns]
+        return [{c: values[i] for c, values in pairs} for i in range(self.length)]
+
+    def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        for i in range(self.length):
+            yield self.row(i)
+
+    # -- transforms (all return new batches; columns are shared, not copied) --
+
+    def take(self, indices: Sequence[int]) -> "Batch":
+        """Select rows by position (gather)."""
+
+        data = {}
+        for name in self.columns:
+            source = self.data[name]
+            data[name] = [source[i] for i in indices]
+        return Batch(self.columns, data, len(indices))
+
+    def slice(self, start: int, stop: int) -> "Batch":
+        start = max(0, start)
+        stop = min(self.length, stop)
+        if stop < start:
+            stop = start
+        data = {name: self.data[name][start:stop] for name in self.columns}
+        return Batch(self.columns, data, stop - start)
+
+    def select(self, columns: Sequence[str]) -> "Batch":
+        """Keep only the named columns (in the given order)."""
+
+        return Batch(columns, {c: self.column(c) for c in columns}, self.length)
+
+    def rename(self, renames: Dict[str, str]) -> "Batch":
+        """Rename columns; names not present in ``renames`` pass through.
+
+        Collisions keep the position of the first occurrence and the values of
+        the last, matching the row executor's dict-comprehension semantics.
+        """
+
+        columns: List[str] = []
+        data: Dict[str, List[Any]] = {}
+        for c in self.columns:
+            target = renames.get(c, c)
+            if target not in data:
+                columns.append(target)
+            data[target] = self.data[c]
+        return Batch(columns, data, self.length)
+
+    def with_column(self, name: str, values: List[Any]) -> "Batch":
+        """Add (or replace) one column."""
+
+        columns = list(self.columns)
+        if name not in self.data:
+            columns.append(name)
+        data = dict(self.data)
+        data[name] = values
+        return Batch(columns, data, self.length)
+
+    @staticmethod
+    def concat(batches: Sequence["Batch"], columns: Optional[Sequence[str]] = None) -> "Batch":
+        """Stack batches vertically, padding missing columns with ``None``."""
+
+        if columns is None:
+            names: List[str] = []
+            seen = set()
+            for batch in batches:
+                for c in batch.columns:
+                    if c not in seen:
+                        seen.add(c)
+                        names.append(c)
+            columns = names
+        data: Dict[str, List[Any]] = {c: [] for c in columns}
+        total = 0
+        for batch in batches:
+            for c in columns:
+                if batch.has_column(c):
+                    data[c].extend(batch.data[c])
+                else:
+                    data[c].extend([None] * batch.length)
+            total += batch.length
+        return Batch(columns, data, total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Batch rows={self.length} cols={self.columns}>"

@@ -30,11 +30,25 @@ from .transactions import TransactionManager, transaction
 from .types import Column, TableSchema
 
 
-class Database:
-    """An embedded, in-memory relational database."""
+#: Executor modes accepted by :meth:`Database.execute`.
+EXECUTORS = ("batch", "row")
 
-    def __init__(self, name: str = "erbium") -> None:
+
+class Database:
+    """An embedded, in-memory relational database.
+
+    ``executor`` selects the default plan execution strategy: ``"batch"``
+    (vectorized, column-at-a-time — the default) or ``"row"`` (the original
+    dict-per-row iterator model).  Individual ``execute`` calls can override
+    it; both executors run the same plan trees and return the same results
+    (see ``tests/relational/test_vectorized_parity.py``).
+    """
+
+    def __init__(self, name: str = "erbium", executor: str = "batch") -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
         self.name = name
+        self.executor = executor
         self.catalog = Catalog()
         self.statistics = StatisticsManager()
         self.transactions = TransactionManager(self)
@@ -247,9 +261,21 @@ class Database:
 
     # ------------------------------------------------------------- execution
 
-    def execute(self, plan: PlanNode) -> QueryResult:
-        """Execute a physical plan and materialize the result."""
+    def execute(self, plan: PlanNode, executor: Optional[str] = None) -> QueryResult:
+        """Execute a physical plan and return the result.
 
+        ``executor`` overrides the database default (``"batch"`` or
+        ``"row"``).  The batch path returns a columnar-backed result whose row
+        dicts materialize lazily.
+        """
+
+        mode = executor if executor is not None else self.executor
+        if mode == "batch":
+            from .vectorized import execute_batch
+
+            return QueryResult.from_batch(execute_batch(plan, self))
+        if mode != "row":
+            raise ValueError(f"unknown executor {mode!r}; expected one of {EXECUTORS}")
         rows = list(plan.execute(self))
         columns = plan.output_columns()
         if columns is None:

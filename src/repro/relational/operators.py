@@ -136,6 +136,9 @@ class Filter(PlanNode):
     def children(self) -> List[PlanNode]:
         return [self.child]
 
+    def output_columns(self) -> Optional[List[str]]:
+        return self.child.output_columns()
+
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
         for row in self.child.execute(db):
             if self.predicate.evaluate(row):
@@ -175,6 +178,17 @@ class Rename(PlanNode):
 
     def children(self) -> List[PlanNode]:
         return [self.child]
+
+    def output_columns(self) -> Optional[List[str]]:
+        child = self.child.output_columns()
+        if child is None:
+            return None
+        out: List[str] = []
+        for name in child:
+            target = self.renames.get(name, name)
+            if target not in out:
+                out.append(target)
+        return out
 
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
         for row in self.child.execute(db):
@@ -531,6 +545,9 @@ class Distinct(PlanNode):
     def children(self) -> List[PlanNode]:
         return [self.child]
 
+    def output_columns(self) -> Optional[List[str]]:
+        return self.child.output_columns()
+
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
         seen = set()
         for row in self.child.execute(db):
@@ -558,6 +575,9 @@ class Sort(PlanNode):
     def children(self) -> List[PlanNode]:
         return [self.child]
 
+    def output_columns(self) -> Optional[List[str]]:
+        return self.child.output_columns()
+
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
         rows = list(self.child.execute(db))
         for column, ascending in reversed(self.keys):
@@ -583,6 +603,9 @@ class Limit(PlanNode):
     def children(self) -> List[PlanNode]:
         return [self.child]
 
+    def output_columns(self) -> Optional[List[str]]:
+        return self.child.output_columns()
+
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
         emitted = 0
         skipped = 0
@@ -607,9 +630,18 @@ class Materialize(PlanNode):
 
     def __post_init__(self) -> None:
         self._cache: Optional[List[Dict[str, Any]]] = None
+        self._batch_cache = None  # set by the batch executor
 
     def children(self) -> List[PlanNode]:
         return [self.child]
+
+    def reset_caches(self) -> None:
+        self._cache = None
+        self._batch_cache = None
+        super().reset_caches()
+
+    def output_columns(self) -> Optional[List[str]]:
+        return self.child.output_columns()
 
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
         if self._cache is None:

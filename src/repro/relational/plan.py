@@ -8,7 +8,6 @@ database and yields row dicts.  Concrete operators live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -20,6 +19,16 @@ class PlanNode:
 
     def children(self) -> List["PlanNode"]:
         return []
+
+    def reset_caches(self) -> None:
+        """Clear any state an operator cached across executions.
+
+        Called by the plan cache before re-running a cached plan, so stateful
+        operators (``Materialize``) re-read current data.
+        """
+
+        for child in self.children():
+            child.reset_caches()
 
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
         raise NotImplementedError
@@ -49,22 +58,60 @@ class PlanNode:
         return list(self.execute(db))
 
 
-@dataclass
 class QueryResult:
-    """Materialized query result: ordered column names plus row dicts."""
+    """Query result: ordered column names plus rows.
 
-    columns: List[str]
-    rows: List[Dict[str, Any]]
+    Results are backed either by an eager list of row dicts (row executor) or
+    by a columnar :class:`~repro.relational.batch.Batch` (batch executor).
+    Columnar results materialize row dicts lazily on first access to
+    :attr:`rows`, so consumers that only need ``len()``, ``column()`` or
+    ``scalar()`` never pay the per-row dict construction.
+    """
+
+    def __init__(
+        self,
+        columns: List[str],
+        rows: Optional[List[Dict[str, Any]]] = None,
+        batch: Optional[Any] = None,
+    ) -> None:
+        if rows is None and batch is None:
+            raise ValueError("QueryResult needs either rows or a batch")
+        self.columns = columns
+        self._rows = rows
+        self._batch = batch
+
+    @classmethod
+    def from_batch(cls, batch: Any) -> "QueryResult":
+        return cls(columns=list(batch.columns), batch=batch)
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        if self._rows is None:
+            self._rows = self._batch.to_rows()
+        return self._rows
+
+    @property
+    def batch(self) -> Optional[Any]:
+        """The columnar backing, when produced by the batch executor."""
+
+        return self._batch
 
     def __len__(self) -> int:
-        return len(self.rows)
+        if self._rows is None:
+            return self._batch.length
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[Dict[str, Any]]:
         return iter(self.rows)
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryResult(columns={self.columns!r}, rows={len(self)})"
+
     def column(self, name: str) -> List[Any]:
         """All values of one column, in row order."""
 
+        if self._rows is None and self._batch.has_column(name):
+            return list(self._batch.column(name))
         return [row.get(name) for row in self.rows]
 
     def scalar(self) -> Any:

@@ -28,6 +28,9 @@ class Table:
         self._rows: List[Optional[Dict[str, Any]]] = []
         self._indexes: Dict[str, Index] = {}
         self._live_count = 0
+        self._version = 0
+        self._snapshot: Optional[Dict[str, List[Any]]] = None
+        self._snapshot_version = -1
         if schema.primary_key:
             self.create_index(
                 IndexDefinition(
@@ -119,6 +122,43 @@ class Table:
             if row is not None:
                 yield dict(row)
 
+    # -- columnar access -----------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic data version; bumped by every mutation."""
+
+        return self._version
+
+    def column_data(self, columns: Iterable[str]) -> Dict[str, List[Any]]:
+        """Column-major snapshot of the requested columns over live rows.
+
+        The snapshot for the whole table is built once per data version and
+        shared afterwards (this is the batch executor's scan fast path, so
+        repeated queries read prebuilt columns instead of re-walking row
+        dicts).  Callers must treat the returned lists as immutable; unknown
+        columns come back as all-``None``, matching ``row.get``.
+        """
+
+        snapshot = self._columnar_snapshot()
+        out: Dict[str, List[Any]] = {}
+        for name in columns:
+            values = snapshot.get(name)
+            if values is None:
+                values = [None] * self._live_count
+            out[name] = values
+        return out
+
+    def _columnar_snapshot(self) -> Dict[str, List[Any]]:
+        if self._snapshot is None or self._snapshot_version != self._version:
+            live = [row for row in self._rows if row is not None]
+            self._snapshot = {
+                name: [row.get(name) for row in live]
+                for name in self.schema.column_names()
+            }
+            self._snapshot_version = self._version
+        return self._snapshot
+
     # -- mutation ------------------------------------------------------------
 
     def insert(self, row: Dict[str, Any]) -> int:
@@ -128,6 +168,7 @@ class Table:
         row_id = len(self._rows)
         self._rows.append(validated)
         self._live_count += 1
+        self._version += 1
         for index in self._indexes.values():
             index.insert(row_id, validated)
         return row_id
@@ -142,6 +183,7 @@ class Table:
         validated = self.schema.validate_row(row)
         self._rows[row_id] = validated
         self._live_count += 1
+        self._version += 1
         for index in self._indexes.values():
             index.insert(row_id, validated)
 
@@ -151,6 +193,7 @@ class Table:
             index.delete(row_id, row)
         self._rows[row_id] = None
         self._live_count -= 1
+        self._version += 1
         return row
 
     def update_row(self, row_id: int, changes: Dict[str, Any]) -> Tuple[Dict[str, Any], Dict[str, Any]]:
@@ -164,6 +207,7 @@ class Table:
             index.delete(row_id, old)
             index.insert(row_id, validated)
         self._rows[row_id] = validated
+        self._version += 1
         return old, validated
 
     def delete_where(self, predicate: Callable[[Dict[str, Any]], bool]) -> int:
@@ -193,6 +237,7 @@ class Table:
     def truncate(self) -> None:
         self._rows.clear()
         self._live_count = 0
+        self._version += 1
         for index in self._indexes.values():
             index.clear()
 
@@ -202,6 +247,7 @@ class Table:
         live = [row for row in self._rows if row is not None]
         self._rows = list(live)
         self._live_count = len(live)
+        self._version += 1
         for index in self._indexes.values():
             index.clear()
             for row_id, row in enumerate(self._rows):

@@ -161,15 +161,28 @@ class FactorizedStore:
         return out
 
     def flat_duplication_factor(self) -> float:
-        """How much bigger a flat materialized join would be than this store.
+        """How much bigger the flat co-stored wide table is than this store.
 
-        Measured in stored cell counts; > 1 means the factorized form saves
-        space (the paper's motivation for the representation).
+        The flat form a co-stored mapping (M6) materializes must preserve
+        *all* tuples of both relations, so it holds one full-width row per
+        join pair plus one NULL-padded row per unmatched tuple on either side
+        — exactly the shape of the ``<relationship>_costored`` tables the
+        mapper builds.  Measured in stored cell counts; > 1 means the
+        factorized form saves space (the paper's motivation for the
+        representation).
         """
 
         left_width = len(next(iter(self.left.rows.values()), {}))
         right_width = len(next(iter(self.right.rows.values()), {}))
-        flat_cells = self.count_join() * (left_width + right_width)
+        width = left_width + right_width
+        matched_left = sum(1 for edges in self._left_to_right.values() if edges)
+        matched_right = sum(1 for edges in self._right_to_left.values() if edges)
+        flat_rows = (
+            self.count_join()
+            + (len(self.left) - matched_left)
+            + (len(self.right) - matched_right)
+        )
+        flat_cells = flat_rows * width
         factorized_cells = (
             len(self.left) * left_width + len(self.right) * right_width + 2 * self.count_join()
         )

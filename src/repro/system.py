@@ -20,6 +20,7 @@ This mirrors the architecture in Figure 3 of the paper:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .core import (
@@ -46,8 +47,17 @@ from .mapping import (
 from .relational import Database, QueryResult
 
 
+#: Maximum number of compiled plans kept per ErbiumDB instance.
+PLAN_CACHE_SIZE = 128
+
+
 class ErbiumDB:
-    """An embedded ErbiumDB instance: E/R schema + mapping + backend database."""
+    """An embedded ErbiumDB instance: E/R schema + mapping + backend database.
+
+    Repeated :meth:`query` calls for the same text skip parse/analyze/plan via
+    a bounded LRU plan cache keyed on (query text, mapping version); the cache
+    is invalidated whenever the active mapping changes.
+    """
 
     def __init__(self, name: str = "erbium", schema: Optional[ERSchema] = None) -> None:
         self.name = name
@@ -56,6 +66,8 @@ class ErbiumDB:
         self.mapping: Optional[Mapping] = None
         self.crud: Optional[CrudTemplates] = None
         self._planner: Optional[Planner] = None
+        self._plan_cache: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
+        self._mapping_version = 0
 
     # ------------------------------------------------------------------- DDL
 
@@ -100,6 +112,7 @@ class ErbiumDB:
         self.mapping = mapping
         self.crud = CrudTemplates(self.schema, mapping, self.db)
         self._planner = Planner(self.schema, mapping, self.db)
+        self.invalidate_plans()
         return mapping
 
     def choose_mapping(
@@ -208,20 +221,45 @@ class ErbiumDB:
 
     # ----------------------------------------------------------------- queries
 
-    def query(self, text: str) -> QueryResult:
-        """Parse, plan (under the active mapping) and execute an ERQL SELECT."""
+    def query(self, text: str, executor: Optional[str] = None) -> QueryResult:
+        """Parse, plan (under the active mapping) and execute an ERQL SELECT.
+
+        ``executor`` optionally forces ``"row"`` or ``"batch"`` execution for
+        this call (the backend's default is batch).
+        """
 
         plan = self.plan(text)
-        return self.db.execute(plan)
+        return self.db.execute(plan, executor=executor)
+
+    def invalidate_plans(self) -> None:
+        """Drop every cached plan (called when the active mapping changes)."""
+
+        self._mapping_version += 1
+        self._plan_cache.clear()
 
     def plan(self, text: str):
-        """The physical plan an ERQL query compiles to under the active mapping."""
+        """The physical plan an ERQL query compiles to under the active mapping.
+
+        Plans are cached per (query text, mapping version) in a bounded LRU;
+        a cache hit resets operator-level caches (``Materialize``) so the plan
+        re-reads current table data.
+        """
 
         if self._planner is None:
             raise MappingError("no mapping installed; call set_mapping() first")
+        key = (text, self._mapping_version)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache.move_to_end(key)
+            cached.reset_caches()
+            return cached
         statement = parse_query(text)
         bound = analyze_query(self.schema, statement)
-        return self._planner.plan(bound)
+        plan = self._planner.plan(bound)
+        self._plan_cache[key] = plan
+        if len(self._plan_cache) > PLAN_CACHE_SIZE:
+            self._plan_cache.popitem(last=False)
+        return plan
 
     def explain(self, text: str) -> str:
         plan = self.plan(text)
