@@ -9,7 +9,16 @@
 
 from .experiments import EXPERIMENTS, Experiment, PaperClaim, all_experiments, get_experiment
 from .harness import Measurement, SyntheticBenchmarkSuite, get_suite, ratio
-from .reporting import ClaimOutcome, evaluate_claim, format_table, run_all, to_markdown
+from .reporting import (
+    ClaimOutcome,
+    LoadOutcome,
+    evaluate_claim,
+    format_load_table,
+    format_table,
+    load_table,
+    run_all,
+    to_markdown,
+)
 
 __all__ = [
     "SyntheticBenchmarkSuite",
@@ -22,8 +31,11 @@ __all__ = [
     "all_experiments",
     "get_experiment",
     "ClaimOutcome",
+    "LoadOutcome",
     "evaluate_claim",
     "run_all",
     "format_table",
+    "load_table",
+    "format_load_table",
     "to_markdown",
 ]

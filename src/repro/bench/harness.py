@@ -9,6 +9,7 @@ the pure-Python substrate — see DESIGN.md).
 
 from __future__ import annotations
 
+import os
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -22,7 +23,9 @@ from ..workloads.synthetic import (
 )
 
 DEFAULT_SCALE = 400
-DEFAULT_REPEATS = 7
+#: Timed repeats per measurement; CI smoke runs set ERBIUM_BENCH_REPEATS=1 so
+#: the perf-path code is executed on every PR without paying steady-state cost.
+DEFAULT_REPEATS = int(os.environ.get("ERBIUM_BENCH_REPEATS", "7"))
 DEFAULT_WARMUP = 2
 
 
@@ -61,7 +64,12 @@ class Measurement:
 
 
 class SyntheticBenchmarkSuite:
-    """Owns one loaded ErbiumDB per mapping for the Figure 4 schema."""
+    """Owns one loaded ErbiumDB per mapping for the Figure 4 schema.
+
+    ``load_seconds`` records the wall-clock seconds the batched load phase
+    took per mapping (reported by ``repro.bench.reporting.load_table``
+    alongside the query timings).
+    """
 
     def __init__(
         self,
@@ -74,11 +82,14 @@ class SyntheticBenchmarkSuite:
         self.schema = build_synthetic_schema()
         self.dataset = generate_synthetic_data(scale=scale, seed=seed)
         self.systems: Dict[str, ErbiumDB] = {}
+        self.load_seconds: Dict[str, float] = {}
         specs = synthetic_mappings(self.schema)
         for label in mappings:
             system = ErbiumDB(label, self.schema.clone(label))
             system.set_mapping(specs[label])
-            system.load(self.dataset.entities, self.dataset.relationships)
+            start = time.perf_counter()
+            self.dataset.load_into(system)
+            self.load_seconds[label] = time.perf_counter() - start
             self.systems[label] = system
 
     # -- execution -------------------------------------------------------------

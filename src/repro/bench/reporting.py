@@ -4,6 +4,9 @@
 compared, paper-reported factor, measured factor, and whether the direction —
 who wins — reproduced).  ``format_table`` renders the rows as a fixed-width
 text table; ``to_markdown`` renders the table EXPERIMENTS.md embeds.
+``load_table`` / ``format_load_table`` report the load-phase cost (seconds and
+rows/sec per mapping through the batched write path) alongside the query
+timings.
 """
 
 from __future__ import annotations
@@ -105,6 +108,54 @@ def format_table(outcomes: Sequence[ClaimOutcome]) -> str:
         row = outcome.describe()
         lines.append(
             " ".join(str(row[name]).ljust(width) for name, width in _COLUMNS)
+        )
+    return "\n".join(lines)
+
+
+@dataclass
+class LoadOutcome:
+    """Load-phase timing for one mapped system of a benchmark suite."""
+
+    mapping: str
+    seconds: float
+    physical_rows: int
+    rows_per_second: float
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "mapping": self.mapping,
+            "load_seconds": round(self.seconds, 4),
+            "physical_rows": self.physical_rows,
+            "rows_per_second": round(self.rows_per_second, 1),
+        }
+
+
+def load_table(suite: SyntheticBenchmarkSuite) -> List[LoadOutcome]:
+    """One :class:`LoadOutcome` per mapping, from the suite's recorded loads."""
+
+    outcomes = []
+    for mapping, seconds in suite.load_seconds.items():
+        rows = suite.system(mapping).total_rows()
+        outcomes.append(
+            LoadOutcome(
+                mapping=mapping,
+                seconds=seconds,
+                physical_rows=rows,
+                rows_per_second=rows / seconds if seconds > 0 else float("inf"),
+            )
+        )
+    return outcomes
+
+
+def format_load_table(outcomes: Sequence[LoadOutcome]) -> str:
+    """Fixed-width text table of load-phase timings (printed with the claims)."""
+
+    header = f"{'mapping':<10}{'load_seconds':<14}{'physical_rows':<15}{'rows_per_sec':<14}"
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.mapping:<10}{outcome.seconds:<14.4f}"
+            f"{outcome.physical_rows:<15}{outcome.rows_per_second:<14.1f}"
         )
     return "\n".join(lines)
 

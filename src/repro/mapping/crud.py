@@ -22,7 +22,8 @@ All multi-row operations run inside a transaction on the underlying database.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import (
     EntityInstance,
@@ -83,7 +84,55 @@ class CrudTemplates:
             self._insert_entity_rows(validated)
         return validated
 
-    def _insert_entity_rows(self, instance: EntityInstance) -> None:
+    def insert_entities(self, instances: Sequence[EntityInstance]) -> List[EntityInstance]:
+        """Bulk-insert entity instances through the vectorized write path.
+
+        Physical rows are accumulated per table and flushed as per-table
+        batches via :meth:`Database.insert_many`, so a 50k-instance load does
+        50k row *constructions* but only a handful of constraint sweeps,
+        index builds and snapshot-version bumps.  Buffers are flushed
+        whenever an instance needs to *read* previously buffered rows (a
+        weak entity checking its owner, a nested placement updating the
+        owner's array), which keeps the observable semantics of the
+        row-at-a-time loop.  The whole load is one transaction: any failure
+        rolls back every instance.
+        """
+
+        validated = [validate_entity_instance(self.schema, i) for i in instances]
+        buffers: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+
+        def emit(table_name: str, row: Dict[str, Any]) -> None:
+            buffers.setdefault(table_name, []).append(row)
+
+        def flush() -> None:
+            while buffers:
+                table_name, rows = buffers.popitem(last=False)
+                self.db.insert_many(table_name, rows)
+
+        with self.db.transaction():
+            for instance in validated:
+                entity = instance.entity_set
+                placement = self.mapping.entity_placement(entity)
+                entity_obj = self.schema.entity(entity)
+                if placement.kind == "nested_in_owner":
+                    # Reads and updates the owner row; it must be visible.
+                    flush()
+                    self._insert_entity_rows(instance)
+                    continue
+                if isinstance(entity_obj, WeakEntitySet):
+                    owner_placement = self.mapping.entity_placement(entity_obj.owner)
+                    if owner_placement.table in buffers:
+                        flush()  # the owner-existence check reads its table
+                self._insert_entity_rows(instance, emit=emit)
+            flush()
+        return validated
+
+    def _insert_entity_rows(
+        self,
+        instance: EntityInstance,
+        emit: Optional[Callable[[str, Dict[str, Any]], Any]] = None,
+    ) -> None:
+        emit = emit if emit is not None else self.db.insert
         entity = instance.entity_set
         placement = self.mapping.entity_placement(entity)
         values = instance.values
@@ -98,15 +147,15 @@ class CrudTemplates:
             # The wide-table row holds the entity's own attributes; inherited
             # attributes of a co-stored subclass still go to the ancestor
             # tables, which _insert_delta_or_plain walks for us.
-            self._insert_delta_or_plain(entity, values)
+            self._insert_delta_or_plain(entity, values, emit)
         elif placement.kind == "single_table":
-            self._insert_single_table(entity, placement, values)
+            self._insert_single_table(entity, placement, values, emit)
         elif placement.kind == "disjoint_table":
-            self._insert_disjoint(entity, placement, values)
+            self._insert_disjoint(entity, placement, values, emit)
         else:
-            self._insert_delta_or_plain(entity, values)
+            self._insert_delta_or_plain(entity, values, emit)
 
-        self._insert_multivalued(entity, values)
+        self._insert_multivalued(entity, values, emit)
 
     def _require_owner(self, weak: WeakEntitySet, values: Dict[str, Any]) -> None:
         """A weak entity instance may only exist if its owner instance does."""
@@ -136,14 +185,21 @@ class CrudTemplates:
                     row[placement.column] = values[name]
         return row
 
-    def _insert_delta_or_plain(self, entity: str, values: Dict[str, Any]) -> None:
+    def _insert_delta_or_plain(
+        self,
+        entity: str,
+        values: Dict[str, Any],
+        emit: Callable[[str, Dict[str, Any]], Any],
+    ) -> None:
         chain = self._hierarchy_chain(entity)
         key_names = self.schema.effective_key(entity)
         key_row = {k: values[k] for k in key_names}
         for member in chain:
             member_placement = self.mapping.entity_placement(member)
             if member_placement.kind == "co_stored":
-                self._insert_co_stored_entity(member, member_placement, values, only_own=True)
+                self._insert_co_stored_entity(
+                    member, member_placement, values, only_own=True, emit=emit
+                )
                 continue
             if member_placement.table is None:
                 continue
@@ -164,10 +220,16 @@ class CrudTemplates:
                 attr_placement = self.access._attribute_placement(entity, attribute.name)
                 if attr_placement.kind == "inline_array" and attr_placement.table == member_placement.table:
                     row[attr_placement.column] = values.get(attribute.name)
-            self.db.insert(member_placement.table, row)
+            emit(member_placement.table, row)
         del key_row
 
-    def _insert_single_table(self, entity: str, placement, values: Dict[str, Any]) -> None:
+    def _insert_single_table(
+        self,
+        entity: str,
+        placement,
+        values: Dict[str, Any],
+        emit: Callable[[str, Dict[str, Any]], Any],
+    ) -> None:
         row: Dict[str, Any] = {}
         key_names = self.schema.effective_key(entity)
         for key_name, column in zip(key_names, placement.key_columns):
@@ -178,9 +240,15 @@ class CrudTemplates:
                 if name not in key_names:
                     row[attr_placement.column] = values.get(name)
         row[placement.discriminator_column] = placement.type_value
-        self.db.insert(placement.table, row)
+        emit(placement.table, row)
 
-    def _insert_disjoint(self, entity: str, placement, values: Dict[str, Any]) -> None:
+    def _insert_disjoint(
+        self,
+        entity: str,
+        placement,
+        values: Dict[str, Any],
+        emit: Callable[[str, Dict[str, Any]], Any],
+    ) -> None:
         row: Dict[str, Any] = {}
         key_names = self.schema.effective_key(entity)
         for key_name, column in zip(key_names, placement.key_columns):
@@ -190,7 +258,7 @@ class CrudTemplates:
             if attr_placement.kind in ("inline", "inline_array") and attr_placement.table == placement.table:
                 if name not in key_names:
                     row[attr_placement.column] = values.get(name)
-        self.db.insert(placement.table, row)
+        emit(placement.table, row)
 
     def _insert_nested(self, entity: str, placement, values: Dict[str, Any]) -> None:
         owner_placement = self.mapping.entity_placement(placement.owner_entity)
@@ -216,11 +284,17 @@ class CrudTemplates:
         )
 
     def _insert_co_stored_entity(
-        self, entity: str, placement, values: Dict[str, Any], only_own: bool = False
+        self,
+        entity: str,
+        placement,
+        values: Dict[str, Any],
+        only_own: bool = False,
+        emit: Optional[Callable[[str, Dict[str, Any]], Any]] = None,
     ) -> None:
         """Insert a participant of a co-stored relationship: a row with the
         other side left NULL (merged later by ``insert_relationship``)."""
 
+        emit = emit if emit is not None else self.db.insert
         row: Dict[str, Any] = {}
         key_names = self.schema.effective_key(entity)
         for key_name, column in zip(key_names, placement.key_columns):
@@ -232,11 +306,16 @@ class CrudTemplates:
             attr_placement = self.access._attribute_placement(entity, attribute.name)
             if attr_placement.kind == "inline" and attr_placement.table == placement.table:
                 row[attr_placement.column] = values.get(attribute.name)
-        self.db.insert(placement.table, row)
+        emit(placement.table, row)
         if only_own:
             return
 
-    def _insert_multivalued(self, entity: str, values: Dict[str, Any]) -> None:
+    def _insert_multivalued(
+        self,
+        entity: str,
+        values: Dict[str, Any],
+        emit: Callable[[str, Dict[str, Any]], Any],
+    ) -> None:
         key_names = self.schema.effective_key(entity)
         for attribute in self.schema.effective_attributes(entity):
             if not attribute.is_multivalued():
@@ -256,7 +335,7 @@ class CrudTemplates:
                         )
                     for column in placement.value_columns:
                         row[column] = element.get(column)
-                self.db.insert(placement.table, row)
+                emit(placement.table, row)
 
     # -------------------------------------------------------------- entity read
 
@@ -639,27 +718,72 @@ class CrudTemplates:
         placement = self.mapping.relationship_placement(validated.relationship_set)
         relationship = self.schema.relationship(validated.relationship_set)
         with self.db.transaction():
-            if placement.kind == "join_table":
-                row: Dict[str, Any] = {}
-                for participant in relationship.participants:
-                    columns = placement.role_columns[participant.label]
-                    for column, value in zip(columns, validated.endpoint(participant.label)):
-                        row[column] = value
-                for attr, column in placement.attribute_columns.items():
-                    row[column] = validated.values.get(attr)
-                self.db.insert(placement.table, row)
-            elif placement.kind == "foreign_key":
-                self._insert_fk_relationship(relationship, placement, validated)
-            elif placement.kind == "co_stored":
-                self._insert_co_stored_relationship(relationship, placement, validated)
-            elif placement.kind in ("identifying", "nested"):
-                raise CrudTemplateError(
-                    f"identifying relationship {relationship.name!r} is implied by the weak "
-                    "entity's key and cannot be inserted explicitly"
-                )
-            else:  # pragma: no cover
-                raise CrudTemplateError(f"unknown relationship placement {placement.kind!r}")
+            self._insert_relationship_rows(validated, relationship, placement)
         return validated
+
+    def insert_relationships(
+        self, instances: Sequence[RelationshipInstance]
+    ) -> List[RelationshipInstance]:
+        """Bulk-insert relationship occurrences (one transaction).
+
+        Join-table placements — pure row inserts — are accumulated per table
+        and flushed as batches through :meth:`Database.insert_many`;
+        foreign-key and co-stored placements read and update existing rows,
+        so they flush pending buffers first and run row-at-a-time.
+        """
+
+        validated = [validate_relationship_instance(self.schema, i) for i in instances]
+        buffers: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+
+        def flush() -> None:
+            while buffers:
+                table_name, rows = buffers.popitem(last=False)
+                self.db.insert_many(table_name, rows)
+
+        with self.db.transaction():
+            for instance in validated:
+                placement = self.mapping.relationship_placement(instance.relationship_set)
+                relationship = self.schema.relationship(instance.relationship_set)
+                if placement.kind == "join_table":
+                    buffers.setdefault(placement.table, []).append(
+                        self._join_table_row(relationship, placement, instance)
+                    )
+                else:
+                    flush()
+                    self._insert_relationship_rows(instance, relationship, placement)
+            flush()
+        return validated
+
+    def _join_table_row(
+        self, relationship, placement, instance: RelationshipInstance
+    ) -> Dict[str, Any]:
+        row: Dict[str, Any] = {}
+        for participant in relationship.participants:
+            columns = placement.role_columns[participant.label]
+            for column, value in zip(columns, instance.endpoint(participant.label)):
+                row[column] = value
+        for attr, column in placement.attribute_columns.items():
+            row[column] = instance.values.get(attr)
+        return row
+
+    def _insert_relationship_rows(
+        self, instance: RelationshipInstance, relationship, placement
+    ) -> None:
+        if placement.kind == "join_table":
+            self.db.insert(
+                placement.table, self._join_table_row(relationship, placement, instance)
+            )
+        elif placement.kind == "foreign_key":
+            self._insert_fk_relationship(relationship, placement, instance)
+        elif placement.kind == "co_stored":
+            self._insert_co_stored_relationship(relationship, placement, instance)
+        elif placement.kind in ("identifying", "nested"):
+            raise CrudTemplateError(
+                f"identifying relationship {relationship.name!r} is implied by the weak "
+                "entity's key and cannot be inserted explicitly"
+            )
+        else:  # pragma: no cover
+            raise CrudTemplateError(f"unknown relationship placement {placement.kind!r}")
 
     def _insert_fk_relationship(self, relationship, placement, instance) -> None:
         many_role = placement.fk_side

@@ -20,14 +20,21 @@ from ..errors import ExecutionError
 
 
 class Batch:
-    """A fixed-length collection of named value columns."""
+    """A fixed-length collection of named value columns.
 
-    __slots__ = ("columns", "data", "length")
+    ``source_rows`` is an optional row-major view of the same data: when the
+    bulk-insert path columnarizes caller row dicts without changing a single
+    value, it parks the original dicts here so storage can adopt them instead
+    of rebuilding one dict per row (see :meth:`Table.validate_batch`).
+    """
+
+    __slots__ = ("columns", "data", "length", "source_rows")
 
     def __init__(self, columns: Sequence[str], data: Dict[str, List[Any]], length: int) -> None:
         self.columns: List[str] = list(columns)
         self.data = data
         self.length = length
+        self.source_rows: Optional[List[Dict[str, Any]]] = None
 
     # -- constructors --------------------------------------------------------
 

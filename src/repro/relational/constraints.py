@@ -14,15 +14,49 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Tuple
 
 from ..errors import (
     CheckViolation,
+    ConstraintViolation,
     ForeignKeyViolation,
     NotNullViolation,
     PrimaryKeyViolation,
     UniqueViolation,
 )
+from .indexes import HashIndex
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .batch import Batch
     from .catalog import Catalog
+    from .expressions import Expression
     from .table import Table
+
+
+def _batch_keys(batch: "Batch", columns: Sequence[str]) -> list:
+    """Key of every batch row over ``columns`` (one gather per column).
+
+    Keys are bare column values for a single key column and tuples
+    otherwise — matching :meth:`HashIndex.key_view`, so batch keys and
+    existing keys can meet in C-level set operations.
+    """
+
+    if len(columns) == 1:
+        return batch.column(columns[0])
+    return list(zip(*[batch.column(c) for c in columns]))
+
+
+def _existing_keys(table: "Table", columns: Sequence[str]):
+    """A set-like view of the keys already stored in ``table``.
+
+    Uses a hash index's bucket keys when one exists on exactly ``columns``
+    (O(1) membership, no copying); otherwise falls back to one scan.  Key
+    shape follows the :func:`_batch_keys` convention.
+    """
+
+    index = table.index_on(tuple(columns))
+    if isinstance(index, HashIndex):
+        return index.key_view()
+    if len(columns) == 1:
+        column = columns[0]
+        return {row.get(column) for row in table.rows()}
+    return {tuple(row.get(c) for c in columns) for row in table.rows()}
 
 
 class Constraint:
@@ -48,6 +82,21 @@ class Constraint:
     def check_delete(self, catalog: "Catalog", table: "Table", row: Dict[str, Any]) -> None:
         """Validate a row about to be deleted (e.g. restrict on FK targets)."""
 
+    def check_insert_batch(self, catalog: "Catalog", table: "Table", batch: "Batch") -> None:
+        """Validate a whole batch of rows about to be inserted.
+
+        Subclasses override this with a set-based, column-at-a-time sweep;
+        the default materializes rows and loops :meth:`check_insert`, so
+        unknown constraint types stay correct on the batch path.  Errors
+        carry the offending batch row index.
+        """
+
+        for i, row in enumerate(batch.iter_rows()):
+            try:
+                self.check_insert(catalog, table, row)
+            except ConstraintViolation as exc:
+                raise type(exc)(f"{exc} (batch row {i})") from exc
+
 
 @dataclass
 class NotNullConstraint(Constraint):
@@ -67,6 +116,14 @@ class NotNullConstraint(Constraint):
 
     def check_update(self, catalog, table, old_row, new_row) -> None:  # type: ignore[override]
         self.check_insert(catalog, table, new_row)
+
+    def check_insert_batch(self, catalog: "Catalog", table: "Table", batch: "Batch") -> None:
+        values = batch.column(self.column)
+        if None in values:  # C-level scan; scalar == never matches None
+            raise NotNullViolation(
+                f"column {self.column!r} of table {table.name!r} must not be "
+                f"NULL (batch row {values.index(None)})"
+            )
 
     def __repr__(self) -> str:
         return self.name
@@ -100,6 +157,42 @@ class PrimaryKeyConstraint(Constraint):
             return
         self.check_insert(catalog, table, new_row)
 
+    def check_insert_batch(self, catalog: "Catalog", table: "Table", batch: "Batch") -> None:
+        existing = _existing_keys(table, self.columns)
+        keys = _batch_keys(batch, self.columns)
+        if len(self.columns) == 1:
+            # C-level sweep: one NULL scan, one dedup, one set intersection.
+            if None in keys:
+                raise NotNullViolation(
+                    f"primary key column of table {table.name!r} must not be "
+                    f"NULL (batch row {keys.index(None)})"
+                )
+            distinct = set(keys)
+            if len(distinct) == len(keys) and distinct.isdisjoint(existing):
+                return
+            seen: set = set()
+            for i, key in enumerate(keys):
+                if key in seen or key in existing:
+                    raise PrimaryKeyViolation(
+                        f"duplicate primary key {(key,)!r} in table {table.name!r} "
+                        f"(batch row {i})"
+                    )
+                seen.add(key)
+            return
+        seen = set()
+        for i, key in enumerate(keys):
+            if any(v is None for v in key):
+                raise NotNullViolation(
+                    f"primary key column of table {table.name!r} must not be "
+                    f"NULL (batch row {i})"
+                )
+            if key in seen or key in existing:
+                raise PrimaryKeyViolation(
+                    f"duplicate primary key {key!r} in table {table.name!r} "
+                    f"(batch row {i})"
+                )
+            seen.add(key)
+
     def __repr__(self) -> str:
         return self.name
 
@@ -130,6 +223,29 @@ class UniqueConstraint(Constraint):
         if old_key == new_key:
             return
         self.check_insert(catalog, table, new_row)
+
+    def check_insert_batch(self, catalog: "Catalog", table: "Table", batch: "Batch") -> None:
+        existing = _existing_keys(table, self.columns)
+        keys = _batch_keys(batch, self.columns)
+        single = len(self.columns) == 1
+        if single:
+            distinct = set(keys)
+            nulls = keys.count(None)
+            clean = len(distinct) == len(keys) - nulls + (1 if nulls else 0)
+            distinct.discard(None)
+            if clean and distinct.isdisjoint(existing):
+                return
+        seen: set = set()
+        for i, key in enumerate(keys):
+            if key is None if single else any(v is None for v in key):
+                continue  # NULLs are exempt (SQL semantics), intra-batch too
+            if key in seen or key in existing:
+                shown = (key,) if single else key
+                raise UniqueViolation(
+                    f"duplicate value {shown!r} for unique columns {self.columns} "
+                    f"in table {table.name!r} (batch row {i})"
+                )
+            seen.add(key)
 
     def __repr__(self) -> str:
         return self.name
@@ -166,6 +282,41 @@ class ForeignKeyConstraint(Constraint):
                 f"row in {table.name!r} references missing {self.ref_table!r} row {key!r}"
             )
 
+    def check_insert_batch(self, catalog: "Catalog", table: "Table", batch: "Batch") -> None:
+        keys = _batch_keys(batch, self.columns)
+        if len(self.columns) == 1:
+            probe = set(keys)
+            probe.discard(None)
+        else:
+            probe = {key for key in keys if not any(v is None for v in key)}
+        if not probe:
+            return
+        referenced = catalog.table(self.ref_table)
+        existing = _existing_keys(referenced, self.ref_columns)
+        missing = {key for key in probe if key not in existing}
+        if not missing:
+            return
+        single = len(self.columns) == 1
+        if self.ref_table == table.name:
+            # Self-referencing FK: a batch row may reference any *earlier*
+            # batch row, exactly as the row-at-a-time loop would see it.
+            ref_keys = _batch_keys(batch, self.ref_columns)
+            inserted: set = set()
+            for i, key in enumerate(keys):
+                if key in missing and key not in inserted:
+                    raise ForeignKeyViolation(
+                        f"row in {table.name!r} references missing {self.ref_table!r} "
+                        f"row {(key,) if single else key!r} (batch row {i})"
+                    )
+                inserted.add(ref_keys[i])
+            return
+        for i, key in enumerate(keys):
+            if key in missing:
+                raise ForeignKeyViolation(
+                    f"row in {table.name!r} references missing {self.ref_table!r} "
+                    f"row {(key,) if single else key!r} (batch row {i})"
+                )
+
     def referencing_rows(self, catalog: "Catalog", table_name: str, key: Tuple[Any, ...]):
         """Row ids in ``table_name`` that reference ``key`` through this FK."""
 
@@ -178,23 +329,53 @@ class ForeignKeyConstraint(Constraint):
 
 @dataclass
 class CheckConstraint(Constraint):
-    """Arbitrary row predicate, supplied as a Python callable."""
+    """Arbitrary row predicate, supplied as a Python callable.
+
+    When the predicate can be stated as an engine
+    :class:`~repro.relational.expressions.Expression` pass it as
+    ``expression`` instead: the batch insert path then evaluates the check
+    column-at-a-time through the compiled column closures of
+    :mod:`repro.relational.vectorized` instead of materializing row dicts.
+    When an expression is present it is the single source of truth on *both*
+    paths — the predicate is ignored — so row and batch inserts can never
+    disagree about what the check means.
+    """
 
     label: str
     predicate: Callable[[Dict[str, Any]], bool]
+    expression: Optional["Expression"] = None
 
     @property
     def name(self) -> str:  # type: ignore[override]
         return f"check({self.label})"
 
+    def _holds(self, row: Dict[str, Any]) -> bool:
+        if self.expression is not None:
+            return bool(self.expression.evaluate(row))
+        return bool(self.predicate(row))
+
     def check_insert(self, catalog: "Catalog", table: "Table", row: Dict[str, Any]) -> None:
-        if not self.predicate(row):
+        if not self._holds(row):
             raise CheckViolation(
                 f"check constraint {self.label!r} failed for table {table.name!r}"
             )
 
     def check_update(self, catalog, table, old_row, new_row) -> None:  # type: ignore[override]
         self.check_insert(catalog, table, new_row)
+
+    def check_insert_batch(self, catalog: "Catalog", table: "Table", batch: "Batch") -> None:
+        if self.expression is not None:
+            from .vectorized import compile_expression
+
+            values = compile_expression(self.expression)(batch)
+        else:
+            values = [self._holds(row) for row in batch.iter_rows()]
+        for i, ok in enumerate(values):
+            if not ok:
+                raise CheckViolation(
+                    f"check constraint {self.label!r} failed for table "
+                    f"{table.name!r} (batch row {i})"
+                )
 
     def __repr__(self) -> str:
         return self.name

@@ -44,6 +44,14 @@ DEFAULT_ARRAY_LENGTH = 4.0
 DEFAULT_FILTER_SELECTIVITY = 0.25
 DEFAULT_JOIN_SELECTIVITY = 0.1
 
+# Thresholds for the cost-based executor choice (``executor="auto"``): plans
+# estimated to stay within BOTH bounds run row-at-a-time, because the batch
+# executor's columnar set-up is pure overhead for a handful of rows.  The cost
+# bound keeps small results of large scans (e.g. a whole-table aggregate) on
+# the batch path.
+AUTO_ROW_MAX_ROWS = 32.0
+AUTO_ROW_MAX_COST = 256.0
+
 
 @dataclass
 class CostEstimate:

@@ -21,7 +21,7 @@ from .constraints import (
     PrimaryKeyConstraint,
     UniqueConstraint,
 )
-from .cost import CostEstimate, CostModel
+from .cost import AUTO_ROW_MAX_COST, AUTO_ROW_MAX_ROWS, CostEstimate, CostModel
 from .indexes import IndexDefinition
 from .plan import PlanNode, QueryResult
 from .statistics import StatisticsManager
@@ -31,20 +31,22 @@ from .types import Column, TableSchema
 
 
 #: Executor modes accepted by :meth:`Database.execute`.
-EXECUTORS = ("batch", "row")
+EXECUTORS = ("auto", "batch", "row")
 
 
 class Database:
     """An embedded, in-memory relational database.
 
-    ``executor`` selects the default plan execution strategy: ``"batch"``
-    (vectorized, column-at-a-time — the default) or ``"row"`` (the original
-    dict-per-row iterator model).  Individual ``execute`` calls can override
-    it; both executors run the same plan trees and return the same results
-    (see ``tests/relational/test_vectorized_parity.py``).
+    ``executor`` selects the default plan execution strategy: ``"auto"``
+    (cost-based — the default: tiny plans run row-at-a-time, everything else
+    vectorized), ``"batch"`` (always vectorized, column-at-a-time) or
+    ``"row"`` (always the original dict-per-row iterator model).  Individual
+    ``execute`` calls can override it; both executors run the same plan trees
+    and return the same results (see
+    ``tests/relational/test_vectorized_parity.py``).
     """
 
-    def __init__(self, name: str = "erbium", executor: str = "batch") -> None:
+    def __init__(self, name: str = "erbium", executor: str = "auto") -> None:
         if executor not in EXECUTORS:
             raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
         self.name = name
@@ -124,8 +126,29 @@ class Database:
             ),
         )
 
-    def add_check(self, table_name: str, label: str, predicate: Callable[[Dict[str, Any]], bool]) -> None:
-        self.catalog.add_constraint(table_name, CheckConstraint(label, predicate))
+    def add_check(
+        self,
+        table_name: str,
+        label: str,
+        predicate: Optional[Callable[[Dict[str, Any]], bool]] = None,
+        expression: Any = None,
+    ) -> None:
+        """Add a CHECK constraint from a row predicate or an expression.
+
+        Passing an :class:`~repro.relational.expressions.Expression` lets the
+        batch insert path evaluate the check column-at-a-time.  When an
+        expression is given it defines the check on both executors (a
+        ``predicate`` passed alongside it is ignored, so the two paths can
+        never diverge); a bare predicate runs row-at-a-time on either path.
+        """
+
+        if predicate is None:
+            if expression is None:
+                raise ValueError("add_check needs a predicate or an expression")
+            predicate = lambda row, _e=expression: bool(_e.evaluate(row))
+        self.catalog.add_constraint(
+            table_name, CheckConstraint(label, predicate, expression=expression)
+        )
 
     def add_unique(self, table_name: str, columns: Sequence[str]) -> None:
         self.catalog.add_constraint(table_name, UniqueConstraint(tuple(columns)))
@@ -151,13 +174,46 @@ class Database:
         return row_id
 
     def insert_many(self, table_name: str, rows: Iterable[Dict[str, Any]]) -> int:
-        """Bulk insert; returns number of rows inserted."""
+        """Bulk insert through the vectorized write path; returns rows inserted.
 
-        count = 0
-        for row in rows:
-            self.insert(table_name, row)
-            count += 1
-        return count
+        Unlike a loop over :meth:`insert`, the whole batch is type-validated
+        column-at-a-time, constraint-checked with one set-based sweep per
+        constraint (including intra-batch duplicates), appended to storage in
+        one pass with a single snapshot-version bump, and covered by a single
+        transaction undo record.  All checks run before any write, so a
+        failing batch leaves the table untouched.
+
+        Checks run constraint-major (each constraint sweeps the whole batch),
+        so when *different rows* violate *different constraints* the error
+        reported may differ from the one a row-at-a-time loop (row-major)
+        would hit first; for any single violation the error type and the
+        offending row match the row path.
+
+        The engine takes ownership of the row dicts: when they already match
+        the schema they are adopted as storage directly (and patched in place
+        if a value needs coercion), so callers must not reuse them after the
+        call.
+        """
+
+        if not isinstance(rows, (list, tuple)):
+            rows = list(rows)
+        if not rows:
+            return 0
+        table = self.catalog.table(table_name)
+        batch = table.validate_batch(rows)
+        for constraint in self.catalog.constraints_for(table_name):
+            constraint.check_insert_batch(self.catalog, table, batch)
+        row_ids = table.insert_batch(batch, validated=True)
+
+        def undo(table: Table = table, row_ids: List[int] = row_ids) -> None:
+            for row_id in reversed(row_ids):
+                table.delete_row(row_id)
+
+        self.transactions.record(
+            f"insert batch of {len(row_ids)} into {table_name}", undo
+        )
+        self.statistics.invalidate(table_name)
+        return len(row_ids)
 
     def delete(
         self, table_name: str, predicate: Callable[[Dict[str, Any]], bool]
@@ -261,15 +317,32 @@ class Database:
 
     # ------------------------------------------------------------- execution
 
+    def choose_executor(self, plan: PlanNode) -> str:
+        """Cost-based executor choice for ``executor="auto"``.
+
+        Consults the cost model's estimated cardinality (backed by
+        :class:`StatisticsManager`, which tracks table data versions, so the
+        decision never rests on stale row counts): tiny, cheap plans — point
+        lookups, scans of small tables — run row-at-a-time and skip the batch
+        executor's columnar set-up; everything else runs vectorized.
+        """
+
+        estimate = self.cost_model.estimate(plan)
+        if estimate.rows <= AUTO_ROW_MAX_ROWS and estimate.cost <= AUTO_ROW_MAX_COST:
+            return "row"
+        return "batch"
+
     def execute(self, plan: PlanNode, executor: Optional[str] = None) -> QueryResult:
         """Execute a physical plan and return the result.
 
-        ``executor`` overrides the database default (``"batch"`` or
-        ``"row"``).  The batch path returns a columnar-backed result whose row
-        dicts materialize lazily.
+        ``executor`` overrides the database default (``"auto"``, ``"batch"``
+        or ``"row"``).  The batch path returns a columnar-backed result whose
+        row dicts materialize lazily.
         """
 
         mode = executor if executor is not None else self.executor
+        if mode == "auto":
+            mode = self.choose_executor(plan)
         if mode == "batch":
             from .vectorized import execute_batch
 

@@ -52,6 +52,16 @@ class Index:
     def insert(self, row_id: int, row: Dict[str, Any]) -> None:
         raise NotImplementedError
 
+    def insert_batch(self, start_row_id: int, rows: Sequence[Dict[str, Any]]) -> None:
+        """Insert ``rows`` occupying consecutive ids from ``start_row_id``.
+
+        The base implementation loops :meth:`insert`; concrete indexes
+        override it to build their postings in one pass.
+        """
+
+        for offset, row in enumerate(rows):
+            self.insert(start_row_id + offset, row)
+
     def delete(self, row_id: int, row: Dict[str, Any]) -> None:
         raise NotImplementedError
 
@@ -66,18 +76,78 @@ class Index:
 
 
 class HashIndex(Index):
-    """Equality index: key tuple -> list of row ids."""
+    """Equality index: key -> list of row ids.
+
+    Single-column indexes bucket on the bare column value instead of a
+    1-tuple; that removes one tuple allocation from every insert, delete and
+    probe on the most common index shape (primary keys).  The public API
+    still speaks key *tuples*; only :meth:`key_view` exposes the internal
+    scalar keys, and documents it.
+    """
 
     def __init__(self, definition: IndexDefinition) -> None:
         super().__init__(definition)
-        self._buckets: Dict[Tuple[Any, ...], List[int]] = {}
+        self._buckets: Dict[Any, List[int]] = {}
+        self._single: Optional[str] = (
+            definition.columns[0] if len(definition.columns) == 1 else None
+        )
+
+    def _key(self, row: Dict[str, Any]) -> Any:
+        if self._single is not None:
+            return row[self._single]
+        return _key_of(row, self.columns)
 
     def insert(self, row_id: int, row: Dict[str, Any]) -> None:
-        key = _key_of(row, self.columns)
-        self._buckets.setdefault(key, []).append(row_id)
+        self._buckets.setdefault(self._key(row), []).append(row_id)
+
+    def insert_batch(self, start_row_id: int, rows: Sequence[Dict[str, Any]]) -> None:
+        column = self._single
+        if column is not None:
+            keys = [row[column] for row in rows]
+        else:
+            columns = self.columns
+            keys = [tuple(row[c] for c in columns) for row in rows]
+        self.insert_key_batch(start_row_id, keys)
+
+    def insert_key_batch(self, start_row_id: int, keys: Sequence[Any]) -> None:
+        """Bulk-insert precomputed keys for consecutive row ids.
+
+        Keys must be bare values for a single-column index, tuples
+        otherwise (what :meth:`key_view` membership expects).  The fast
+        path builds the postings as one dict and merges it with two
+        C-level set checks; only batches that collide (with themselves or
+        with existing keys) fall back to the per-key loop.
+        """
+
+        buckets = self._buckets
+        # Fully C-level posting build: zip(range(...)) yields (row_id,)
+        # tuples, map(list, ...) turns each into a fresh one-element bucket.
+        fresh = dict(
+            zip(keys, map(list, zip(range(start_row_id, start_row_id + len(keys)))))
+        )
+        if len(fresh) == len(keys) and (
+            not buckets or buckets.keys().isdisjoint(fresh)
+        ):
+            buckets.update(fresh)
+            return
+        setdefault = buckets.setdefault
+        row_id = start_row_id
+        for key in keys:
+            setdefault(key, []).append(row_id)
+            row_id += 1
+
+    def key_view(self):
+        """Set-like view of the stored keys (O(1) membership tests).
+
+        Members are bare column values for a single-column index and key
+        tuples otherwise — the same convention as
+        ``repro.relational.constraints._batch_keys``.
+        """
+
+        return self._buckets.keys()
 
     def delete(self, row_id: int, row: Dict[str, Any]) -> None:
-        key = _key_of(row, self.columns)
+        key = self._key(row)
         bucket = self._buckets.get(key)
         if not bucket:
             return
@@ -89,9 +159,13 @@ class HashIndex(Index):
             del self._buckets[key]
 
     def lookup(self, key: Tuple[Any, ...]) -> List[int]:
+        if self._single is not None:
+            return list(self._buckets.get(key[0], ()))
         return list(self._buckets.get(tuple(key), ()))
 
     def keys(self) -> Iterator[Tuple[Any, ...]]:
+        if self._single is not None:
+            return ((key,) for key in self._buckets)
         return iter(self._buckets)
 
     def clear(self) -> None:
@@ -118,6 +192,16 @@ class SortedIndex(Index):
     def insert(self, row_id: int, row: Dict[str, Any]) -> None:
         key = _key_of(row, self.columns)
         bisect.insort(self._entries, (key, row_id))
+
+    def insert_batch(self, start_row_id: int, rows: Sequence[Dict[str, Any]]) -> None:
+        columns = self.columns
+        self._entries.extend(
+            (tuple(row[c] for c in columns), start_row_id + offset)
+            for offset, row in enumerate(rows)
+        )
+        # Timsort exploits the existing sorted prefix, so one append + sort
+        # beats len(rows) binary insertions.
+        self._entries.sort()
 
     def delete(self, row_id: int, row: Dict[str, Any]) -> None:
         self._tombstones.add(row_id)

@@ -11,7 +11,7 @@ without executing every query.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from .table import Table
 
@@ -107,15 +107,36 @@ def analyze_table(table: Table, sample_limit: Optional[int] = None) -> TableStat
 
 
 class StatisticsManager:
-    """Caches per-table statistics and invalidates them on demand."""
+    """Caches per-table statistics, keyed by the table's data version.
+
+    Every DML operation bumps :attr:`Table.version`, so cached statistics
+    become stale automatically — including on paths that never call
+    :meth:`invalidate` explicitly (transaction rollback replaying undo
+    records, direct ``Table`` mutations).  The cost-based executor choice in
+    :meth:`Database.execute` therefore never decides on pre-DML cardinalities.
+    Tables past :data:`ANALYZE_SAMPLE_LIMIT` rows are analyzed on a fixed-size
+    prefix sample (estimates extrapolated to the full row count by
+    ``analyze_table``) so re-analysis after a bulk load stays cheap.
+    """
+
+    #: Rows examined per analysis before switching to prefix sampling.
+    ANALYZE_SAMPLE_LIMIT = 10_000
 
     def __init__(self) -> None:
-        self._stats: Dict[str, TableStats] = {}
+        self._stats: Dict[str, Tuple[int, TableStats]] = {}
 
     def stats_for(self, table: Table, refresh: bool = False) -> TableStats:
-        if refresh or table.name not in self._stats:
-            self._stats[table.name] = analyze_table(table)
-        return self._stats[table.name]
+        entry = self._stats.get(table.name)
+        if refresh or entry is None or entry[0] != table.version:
+            limit = (
+                self.ANALYZE_SAMPLE_LIMIT
+                if table.row_count > self.ANALYZE_SAMPLE_LIMIT
+                else None
+            )
+            stats = analyze_table(table, sample_limit=limit)
+            self._stats[table.name] = (table.version, stats)
+            return stats
+        return entry[1]
 
     def invalidate(self, table_name: Optional[str] = None) -> None:
         if table_name is None:

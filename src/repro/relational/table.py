@@ -13,10 +13,13 @@ transactions simple (an undo can re-insert at the same row id).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..errors import CatalogError, ExecutionError
-from .indexes import Index, IndexDefinition, create_index
+from operator import itemgetter
+
+from ..errors import CatalogError, ExecutionError, TypeMismatchError
+from .batch import Batch
+from .indexes import HashIndex, Index, IndexDefinition, create_index
 from .types import TableSchema
 
 
@@ -172,6 +175,123 @@ class Table:
         for index in self._indexes.values():
             index.insert(row_id, validated)
         return row_id
+
+    def validate_batch(self, rows: "Sequence[Dict[str, Any]] | Batch") -> Batch:
+        """Columnarize and type-validate many rows at once.
+
+        The returned :class:`~repro.relational.batch.Batch` holds one
+        schema-ordered column per table column, with defaults applied and
+        every value validated — the batch equivalent of
+        :meth:`TableSchema.validate_row`, but with one type dispatch per
+        column instead of one per value.
+
+        The bulk path *takes ownership* of the row dicts it is given: when
+        every row carries exactly the schema's columns, the dicts are kept
+        (patched in place if a column needed coercion) and adopted as
+        storage by :meth:`insert_batch`, so no per-row dict is ever rebuilt.
+        Callers must not reuse row dicts after passing them in.
+        """
+
+        schema = self.schema
+        columns = schema.columns
+        if isinstance(rows, Batch):
+            known = {c.name for c in columns}
+            unknown = set(rows.data) - known
+            if unknown:
+                raise TypeMismatchError(
+                    f"unknown columns {sorted(unknown)} for table {schema.name!r}"
+                )
+            length = rows.length
+            raw = {
+                c.name: rows.data.get(c.name, [c.default] * length)
+                for c in columns
+            }
+            data = {c.name: c.dtype.validate_column(raw[c.name]) for c in columns}
+            return Batch(schema.column_names(), data, length)
+
+        if not isinstance(rows, list):
+            rows = list(rows)
+        # Fast extraction: one C-level gather per column.  A KeyError means
+        # some row misses a column (needs defaults); a length mismatch means
+        # some row has extra keys (needs the unknown-column error).
+        raw_columns: Optional[List[List[Any]]] = None
+        try:
+            raw_columns = [list(map(itemgetter(c.name), rows)) for c in columns]
+        except KeyError:
+            pass
+        ncols = len(columns)
+        complete = raw_columns is not None and all(map(ncols.__eq__, map(len, rows)))
+        if not complete:
+            known = {c.name for c in columns}
+            for row in rows:
+                if len(row) > ncols or not all(k in known for k in row):
+                    raise TypeMismatchError(
+                        f"unknown columns {sorted(set(row) - known)} "
+                        f"for table {schema.name!r}"
+                    )
+            raw_columns = [
+                [row.get(c.name, c.default) for row in rows] for c in columns
+            ]
+
+        data: Dict[str, List[Any]] = {}
+        adopt = complete
+        for column, raw in zip(columns, raw_columns):
+            validated = column.dtype.validate_column(raw)
+            if validated is not raw:
+                if complete:
+                    # Patch the owned row dicts instead of rebuilding them.
+                    name = column.name
+                    for row, value in zip(rows, validated):
+                        row[name] = value
+                else:
+                    adopt = False
+            data[column.name] = validated
+        batch = Batch(schema.column_names(), data, len(rows))
+        if adopt:
+            batch.source_rows = rows
+        return batch
+
+    def insert_batch(
+        self, rows: "Sequence[Dict[str, Any]] | Batch", validated: bool = False
+    ) -> List[int]:
+        """Validate and append many rows in one pass; returns their row ids.
+
+        Storage is appended once, the data version is bumped once (so the
+        columnar snapshot is rebuilt at most once afterwards) and every
+        index builds its postings in bulk instead of per-row dict probing.
+        ``validated=True`` skips re-validation when the caller already holds
+        a batch from :meth:`validate_batch` (the engine does, because
+        constraint checks run in between).  Like :meth:`validate_batch`,
+        this takes ownership of the row dicts passed in.
+        """
+
+        batch = rows if validated and isinstance(rows, Batch) else self.validate_batch(rows)
+        if batch.length == 0:
+            return []
+        data = batch.data
+        if batch.source_rows is not None:
+            new_rows = batch.source_rows
+        else:
+            names = batch.columns
+            new_rows = [
+                dict(zip(names, values))
+                for values in zip(*[data[n] for n in names])
+            ]
+        start = len(self._rows)
+        self._rows.extend(new_rows)
+        self._live_count += batch.length
+        self._version += 1
+        for index in self._indexes.values():
+            if isinstance(index, HashIndex):
+                icols = index.columns
+                if len(icols) == 1:
+                    keys: Any = data[icols[0]]
+                else:
+                    keys = list(zip(*[data[c] for c in icols]))
+                index.insert_key_batch(start, keys)
+            else:
+                index.insert_batch(start, new_rows)
+        return list(range(start, start + batch.length))
 
     def insert_at(self, row_id: int, row: Dict[str, Any]) -> None:
         """Re-insert a row at a previously deleted slot (transaction undo)."""

@@ -7,8 +7,11 @@ transaction so that a constraint violation midway leaves the database
 unchanged.
 
 The implementation is a classic undo log: every mutation records the inverse
-operation; rollback replays the log backwards.  There is no concurrency
-control — the engine is single-threaded, as is the paper's prototype layer.
+operation; rollback replays the log backwards.  Batch DML records *one* undo
+record per batch (the inverse deletes every row id of the batch in reverse),
+so a 50k-row bulk insert costs one log entry, not 50k.  There is no
+concurrency control — the engine is single-threaded, as is the paper's
+prototype layer.
 """
 
 from __future__ import annotations

@@ -19,6 +19,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import TypeMismatchError
 
+_NONE_TYPE = type(None)
+
 
 class DataType:
     """Base class for column data types.
@@ -32,6 +34,29 @@ class DataType:
 
     def validate(self, value: Any) -> Any:
         return value
+
+    #: Exact Python types a scalar column may hold without coercion; scalar
+    #: subclasses set this to enable the C-level screen in validate_column.
+    _clean_types: Optional[frozenset] = None
+
+    def validate_column(self, values: List[Any]) -> List[Any]:
+        """Validate a whole column of values in one pass.
+
+        The fast path screens the whole column with one C-level
+        ``set(map(type, ...))`` and returns the *input list unchanged* when
+        every value already has the exact expected type — the common case
+        on the bulk-insert path, where per-value dispatch is the dominant
+        cost.  Callers can use the identity of the result to detect that
+        nothing was coerced.  Mixed or coercible columns fall back to the
+        per-value :meth:`validate` loop.
+        """
+
+        if self._clean_types is not None:
+            kinds = set(map(type, values))
+            kinds.discard(_NONE_TYPE)
+            if kinds <= self._clean_types:
+                return values
+        return [self.validate(v) for v in values]
 
     def is_array(self) -> bool:
         return False
@@ -53,6 +78,7 @@ class IntType(DataType):
     """32/64-bit integers (Python int)."""
 
     name = "INT"
+    _clean_types = frozenset((int,))
 
     def validate(self, value: Any) -> Any:
         if value is None:
@@ -76,6 +102,7 @@ class FloatType(DataType):
     """Double precision floats; ints are coerced."""
 
     name = "FLOAT"
+    _clean_types = frozenset((float,))
 
     def validate(self, value: Any) -> Any:
         if value is None:
@@ -91,6 +118,7 @@ class TextType(DataType):
     """Unicode strings (``varchar`` in the paper's DDL)."""
 
     name = "TEXT"
+    _clean_types = frozenset((str,))
 
     def validate(self, value: Any) -> Any:
         if value is None:
@@ -104,6 +132,7 @@ class BoolType(DataType):
     """Booleans."""
 
     name = "BOOL"
+    _clean_types = frozenset((bool,))
 
     def validate(self, value: Any) -> Any:
         if value is None:

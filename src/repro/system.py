@@ -151,12 +151,10 @@ class ErbiumDB:
         return self._require_crud().insert_entity(EntityInstance(entity, dict(values)))
 
     def insert_many(self, entity: str, rows: Sequence[Dict[str, Any]]) -> int:
-        crud = self._require_crud()
-        count = 0
-        for values in rows:
-            crud.insert_entity(EntityInstance(entity, dict(values)))
-            count += 1
-        return count
+        """Bulk insert: rows are batched per physical table (vectorized path)."""
+
+        instances = [EntityInstance(entity, dict(values)) for values in rows]
+        return len(self._require_crud().insert_entities(instances))
 
     def get(self, entity: str, key: Union[Any, Sequence[Any]]) -> Optional[Dict[str, Any]]:
         """Fetch one entity instance by key (None if absent)."""
@@ -207,17 +205,17 @@ class ErbiumDB:
         entities: Sequence[EntityInstance] = (),
         relationships: Sequence[RelationshipInstance] = (),
     ) -> int:
-        """Bulk-load pre-built instances (used by generators and benchmarks)."""
+        """Bulk-load pre-built instances (used by generators and benchmarks).
+
+        Rides the vectorized write path: physical rows are accumulated per
+        table and inserted as batches, so loading scales with batch-level
+        (not row-level) constraint and index maintenance costs.
+        """
 
         crud = self._require_crud()
-        count = 0
-        for instance in entities:
-            crud.insert_entity(instance)
-            count += 1
-        for instance in relationships:
-            crud.insert_relationship(instance)
-            count += 1
-        return count
+        inserted = crud.insert_entities(list(entities))
+        linked = crud.insert_relationships(list(relationships))
+        return len(inserted) + len(linked)
 
     # ----------------------------------------------------------------- queries
 

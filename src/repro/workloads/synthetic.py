@@ -169,6 +169,11 @@ class SyntheticDataset:
     def total_instances(self) -> int:
         return len(self.entities) + len(self.relationships)
 
+    def load_into(self, system) -> int:
+        """Load the dataset through the system's batched write path."""
+
+        return system.load(self.entities, self.relationships)
+
 
 # Fractions of R instances assigned to each hierarchy member (most specific type).
 _TYPE_FRACTIONS: Tuple[Tuple[str, float], ...] = (

@@ -168,6 +168,11 @@ class UniversityDataset:
     def total_instances(self) -> int:
         return len(self.entities) + len(self.relationships)
 
+    def load_into(self, system) -> int:
+        """Load the dataset through the system's batched write path."""
+
+        return system.load(self.entities, self.relationships)
+
 
 def generate_university_data(
     students: int = 200,
