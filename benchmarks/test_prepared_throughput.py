@@ -1,0 +1,129 @@
+"""Prepared-statement microbenchmark: repeated execution throughput.
+
+The client-surface claim of the session layer: a hot parameterized query
+executed through a :class:`~repro.session.PreparedStatement` must beat the
+same workload issued as per-call ``ErbiumDB.query`` text with inlined
+literals.  The unprepared loop is what a client without parameters is forced
+to do — build a new literal-bearing string per call, which misses the plan
+cache on every parameter variation and pays lex/parse/analyze/plan each time;
+the prepared loop compiles once and only re-executes.
+
+Reported as a small table next to the load-phase numbers (same best-of-k
+methodology as the bench harness), with the speedup gated at
+``ERBIUM_PREPARED_SPEEDUP_MIN`` (default 3x, the acceptance threshold).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+from typing import Callable
+
+from repro import ErbiumDB
+from repro.bench.harness import DEFAULT_REPEATS
+from repro.workloads.synthetic import (
+    build_synthetic_schema,
+    generate_synthetic_data,
+    synthetic_mappings,
+)
+
+#: Dataset scale (rows in R ~ scale); kept deliberately small — this bench
+#: isolates the per-call compile overhead, not scan cost (the scan cost of
+#: realistic data sizes is measured by the experiment benchmarks).
+SCALE = int(os.environ.get("ERBIUM_PREPARED_SCALE", "20"))
+#: Executions per timed run.
+CALLS = int(os.environ.get("ERBIUM_PREPARED_CALLS", "300"))
+#: Required prepared-over-unprepared speedup (acceptance: >= 3x).
+MIN_SPEEDUP = float(os.environ.get("ERBIUM_PREPARED_SPEEDUP_MIN", "3"))
+#: Timed repeats per measurement (best-of-k), bounded like the load bench.
+REPEATS = max(1, min(DEFAULT_REPEATS, 3))
+
+QUERY_TEXT = "select r_id, r_y from R where r_y >= $lo and r_y < $hi"
+
+
+def _build_system() -> ErbiumDB:
+    schema = build_synthetic_schema()
+    specs = synthetic_mappings(schema)
+    data = generate_synthetic_data(scale=SCALE, seed=42)
+    system = ErbiumDB("prepared-bench", schema.clone("prepared-bench"))
+    system.set_mapping(specs["M1"])
+    system.load(data.entities, data.relationships)
+    return system
+
+
+def _best_seconds(operation: Callable[[], None], repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        gc.collect()
+        start = time.perf_counter()
+        operation()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _windows(calls: int):
+    """The parameter stream both loops consume: a sliding (lo, hi) window.
+
+    Every window is distinct, so the unprepared loop's literal-bearing texts
+    genuinely miss the exact-text plan cache — the situation parameterized
+    prepared statements exist to fix.
+    """
+
+    return [(i, i + 10) for i in range(calls)]
+
+
+def test_prepared_beats_per_call_query_3x():
+    """Acceptance gate: prepared re-execution >= 3x per-call literal queries."""
+
+    system = _build_system()
+    windows = _windows(CALLS)
+
+    def unprepared() -> None:
+        for lo, hi in windows:
+            system.query(f"select r_id, r_y from R where r_y >= {lo} and r_y < {hi}")
+
+    statement = system.prepare(QUERY_TEXT)
+
+    def prepared() -> None:
+        for lo, hi in windows:
+            statement.execute(lo=lo, hi=hi)
+
+    # parity first: identical row sets for one representative window
+    lo, hi = windows[7]
+    literal = system.query(f"select r_id, r_y from R where r_y >= {lo} and r_y < {hi}")
+    bound = statement.execute(lo=lo, hi=hi)
+    assert bound.sorted_tuples() == literal.sorted_tuples()
+
+    unprepared_secs = _best_seconds(unprepared)
+    prepared_secs = _best_seconds(prepared)
+    speedup = unprepared_secs / prepared_secs
+
+    header = f"{'path':<22}{'calls/s':<14}{'seconds':<12}"
+    lines = [
+        header,
+        f"{'per-call query()':<22}{CALLS / unprepared_secs:<14,.0f}{unprepared_secs:<12.4f}",
+        f"{'prepared execute()':<22}{CALLS / prepared_secs:<14,.0f}{prepared_secs:<12.4f}",
+        f"prepared speedup: {speedup:.1f}x (gate: {MIN_SPEEDUP}x)",
+    ]
+    print("\n" + "\n".join(lines))
+    assert speedup >= MIN_SPEEDUP, (
+        f"prepared execution only {speedup:.1f}x faster than per-call query "
+        f"(required {MIN_SPEEDUP}x): unprepared {unprepared_secs:.4f}s vs "
+        f"prepared {prepared_secs:.4f}s over {CALLS} calls"
+    )
+
+
+def test_prepared_reexecution_is_compile_free():
+    """The counters behind the speedup: N executions, zero recompiles."""
+
+    system = _build_system()
+    statement = system.prepare(QUERY_TEXT)
+    statement.execute(lo=0, hi=10)  # warm operator caches
+    before = system.metrics.snapshot()
+    for lo, hi in _windows(50):
+        statement.execute(lo=lo, hi=hi)
+    after = system.metrics.snapshot()
+    assert after["executions"] - before["executions"] == 50
+    for counter in ("parses", "analyses", "plans"):
+        assert after[counter] == before[counter], counter

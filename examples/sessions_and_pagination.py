@@ -1,0 +1,150 @@
+"""Sessions, prepared statements, transactions and API pagination.
+
+Run with ``python examples/sessions_and_pagination.py``.  Walks the client
+surface added by the session layer:
+
+1. prepared statements — compile a parameterized ERQL query once, execute it
+   repeatedly with fresh ``$name`` bindings (zero re-parse/re-plan, shown via
+   the instrumentation counters);
+2. sessions — one transaction spanning CRUD calls and ERQL queries, with
+   commit on success and rollback on failure;
+3. Result cursors — streaming iteration and ``fetchmany``;
+4. the REST surface — ``POST /query`` with server-side parameter binding,
+   cursor-paginated listings, and an atomic ``POST /batch``.
+"""
+
+from repro import ErbiumDB
+from repro.api import ApiService
+
+DDL = """
+create entity person (
+    person_id int primary key,
+    name varchar,
+    city varchar
+);
+create entity course (course_id int primary key, title varchar, credits int);
+create relationship takes (grade varchar)
+    between person (many) and course (many);
+"""
+
+CITIES = ["College Park", "Laurel", "Bethesda"]
+
+
+def main() -> None:
+    system = ErbiumDB("sessions-demo")
+    system.execute_ddl(DDL)
+    system.set_mapping()
+
+    system.insert_many(
+        "person",
+        [
+            {"person_id": i, "name": f"person-{i}", "city": CITIES[i % len(CITIES)]}
+            for i in range(25)
+        ],
+    )
+    system.insert_many(
+        "course",
+        [{"course_id": c, "title": f"course-{c}", "credits": 1 + c % 4} for c in range(6)],
+    )
+
+    # --- 1. prepared statements --------------------------------------------
+    statement = system.prepare(
+        "select person_id, name from person where city = $city order by person_id asc"
+    )
+    print("prepared:", statement.normalized_text)
+    print("parameter slots:", statement.parameters)
+    before = system.metrics.snapshot()
+    for city in CITIES:
+        result = statement.execute(city=city)
+        print(f"  {city}: {len(result)} people")
+    after = system.metrics.snapshot()
+    print(
+        "re-execution compile work (parses/analyses/plans):",
+        after["parses"] - before["parses"],
+        after["analyses"] - before["analyses"],
+        after["plans"] - before["plans"],
+    )
+
+    # --- 2. sessions: one transaction over CRUD + ERQL ---------------------
+    with system.session() as session:
+        session.insert("person", {"person_id": 100, "name": "newcomer", "city": "Laurel"})
+        session.link("takes", {"person": 100, "course": 1}, {"grade": "A"})
+        count = session.query(
+            "select count(*) as n from person where city = $c", params={"c": "Laurel"}
+        ).scalar()
+        print("Laurel residents inside the transaction:", count)
+    print("after commit, newcomer exists:", system.get("person", 100) is not None)
+
+    try:
+        with system.session() as session:
+            session.insert("person", {"person_id": 101, "name": "phantom", "city": "X"})
+            raise RuntimeError("abort this transaction")
+    except RuntimeError:
+        pass
+    print("after rollback, phantom exists:", system.get("person", 101) is not None)
+
+    # --- 3. Result cursors --------------------------------------------------
+    cursor = system.session().query("select person_id, city from person order by person_id asc")
+    print("cursor columns:", cursor.keys())
+    first_three = cursor.fetchmany(3)
+    print("first three:", [row["person_id"] for row in first_three])
+    print("remaining rows:", sum(1 for _ in cursor))
+
+    # --- 4. REST: parameterized query, pagination, atomic batch ------------
+    service = ApiService(system)
+    response = service.post(
+        "/query",
+        {
+            "query": "select person_id from person where city = $city",
+            "params": {"city": "College Park"},
+        },
+    )
+    print("/query with params ->", response.status, f"{response.body['count']} rows")
+
+    page_cursor = None
+    pages = 0
+    total_items = 0
+    while True:
+        body = {"limit": 10}
+        if page_cursor is not None:
+            body["cursor"] = page_cursor
+        page = service.get("/entities/person", body)
+        assert page.status == 200
+        pages += 1
+        total_items += len(page.body["items"])
+        page_cursor = page.body["next_cursor"]
+        if page_cursor is None:
+            break
+    print(f"paginated /entities/person: {total_items} items across {pages} pages")
+
+    batch = service.post(
+        "/batch",
+        {
+            "operations": [
+                {"op": "insert", "entity": "course", "values": {"course_id": 50, "title": "atomic", "credits": 2}},
+                {"op": "update", "entity": "course", "key": [50], "changes": {"credits": 3}},
+            ]
+        },
+    )
+    print("/batch ->", batch.status, batch.body)
+
+    failing = service.post(
+        "/batch",
+        {
+            "operations": [
+                {"op": "insert", "entity": "course", "values": {"course_id": 51, "title": "a", "credits": 1}},
+                {"op": "insert", "entity": "course", "values": {"course_id": 51, "title": "dup", "credits": 1}},
+            ]
+        },
+    )
+    print(
+        "/batch with duplicate key ->",
+        failing.status,
+        failing.body["error"]["code"],
+        "| course 51 rolled back:",
+        system.get("course", 51) is None,
+    )
+
+
+if __name__ == "__main__":
+    main()

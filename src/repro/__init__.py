@@ -16,8 +16,16 @@ subpackages (documented in DESIGN.md):
 * :mod:`repro.bench` — the Section 6 experiment harness.
 """
 
-from .system import ErbiumDB
+from .session import PreparedStatement, Result, Session
+from .system import ErbiumDB, QueryMetrics
 
 __version__ = "0.1.0"
 
-__all__ = ["ErbiumDB", "__version__"]
+__all__ = [
+    "ErbiumDB",
+    "Session",
+    "PreparedStatement",
+    "Result",
+    "QueryMetrics",
+    "__version__",
+]

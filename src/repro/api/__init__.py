@@ -8,8 +8,16 @@
 """
 
 from .openapi import entity_component_schemas, generate_openapi
-from .resources import Route, Router, default_router, parse_key
-from .service import ApiService, Response
+from .resources import (
+    Route,
+    Router,
+    decode_cursor,
+    default_router,
+    encode_cursor,
+    paginate_keys,
+    parse_key,
+)
+from .service import DEFAULT_PAGE_SIZE, MAX_PAGE_SIZE, ApiService, Response
 
 __all__ = [
     "ApiService",
@@ -18,6 +26,11 @@ __all__ = [
     "Route",
     "default_router",
     "parse_key",
+    "encode_cursor",
+    "decode_cursor",
+    "paginate_keys",
+    "DEFAULT_PAGE_SIZE",
+    "MAX_PAGE_SIZE",
     "generate_openapi",
     "entity_component_schemas",
 ]

@@ -79,17 +79,143 @@ def entity_component_schemas(schema: ERSchema) -> Dict[str, Any]:
     return components
 
 
-def generate_openapi(system: "ErbiumDB", router: "Router") -> Dict[str, Any]:
+#: Reusable parameter/requestBody documentation per operation, merged into
+#: the generated path entries.  Kept here (not in the router) so the route
+#: table stays a pure dispatch structure.
+_PAGINATION_PARAMETERS = [
+    {
+        "name": "limit",
+        "in": "query",
+        "schema": {"type": "integer", "minimum": 1},
+        "description": "Page size; clamped to the server-side maximum.",
+    },
+    {
+        "name": "cursor",
+        "in": "query",
+        "schema": {"type": "string"},
+        "description": "Opaque pagination cursor from a previous page's "
+        "'next_cursor'; omit for the first page.",
+    },
+]
+
+_HANDLER_DOCS: Dict[str, Dict[str, Any]] = {
+    "list_entities": {
+        "parameters": _PAGINATION_PARAMETERS,
+        "responses": {
+            "200": {
+                "description": "One page of instances plus 'next_cursor' "
+                "(null on the last page) and the total 'count'."
+            }
+        },
+    },
+    "related": {
+        "parameters": _PAGINATION_PARAMETERS,
+        "responses": {
+            "200": {"description": "One page of related keys plus 'next_cursor'."}
+        },
+    },
+    "query": {
+        "requestBody": {
+            "required": ["query"],
+            "schema": {
+                "type": "object",
+                "properties": {
+                    "query": {
+                        "type": "string",
+                        "description": "An ERQL SELECT; use $name placeholders "
+                        "instead of interpolating literals.",
+                    },
+                    "params": {
+                        "type": "object",
+                        "description": "Bindings for the $name placeholders.",
+                        "additionalProperties": True,
+                    },
+                },
+            },
+        },
+        "responses": {"200": {"description": "columns, rows and count."}},
+    },
+    "create_entities_batch": {
+        "requestBody": {
+            "required": ["items"],
+            "schema": {
+                "type": "object",
+                "properties": {
+                    "items": {
+                        "type": "array",
+                        "items": {"type": "object"},
+                        "description": "Attribute-value objects, inserted in "
+                        "one transaction through the vectorized write path.",
+                    }
+                },
+            },
+        },
+        "responses": {"201": {"description": "Number of instances inserted."}},
+    },
+    "batch": {
+        "requestBody": {
+            "required": ["operations"],
+            "schema": {
+                "type": "object",
+                "properties": {
+                    "operations": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "properties": {
+                                "op": {
+                                    "type": "string",
+                                    "enum": ["insert", "update", "delete", "link", "unlink"],
+                                }
+                            },
+                        },
+                        "description": "Executed inside one transaction; any "
+                        "failure rolls back the whole batch.",
+                    }
+                },
+            },
+        },
+        "responses": {"200": {"description": "Per-operation results."}},
+    },
+}
+
+#: The uniform error payload shape every non-2xx response uses.
+_ERROR_SCHEMA = {
+    "type": "object",
+    "properties": {
+        "error": {
+            "type": "object",
+            "properties": {
+                "code": {
+                    "type": "string",
+                    "description": "Machine-readable error code (e.g. "
+                    "'not_found', 'validation', 'invalid_query', "
+                    "'invalid_parameters', 'constraint_violation').",
+                },
+                "message": {"type": "string"},
+            },
+            "required": ["code", "message"],
+        }
+    },
+    "required": ["error"],
+}
+
+
+def generate_openapi(
+    system: "ErbiumDB", router: "Router", max_page_size: Optional[int] = None
+) -> Dict[str, Any]:
     """An OpenAPI-like description of the generated API."""
 
     schema = system.schema
     paths: Dict[str, Any] = {}
     for route in router.routes():
         entry = paths.setdefault(route.template, {})
-        entry[route.method.lower()] = {
+        operation: Dict[str, Any] = {
             "summary": route.description,
             "operationId": route.handler,
         }
+        operation.update(_HANDLER_DOCS.get(route.handler, {}))
+        entry[route.method.lower()] = operation
     relationship_docs = {
         r.name: {
             "kind": r.kind(),
@@ -99,16 +225,24 @@ def generate_openapi(system: "ErbiumDB", router: "Router") -> Dict[str, Any]:
         }
         for r in schema.relationships()
     }
-    return {
+    components = {"schemas": dict(entity_component_schemas(schema), Error=_ERROR_SCHEMA)}
+    document = {
         "openapi": "3.0-like",
         "info": {
             "title": f"ErbiumDB API for schema {schema.name!r}",
-            "version": "0.1.0",
+            "version": "0.2.0",
             "description": "Generated from the E/R schema: one resource per entity set, "
-            "relationship sub-resources, and an ERQL query endpoint.",
+            "relationship sub-resources, a parameterized ERQL query endpoint, "
+            "cursor-paginated listings and transaction-scoped batch endpoints.",
         },
         "paths": paths,
-        "components": {"schemas": entity_component_schemas(schema)},
+        "components": components,
         "x-relationships": relationship_docs,
         "x-mapping": system.mapping.name if system.mapping is not None else None,
     }
+    if max_page_size is not None:
+        document["x-pagination"] = {
+            "max_page_size": max_page_size,
+            "cursor": "opaque base64url token; pass back verbatim as 'cursor'",
+        }
+    return document

@@ -5,12 +5,21 @@ sub-resource per relationship), mirroring the paper's plan to "support a
 RESTful API by default ... to ensure compatibility with standard application
 development practices".  A :class:`Route` matches a method + path template
 such as ``GET /entities/person/{key}`` and extracts path parameters.
+
+This module also provides the *cursor* codec used by the paginated list
+endpoints: a cursor is the last-returned key, JSON-encoded then
+base64url-encoded — opaque to clients, stable across inserts/deletes
+elsewhere in the key space (the next page is "keys ordered after this one",
+not "offset N").
 """
 
 from __future__ import annotations
 
+import base64
+import bisect
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ApiError
 
@@ -71,8 +80,9 @@ def default_router() -> Router:
     router = Router()
     router.add(Route("GET", "/schema", "describe_schema", "Describe the E/R schema"))
     router.add(Route("GET", "/mapping", "describe_mapping", "Describe the active mapping"))
-    router.add(Route("GET", "/entities/{entity}", "list_entities", "List instances of an entity set"))
+    router.add(Route("GET", "/entities/{entity}", "list_entities", "List instances of an entity set (cursor-paginated)"))
     router.add(Route("POST", "/entities/{entity}", "create_entity", "Insert an entity instance"))
+    router.add(Route("POST", "/entities/{entity}/batch", "create_entities_batch", "Bulk-insert entity instances in one transaction"))
     router.add(Route("GET", "/entities/{entity}/{key}", "get_entity", "Fetch one instance by key"))
     router.add(Route("PATCH", "/entities/{entity}/{key}", "update_entity", "Update one instance"))
     router.add(Route("DELETE", "/entities/{entity}/{key}", "delete_entity", "Delete one instance (entity-centric)"))
@@ -81,14 +91,103 @@ def default_router() -> Router:
             "GET",
             "/entities/{entity}/{key}/related/{relationship}",
             "related",
-            "Keys related to the instance through a relationship",
+            "Keys related to the instance through a relationship (cursor-paginated)",
         )
     )
     router.add(Route("POST", "/relationships/{relationship}", "create_relationship", "Insert a relationship occurrence"))
     router.add(Route("DELETE", "/relationships/{relationship}", "delete_relationship", "Delete relationship occurrences"))
-    router.add(Route("POST", "/query", "query", "Run an ERQL query"))
+    router.add(Route("POST", "/query", "query", "Run an ERQL query with optional $name parameters"))
+    router.add(Route("POST", "/batch", "batch", "Run several write operations in one transaction"))
     router.add(Route("GET", "/openapi", "openapi", "Generated API documentation"))
     return router
+
+
+def encode_cursor(key: Sequence[Any]) -> str:
+    """Opaque pagination cursor for a key tuple (base64url of its JSON)."""
+
+    payload = json.dumps(list(key), sort_keys=True, default=str).encode("utf-8")
+    return base64.urlsafe_b64encode(payload).decode("ascii").rstrip("=")
+
+
+def decode_cursor(raw: str) -> Tuple[Any, ...]:
+    """Invert :func:`encode_cursor`; raises a 400 :class:`ApiError` on garbage."""
+
+    if not isinstance(raw, str) or not raw:
+        raise ApiError(400, "cursor must be a non-empty string", code="invalid_cursor")
+    try:
+        padded = raw + "=" * (-len(raw) % 4)
+        payload = base64.urlsafe_b64decode(padded.encode("ascii"))
+        values = json.loads(payload.decode("utf-8"))
+    except Exception:
+        raise ApiError(400, "malformed pagination cursor", code="invalid_cursor")
+    if not isinstance(values, list):
+        raise ApiError(400, "malformed pagination cursor", code="invalid_cursor")
+    return tuple(values)
+
+
+def ordering_key(key: Sequence[Any]) -> Tuple[Any, ...]:
+    """A total, stable sort key over heterogeneous key tuples.
+
+    Components order numerically when numeric, lexicographically otherwise;
+    ``None`` sorts first.  A type/text tiebreak distinguishes values that
+    compare equal across types (``1`` vs ``True`` vs ``1.0``), so two
+    *distinct* keys never tie — a tie at a page boundary would make the
+    cursor's bisect skip rows.  This is the ordering the paginated endpoints
+    use, so cursors stay stable under concurrent inserts/deletes elsewhere.
+    """
+
+    out = []
+    for value in key:
+        if value is None:
+            out.append((0, 0, "", ""))
+        elif isinstance(value, bool):
+            out.append((1, int(value), "bool", str(value)))
+        elif isinstance(value, (int, float)):
+            out.append((1, value, type(value).__name__, str(value)))
+        else:
+            out.append((2, 0, str(value), type(value).__name__))
+    return tuple(out)
+
+
+def sort_keys(keys: Sequence[Sequence[Any]]) -> List[Tuple[Any, Tuple[Any, ...]]]:
+    """Decorate-and-sort key tuples by :func:`ordering_key`.
+
+    The result feeds :func:`paginate_sorted`; callers serving many page
+    requests over the same (unchanged) key set should cache it instead of
+    re-sorting per page (see ``ApiService._sorted_entity_keys``).
+    """
+
+    return sorted((ordering_key(k), tuple(k)) for k in keys)
+
+
+def paginate_sorted(
+    decorated: Sequence[Tuple[Any, Tuple[Any, ...]]], limit: int, cursor: Optional[str]
+) -> Tuple[List[Tuple[Any, ...]], Optional[str], int]:
+    """One stable page out of a :func:`sort_keys` result: (page, next_cursor, total).
+
+    The page starts strictly after the cursor's key (so a deleted cursor row
+    does not skip or repeat neighbours) and ``next_cursor`` is ``None`` on
+    the last page.
+    """
+
+    start = 0
+    if cursor is not None:
+        marker = ordering_key(decode_cursor(cursor))
+        # first position whose key orders strictly after the cursor
+        start = bisect.bisect_right(decorated, marker, key=lambda pair: pair[0])
+    page = [key for _, key in decorated[start : start + limit]]
+    next_cursor = (
+        encode_cursor(page[-1]) if page and start + limit < len(decorated) else None
+    )
+    return page, next_cursor, len(decorated)
+
+
+def paginate_keys(
+    keys: Sequence[Sequence[Any]], limit: int, cursor: Optional[str]
+) -> Tuple[List[Tuple[Any, ...]], Optional[str], int]:
+    """One stable page of key tuples: (page, next_cursor, total)."""
+
+    return paginate_sorted(sort_keys(keys), limit, cursor)
 
 
 def parse_key(raw: str) -> Tuple[Any, ...]:

@@ -5,19 +5,79 @@ is a method + path + optional JSON-like body, a response is a status code plus
 a JSON-serializable payload.  The translation logic — nested outputs, key
 parsing, CRUD dispatch, ERQL pass-through — is exactly what a network-facing
 implementation would run behind the socket.
+
+The surface is built on the session layer of :mod:`repro.session`:
+
+* ``POST /query`` takes ``{"query": ..., "params": {...}}`` — ``$name``
+  placeholders bound server-side, so clients never interpolate literals into
+  query strings (and repeated shapes share one cached plan);
+* list endpoints (``GET /entities/{entity}``, ``.../related/{relationship}``)
+  paginate with an opaque, stable cursor and a server-enforced maximum page
+  size;
+* ``POST /batch`` and ``POST /entities/{entity}/batch`` run several write
+  operations inside one session transaction — all-or-nothing;
+* every error response has the machine-readable shape
+  ``{"error": {"code": ..., "message": ...}}`` with a status that separates
+  validation (400/422) from not-found (404), authorization (401/403) and
+  constraint conflicts (409).
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl
 
-from ..errors import ApiError, ErbiumError
+from ..errors import (
+    AccessDenied,
+    AnalysisError,
+    ApiError,
+    BindError,
+    ConstraintViolation,
+    ErbiumError,
+    InstanceError,
+    LexerError,
+    ParseError,
+    PlanningError,
+    TypeMismatchError,
+)
 from ..governance import AccessController, AuditLog
 from ..system import ErbiumDB
 from .openapi import generate_openapi
-from .resources import Router, default_router, parse_key
+from .resources import (
+    Router,
+    default_router,
+    paginate_keys,
+    paginate_sorted,
+    parse_key,
+    sort_keys,
+)
+
+#: Default and server-enforced maximum page size for the list endpoints.
+DEFAULT_PAGE_SIZE = 100
+MAX_PAGE_SIZE = 200
+
+#: Default machine-readable code per status (overridable per ApiError).
+_STATUS_CODES = {
+    400: "bad_request",
+    401: "unauthorized",
+    403: "forbidden",
+    404: "not_found",
+    405: "method_not_allowed",
+    409: "conflict",
+    422: "validation",
+    500: "internal",
+}
+
+#: Write operations accepted by ``POST /batch``.
+_BATCH_OPS = ("insert", "update", "delete", "link", "unlink")
+
+
+def error_body(code: str, message: str) -> Dict[str, Any]:
+    """The uniform error payload: ``{"error": {"code", "message"}}``."""
+
+    return {"error": {"code": code, "message": message}}
 
 
 @dataclass
@@ -43,11 +103,15 @@ class ApiService:
         system: ErbiumDB,
         access: Optional[AccessController] = None,
         audit: Optional[AuditLog] = None,
+        max_page_size: int = MAX_PAGE_SIZE,
     ) -> None:
         self.system = system
         self.access = access
         self.audit = audit
+        self.max_page_size = max_page_size
         self.router: Router = default_router()
+        # per-entity sorted key lists, invalidated by any table data change
+        self._sorted_keys_cache: Dict[str, Tuple[Any, List[Any]]] = {}
 
     # -- public entry point ----------------------------------------------------
 
@@ -58,8 +122,28 @@ class ApiService:
         body: Optional[Dict[str, Any]] = None,
         principal: Optional[str] = None,
     ) -> Response:
-        """Handle one request; errors map to 4xx/5xx responses, never exceptions."""
+        """Handle one request; engine/API errors map to 4xx/5xx responses.
 
+        The one deliberate exception: a non-dict ``body`` raises ``TypeError``
+        immediately — it indicates a caller bug (most likely a positional
+        ``principal`` from the pre-session signature), not a client request
+        that deserves an error response.
+        """
+
+        if body is not None and not isinstance(body, dict):
+            # loud failure for old positional-principal call sites:
+            # get(path, "carl") would otherwise silently bind "carl" as body
+            raise TypeError(
+                f"request body must be a dict or None, got {type(body).__name__}; "
+                "pass principal as a keyword argument"
+            )
+        path, query_params = self._split_query_string(path)
+        if query_params and method.upper() == "GET":
+            # query-string values (the HTTP-expressible spelling for GET
+            # pagination) are defaults; an explicit body wins on conflicts.
+            # Write methods ignore the query string — merging it would let a
+            # stray ?attr=value inject attribute values into the body.
+            body = {**query_params, **(body or {})}
         try:
             route, params = self.router.resolve(method, path)
             handler = getattr(self, f"_handle_{route.handler}", None)
@@ -75,22 +159,56 @@ class ApiService:
                 )
             return response
         except ApiError as exc:
-            return Response(exc.status, {"error": exc.message})
+            code = exc.code or _STATUS_CODES.get(exc.status, "error")
+            return Response(exc.status, error_body(code, exc.message))
         except ErbiumError as exc:
-            return Response(400, {"error": str(exc)})
+            status, code = self._classify_error(exc)
+            return Response(status, error_body(code, str(exc)))
+
+    @staticmethod
+    def _split_query_string(path: str) -> Tuple[str, Dict[str, str]]:
+        """Split ``/entities/person?limit=5&cursor=abc`` into path + params."""
+
+        if "?" not in path:
+            return path, {}
+        bare, _, raw_query = path.partition("?")
+        params: Dict[str, str] = {}
+        for pair in parse_qsl(raw_query, keep_blank_values=True):
+            params[pair[0]] = pair[1]
+        return bare, params
+
+    @staticmethod
+    def _classify_error(exc: ErbiumError) -> Tuple[int, str]:
+        """Map engine exceptions to (status, machine-readable code)."""
+
+        if isinstance(exc, (ParseError, LexerError, AnalysisError, PlanningError)):
+            return 400, "invalid_query"
+        if isinstance(exc, BindError):
+            return 400, "invalid_parameters"
+        if isinstance(exc, ConstraintViolation):
+            return 409, "constraint_violation"
+        if isinstance(exc, (TypeMismatchError, InstanceError)):
+            return 422, "validation"
+        if isinstance(exc, AccessDenied):
+            return 403, "forbidden"
+        return 400, "bad_request"
 
     # shorthand helpers ---------------------------------------------------------
+    #
+    # ``principal`` is keyword-only: its position changed when ``body`` was
+    # added to get/delete, and a silently mis-bound principal would downgrade
+    # an authorized request to an anonymous one.
 
-    def get(self, path: str, principal: Optional[str] = None) -> Response:
-        return self.request("GET", path, principal=principal)
+    def get(self, path: str, body: Optional[Dict[str, Any]] = None, *, principal: Optional[str] = None) -> Response:
+        return self.request("GET", path, body, principal=principal)
 
-    def post(self, path: str, body: Dict[str, Any], principal: Optional[str] = None) -> Response:
+    def post(self, path: str, body: Dict[str, Any], *, principal: Optional[str] = None) -> Response:
         return self.request("POST", path, body, principal=principal)
 
-    def patch(self, path: str, body: Dict[str, Any], principal: Optional[str] = None) -> Response:
+    def patch(self, path: str, body: Dict[str, Any], *, principal: Optional[str] = None) -> Response:
         return self.request("PATCH", path, body, principal=principal)
 
-    def delete(self, path: str, body: Optional[Dict[str, Any]] = None, principal: Optional[str] = None) -> Response:
+    def delete(self, path: str, body: Optional[Dict[str, Any]] = None, *, principal: Optional[str] = None) -> Response:
         return self.request("DELETE", path, body, principal=principal)
 
     # -- access-control helper --------------------------------------------------------
@@ -105,6 +223,64 @@ class ApiService:
         except ErbiumError as exc:
             raise ApiError(403, str(exc))
 
+    # -- validation helpers -----------------------------------------------------------
+
+    def _require_entity(self, entity: str) -> None:
+        if not self.system.schema.has_entity(entity):
+            raise ApiError(404, f"unknown entity set {entity!r}")
+
+    def _require_relationship(self, relationship: str) -> None:
+        if not self.system.schema.has_relationship(relationship):
+            raise ApiError(404, f"unknown relationship {relationship!r}")
+
+    def _check_relationship_write(self, principal: Optional[str], relationship: str) -> None:
+        """Linking/unlinking writes rows for the participant entities."""
+
+        for entity in self.system.schema.relationship(relationship).entity_names():
+            self._check(principal, "write", entity)
+
+    def _parse_limit(self, body: Dict[str, Any]) -> int:
+        """Validated, server-side-clamped page size (400 on bad input)."""
+
+        raw = body.get("limit", DEFAULT_PAGE_SIZE)
+        if isinstance(raw, bool) or isinstance(raw, float) and not raw.is_integer():
+            raise ApiError(400, f"limit must be an integer, got {raw!r}", code="invalid_limit")
+        try:
+            value = int(raw)
+        except (TypeError, ValueError):
+            raise ApiError(400, f"limit must be an integer, got {raw!r}", code="invalid_limit")
+        if value < 1:
+            raise ApiError(400, "limit must be at least 1", code="invalid_limit")
+        return min(value, self.max_page_size)
+
+    def _sorted_entity_keys(self, entity: str) -> List[Any]:
+        """The entity's decorated-sorted key list, cached per data version.
+
+        Walking a large listing page by page would otherwise re-fetch and
+        re-sort all N keys per request; the cache is keyed on every table's
+        data version, so any write anywhere invalidates it (conservative but
+        exact — entity key sets can span several physical tables).
+        """
+
+        token = tuple(
+            (table.name, table.version)
+            for table in self.system.db.catalog.tables()
+        )
+        cached = self._sorted_keys_cache.get(entity)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        decorated = sort_keys(self.system.crud.entity_keys(entity))
+        self._sorted_keys_cache[entity] = (token, decorated)
+        return decorated
+
+    def _parse_cursor(self, body: Dict[str, Any]) -> Optional[str]:
+        cursor = body.get("cursor")
+        if cursor is None:
+            return None
+        if not isinstance(cursor, str) or not cursor:
+            raise ApiError(400, "cursor must be a non-empty string", code="invalid_cursor")
+        return cursor
+
     # -- handlers -------------------------------------------------------------------------
 
     def _handle_describe_schema(self, params, body, principal) -> Response:
@@ -115,14 +291,16 @@ class ApiService:
 
     def _handle_list_entities(self, params, body, principal) -> Response:
         entity = params["entity"]
-        if not self.system.schema.has_entity(entity):
-            raise ApiError(404, f"unknown entity set {entity!r}")
+        self._require_entity(entity)
         self._check(principal, "read", entity)
+        limit = self._parse_limit(body)
+        cursor = self._parse_cursor(body)
         crud = self.system.crud
-        keys = crud.entity_keys(entity)
-        limit = int(body.get("limit", 100)) if body else 100
+        page, next_cursor, total = paginate_sorted(
+            self._sorted_entity_keys(entity), limit, cursor
+        )
         items = []
-        for key in keys[:limit]:
+        for key in page:
             instance = crud.get_entity(entity, key)
             if instance is None:
                 continue
@@ -130,13 +308,21 @@ class ApiService:
             if self.access is not None and principal is not None:
                 values = self.access.redact(principal, instance).values
             items.append({"key": list(key), "values": values})
-        return Response(200, {"entity": entity, "count": len(keys), "items": items})
+        return Response(
+            200,
+            {
+                "entity": entity,
+                "count": total,
+                "items": items,
+                "limit": limit,
+                "next_cursor": next_cursor,
+            },
+        )
 
     def _handle_get_entity(self, params, body, principal) -> Response:
         entity = params["entity"]
         key = parse_key(params["key"])
-        if not self.system.schema.has_entity(entity):
-            raise ApiError(404, f"unknown entity set {entity!r}")
+        self._require_entity(entity)
         self._check(principal, "read", entity)
         instance = self.system.crud.get_entity(entity, key)
         if instance is None:
@@ -148,8 +334,7 @@ class ApiService:
 
     def _handle_create_entity(self, params, body, principal) -> Response:
         entity = params["entity"]
-        if not self.system.schema.has_entity(entity):
-            raise ApiError(404, f"unknown entity set {entity!r}")
+        self._require_entity(entity)
         self._check(principal, "write", entity)
         if not isinstance(body, dict) or not body:
             raise ApiError(422, "request body must be a non-empty object of attribute values")
@@ -159,9 +344,24 @@ class ApiService:
             {"entity": entity, "key": list(instance.key_of(self.system.schema)), "values": instance.values},
         )
 
+    def _handle_create_entities_batch(self, params, body, principal) -> Response:
+        """Bulk insert: all items land in one transaction (vectorized path)."""
+
+        entity = params["entity"]
+        self._require_entity(entity)
+        self._check(principal, "write", entity)
+        items = body.get("items")
+        if not isinstance(items, list) or not items:
+            raise ApiError(422, "body must contain a non-empty 'items' array")
+        if not all(isinstance(item, dict) and item for item in items):
+            raise ApiError(422, "every item must be a non-empty object of attribute values")
+        inserted = self.system.insert_many(entity, items)
+        return Response(201, {"entity": entity, "inserted": inserted})
+
     def _handle_update_entity(self, params, body, principal) -> Response:
         entity = params["entity"]
         key = parse_key(params["key"])
+        self._require_entity(entity)
         self._check(principal, "write", entity)
         if not isinstance(body, dict) or not body:
             raise ApiError(422, "request body must be a non-empty object of attribute changes")
@@ -171,6 +371,7 @@ class ApiService:
     def _handle_delete_entity(self, params, body, principal) -> Response:
         entity = params["entity"]
         key = parse_key(params["key"])
+        self._require_entity(entity)
         self._check(principal, "delete", entity)
         removed = self.system.delete(entity, key)
         return Response(200, {"entity": entity, "key": list(key), "rows_removed": removed})
@@ -179,24 +380,30 @@ class ApiService:
         entity = params["entity"]
         key = parse_key(params["key"])
         relationship = params["relationship"]
+        self._require_entity(entity)
         self._check(principal, "read", entity)
-        if not self.system.schema.has_relationship(relationship):
-            raise ApiError(404, f"unknown relationship {relationship!r}")
+        self._require_relationship(relationship)
+        limit = self._parse_limit(body)
+        cursor = self._parse_cursor(body)
         related = self.system.related(relationship, entity, key)
+        page, next_cursor, total = paginate_keys(related, limit, cursor)
         return Response(
             200,
             {
                 "entity": entity,
                 "key": list(key),
                 "relationship": relationship,
-                "related": [list(r) for r in related],
+                "related": [list(r) for r in page],
+                "count": total,
+                "limit": limit,
+                "next_cursor": next_cursor,
             },
         )
 
     def _handle_create_relationship(self, params, body, principal) -> Response:
         relationship = params["relationship"]
-        if not self.system.schema.has_relationship(relationship):
-            raise ApiError(404, f"unknown relationship {relationship!r}")
+        self._require_relationship(relationship)
+        self._check_relationship_write(principal, relationship)
         endpoints = body.get("endpoints")
         if not isinstance(endpoints, dict) or not endpoints:
             raise ApiError(422, "body must contain an 'endpoints' object of role -> key")
@@ -206,6 +413,8 @@ class ApiService:
 
     def _handle_delete_relationship(self, params, body, principal) -> Response:
         relationship = params["relationship"]
+        self._require_relationship(relationship)
+        self._check_relationship_write(principal, relationship)
         endpoints = (body or {}).get("endpoints")
         if not isinstance(endpoints, dict) or not endpoints:
             raise ApiError(422, "body must contain an 'endpoints' object of role -> key")
@@ -213,14 +422,159 @@ class ApiService:
         return Response(200, {"relationship": relationship, "removed": removed})
 
     def _handle_query(self, params, body, principal) -> Response:
+        """``POST /query`` with ``{"query": ..., "params": {...}}``.
+
+        Parameters are bound server-side through the prepared-statement
+        machinery — no client-side string interpolation, and repeated query
+        shapes hit the normalized-text plan cache.  With an access controller
+        installed, the principal must hold "read" on every entity the query
+        touches, and every referenced attribute must be visible to them
+        (PII-denied attributes are a 403, not silently-redacted columns —
+        arbitrary projections cannot be column-redacted after the fact).
+        """
+
         text = (body or {}).get("query")
-        if not text:
+        if not text or not isinstance(text, str):
             raise ApiError(422, "body must contain a 'query' string")
-        result = self.system.query(text)
+        bindings = (body or {}).get("params")
+        if bindings is None:
+            bindings = {}
+        if not isinstance(bindings, dict):
+            raise ApiError(422, "'params' must be an object of name -> value")
+        compiled = self.system._compile(text)
+        for entity in compiled.entities:
+            self._check(principal, "read", entity)
+        self._check_attribute_visibility(principal, compiled.attribute_refs)
+        result = self.system._execute_compiled(compiled, bindings)
         return Response(
             200,
             {"columns": result.columns, "rows": [dict(r) for r in result.rows], "count": len(result)},
         )
 
+    def _check_attribute_visibility(
+        self, principal: Optional[str], attribute_refs: Sequence[Tuple[str, str]]
+    ) -> None:
+        """403 when a query references an attribute the principal may not read.
+
+        Structural columns that are not declared attributes of the entity
+        (weak-entity owner keys) are covered by the entity-level check alone.
+        """
+
+        if self.access is None or principal is None:
+            return
+        declared: Dict[str, set] = {}
+        visible: Dict[str, set] = {}
+        for entity, attribute in attribute_refs:
+            if entity not in declared:
+                declared[entity] = {
+                    a.name for a in self.system.schema.effective_attributes(entity)
+                }
+                visible[entity] = set(self.access.visible_attributes(principal, entity))
+            if attribute not in declared[entity]:
+                continue
+            if attribute not in visible[entity]:
+                raise ApiError(
+                    403,
+                    f"attribute {entity}.{attribute} is not readable by this principal",
+                )
+
+    def _handle_batch(self, params, body, principal) -> Response:
+        """``POST /batch``: several write operations, one transaction.
+
+        Each operation is ``{"op": "insert"|"update"|"delete"|"link"|"unlink",
+        ...}``.  Any failure rolls back every operation in the batch; the
+        error names the failing index.
+        """
+
+        operations = (body or {}).get("operations")
+        if not isinstance(operations, list) or not operations:
+            raise ApiError(422, "body must contain a non-empty 'operations' array")
+        # authorize everything up front so a late 403 cannot waste a rollback
+        for index, operation in enumerate(operations):
+            self._validate_batch_op(index, operation, principal)
+        results: List[Dict[str, Any]] = []
+        with self.system.session() as session:
+            for index, operation in enumerate(operations):
+                try:
+                    results.append(self._apply_batch_op(session, operation))
+                except ApiError as exc:
+                    raise ApiError(
+                        exc.status, f"operation {index} failed: {exc.message}", code=exc.code
+                    )
+                except ErbiumError as exc:
+                    status, code = self._classify_error(exc)
+                    raise ApiError(
+                        status, f"operation {index} failed: {exc}", code=code
+                    )
+        return Response(200, {"operations": len(results), "results": results})
+
+    def _validate_batch_op(self, index: int, operation: Any, principal) -> None:
+        if not isinstance(operation, dict):
+            raise ApiError(422, f"operation {index} must be an object")
+        op = operation.get("op")
+        if op not in _BATCH_OPS:
+            raise ApiError(
+                422,
+                f"operation {index}: unknown op {op!r}; expected one of {list(_BATCH_OPS)}",
+            )
+        if op in ("insert", "update", "delete"):
+            entity = operation.get("entity")
+            if not isinstance(entity, str):
+                raise ApiError(422, f"operation {index} must name an 'entity'")
+            self._require_entity(entity)
+            self._check(principal, "delete" if op == "delete" else "write", entity)
+        else:
+            relationship = operation.get("relationship")
+            if not isinstance(relationship, str):
+                raise ApiError(422, f"operation {index} must name a 'relationship'")
+            self._require_relationship(relationship)
+            self._check_relationship_write(principal, relationship)
+
+    @staticmethod
+    def _op_key(operation: Dict[str, Any]) -> Tuple[Any, ...]:
+        key = operation.get("key")
+        if key is None:
+            raise ApiError(422, "operation needs a 'key'")
+        return tuple(key) if isinstance(key, (list, tuple)) else (key,)
+
+    def _apply_batch_op(self, session, operation: Dict[str, Any]) -> Dict[str, Any]:
+        op = operation["op"]
+        if op == "insert":
+            values = operation.get("values")
+            if not isinstance(values, dict) or not values:
+                raise ApiError(422, "insert operation needs a non-empty 'values' object")
+            instance = session.insert(operation["entity"], values)
+            return {
+                "op": op,
+                "entity": operation["entity"],
+                "key": list(instance.key_of(self.system.schema)),
+            }
+        if op == "update":
+            changes = operation.get("changes")
+            if not isinstance(changes, dict) or not changes:
+                raise ApiError(422, "update operation needs a non-empty 'changes' object")
+            key = self._op_key(operation)
+            session.update(operation["entity"], key, changes)
+            return {"op": op, "entity": operation["entity"], "key": list(key)}
+        if op == "delete":
+            key = self._op_key(operation)
+            removed = session.delete(operation["entity"], key)
+            return {"op": op, "entity": operation["entity"], "key": list(key), "rows_removed": removed}
+        if op == "link":
+            endpoints = operation.get("endpoints")
+            if not isinstance(endpoints, dict) or not endpoints:
+                raise ApiError(422, "link operation needs an 'endpoints' object")
+            session.link(operation["relationship"], endpoints, operation.get("values") or {})
+            return {"op": op, "relationship": operation["relationship"]}
+        if op == "unlink":
+            endpoints = operation.get("endpoints")
+            if not isinstance(endpoints, dict) or not endpoints:
+                raise ApiError(422, "unlink operation needs an 'endpoints' object")
+            removed = session.unlink(operation["relationship"], endpoints)
+            return {"op": op, "relationship": operation["relationship"], "removed": removed}
+        raise ApiError(422, f"unknown op {op!r}")  # unreachable; _validate caught it
+
     def _handle_openapi(self, params, body, principal) -> Response:
-        return Response(200, generate_openapi(self.system, self.router))
+        return Response(
+            200, generate_openapi(self.system, self.router, max_page_size=self.max_page_size)
+        )

@@ -10,7 +10,11 @@ The analyzer checks that:
 * aggregates are not nested, ``unnest`` is applied to multi-valued attributes
   only, and mixed aggregate / non-aggregate select lists get their GROUP BY
   inferred (the paper omits explicit GROUP BY for this reason);
-* ``count(*)`` and ``DISTINCT`` aggregates are well-formed.
+* ``count(*)`` and ``DISTINCT`` aggregates are well-formed;
+* ``$name`` placeholders become :class:`~repro.erql.logical.BoundParameter`
+  nodes; when a placeholder is compared against an attribute reference, the
+  attribute's declared type is slotted onto the parameter (best-effort type
+  inference used by prepared-statement metadata).
 
 The result is a :class:`~repro.erql.logical.BoundQuery`.
 """
@@ -34,6 +38,7 @@ from .logical import (
     BoundLiteral,
     BoundNot,
     BoundOrderItem,
+    BoundParameter,
     BoundQuery,
     BoundRef,
     BoundSelectItem,
@@ -169,9 +174,13 @@ class Analyzer:
             return BoundLiteral(expression.value)
         if isinstance(expression, ast.Name):
             return self._resolve_name(expression, context)
+        if isinstance(expression, ast.Parameter):
+            return BoundParameter(expression.name)
         if isinstance(expression, ast.BinOp):
             left = self._bind_expression(expression.left, context)
             right = self._bind_expression(expression.right, context)
+            self._slot_parameter_type(left, right)
+            self._slot_parameter_type(right, left)
             return BoundBinOp(expression.op, left, right)
         if isinstance(expression, ast.UnaryOp):
             operand = self._bind_expression(expression.operand, context)
@@ -224,6 +233,19 @@ class Analyzer:
             args = [self._bind_expression(a, context) for a in call.args]
             return BoundFunc(name, args)
         raise AnalysisError(f"unknown function {call.name!r}")
+
+    def _slot_parameter_type(self, parameter: BoundExpr, other: BoundExpr) -> None:
+        """Record the declared type a ``$param`` is compared against."""
+
+        if not isinstance(parameter, BoundParameter) or parameter.type_name is not None:
+            return
+        if not isinstance(other, BoundRef) or other.entity is None or other.path:
+            return
+        try:
+            attribute = self.schema.effective_attribute(other.entity, other.attribute)
+            parameter.type_name = getattr(attribute, "type_name", None)
+        except Exception:
+            parameter.type_name = None
 
     # -- group by / order by ----------------------------------------------------------------
 

@@ -47,6 +47,13 @@ class Literal(Expr):
 
 
 @dataclass
+class Parameter(Expr):
+    """A ``$name`` placeholder, bound at execution time by prepared statements."""
+
+    name: str
+
+
+@dataclass
 class BinOp(Expr):
     """Binary operator: arithmetic, comparison, AND/OR."""
 

@@ -2,7 +2,9 @@
 
 Produces a flat list of :class:`Token` objects.  Keywords are recognized
 case-insensitively; identifiers keep their original case.  Strings use single
-quotes with ``''`` as the escape for a literal quote, as in SQL.
+quotes with ``''`` as the escape for a literal quote, as in SQL.  ``$name``
+produces a ``parameter`` token (the placeholder syntax of prepared
+statements); the token value is the bare name without the ``$``.
 """
 
 from __future__ import annotations
@@ -41,7 +43,7 @@ OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "/", "%")
 class Token:
     """One lexical token with position information for error messages."""
 
-    kind: str  # "keyword" | "identifier" | "number" | "string" | "operator" | punctuation kind | "eof"
+    kind: str  # "keyword" | "identifier" | "number" | "string" | "operator" | "parameter" | punctuation kind | "eof"
     value: str
     line: int
     column: int
@@ -104,6 +106,18 @@ def tokenize(text: str) -> List[Token]:
                     seen_dot = True
                 j += 1
             tokens.append(Token("number", text[i:j], start_line, start_column))
+            advance(j - i)
+            continue
+        if ch == "$":
+            j = i + 1
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            name = text[i + 1 : j]
+            if not name or name[0].isdigit():
+                raise LexerError(
+                    "'$' must be followed by a parameter name", start_line, start_column
+                )
+            tokens.append(Token("parameter", name, start_line, start_column))
             advance(j - i)
             continue
         if ch == "'":

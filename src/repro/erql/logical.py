@@ -9,8 +9,9 @@ raw ERQL text or unresolved ASTs.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 
 class BoundExpr:
@@ -52,6 +53,20 @@ class BoundRef(BoundExpr):
 @dataclass
 class BoundLiteral(BoundExpr):
     value: Any
+
+
+@dataclass
+class BoundParameter(BoundExpr):
+    """A resolved ``$name`` placeholder.
+
+    ``type_name`` is the declared type of the attribute the parameter is
+    compared against, when the analyzer can slot one (best-effort; ``None``
+    otherwise).  The value itself arrives at execution time through the
+    prepared-statement bindings.
+    """
+
+    name: str
+    type_name: Optional[str] = None
 
 
 @dataclass
@@ -148,6 +163,27 @@ class BoundUnnest(BoundExpr):
         return [self.ref]
 
 
+def iter_parameters(expression: BoundExpr) -> Iterator[BoundParameter]:
+    """Every :class:`BoundParameter` in an expression tree (depth-first)."""
+
+    if isinstance(expression, BoundParameter):
+        yield expression
+    elif isinstance(expression, BoundBinOp):
+        yield from iter_parameters(expression.left)
+        yield from iter_parameters(expression.right)
+    elif isinstance(expression, (BoundNot, BoundIsNull, BoundInList)):
+        yield from iter_parameters(expression.operand)
+    elif isinstance(expression, BoundFunc):
+        for argument in expression.args:
+            yield from iter_parameters(argument)
+    elif isinstance(expression, BoundStruct):
+        for _, value in expression.fields:
+            yield from iter_parameters(value)
+    elif isinstance(expression, BoundAggregate):
+        if expression.argument is not None:
+            yield from iter_parameters(expression.argument)
+
+
 @dataclass
 class BoundSelectItem:
     """One output column: a name plus the resolved expression."""
@@ -190,6 +226,21 @@ class BoundQuery:
     limit: Optional[int] = None
     has_aggregates: bool = False
     unnest_items: List[BoundUnnest] = field(default_factory=list)
+
+    def parameters(self) -> "OrderedDict[str, Optional[str]]":
+        """Placeholder names (first-appearance order) -> slotted type name."""
+
+        out: "OrderedDict[str, Optional[str]]" = OrderedDict()
+        expressions: List[BoundExpr] = [item.expression for item in self.items]
+        if self.where is not None:
+            expressions.append(self.where)
+        for key in self.group_keys:
+            expressions.append(key.expression)
+        for expression in expressions:
+            for parameter in iter_parameters(expression):
+                if parameter.name not in out or out[parameter.name] is None:
+                    out[parameter.name] = parameter.type_name
+        return out
 
     def attributes_by_alias(self) -> Dict[str, Set[str]]:
         """Which attributes each alias must expose (from select + where)."""

@@ -50,6 +50,7 @@ from .ast_nodes import (
     Literal,
     Name,
     OrderItem,
+    Parameter,
     ParticipantDef,
     SelectItem,
     SelectStatement,
@@ -482,6 +483,9 @@ class Parser:
         if token.is_keyword("null"):
             self.advance()
             return Literal(None)
+        if token.kind == "parameter":
+            self.advance()
+            return Parameter(token.value)
         if token.kind == "star":
             self.advance()
             return Star()

@@ -42,6 +42,7 @@ from ..relational.expressions import (
     Literal,
     Not,
     Or,
+    Parameter,
     StructBuild,
     col,
     conjunction,
@@ -68,6 +69,7 @@ from .logical import (
     BoundIsNull,
     BoundLiteral,
     BoundNot,
+    BoundParameter,
     BoundQuery,
     BoundRef,
     BoundSelectItem,
@@ -120,7 +122,13 @@ class Planner:
     # -- pushdowns ------------------------------------------------------------------
 
     def _extract_key_equals(self, query: BoundQuery) -> Optional[Dict[str, Any]]:
-        """Equality constants on the base entity's full key, if the WHERE gives them."""
+        """Equality constants on the base entity's full key, if the WHERE gives them.
+
+        Values are plain constants for literal predicates, or
+        :class:`~repro.relational.expressions.Parameter` placeholders for
+        ``key = $name`` — so a parameterized point lookup keeps its index
+        access path and resolves the key at execution time from the bindings.
+        """
 
         if query.joins or query.where is None:
             return None
@@ -129,15 +137,20 @@ class Planner:
         for conjunct in self._conjuncts(query.where):
             if not isinstance(conjunct, BoundBinOp) or conjunct.op != "=":
                 continue
-            ref, literal = None, None
-            if isinstance(conjunct.left, BoundRef) and isinstance(conjunct.right, BoundLiteral):
-                ref, literal = conjunct.left, conjunct.right
-            elif isinstance(conjunct.right, BoundRef) and isinstance(conjunct.left, BoundLiteral):
-                ref, literal = conjunct.right, conjunct.left
+            ref, value = None, None
+            sides = (conjunct.left, conjunct.right), (conjunct.right, conjunct.left)
+            for candidate, other in sides:
+                if not isinstance(candidate, BoundRef):
+                    continue
+                if isinstance(other, BoundLiteral):
+                    ref, value = candidate, other.value
+                elif isinstance(other, BoundParameter):
+                    ref, value = candidate, Parameter(other.name)
+                break
             if ref is None or ref.alias != query.base_alias or ref.path:
                 continue
             if ref.attribute in key_names:
-                found[ref.attribute] = literal.value
+                found[ref.attribute] = value
         if set(found) == key_names:
             return found
         return None
@@ -306,6 +319,8 @@ class Planner:
     def _translate(self, expression: BoundExpr) -> Expression:
         if isinstance(expression, BoundLiteral):
             return Literal(expression.value)
+        if isinstance(expression, BoundParameter):
+            return Parameter(expression.name)
         if isinstance(expression, BoundRef):
             base: Expression = ColumnRef(qualified(expression.alias, expression.attribute))
             for part in expression.path:

@@ -24,6 +24,7 @@ from .ast_nodes import (
     Literal,
     Name,
     OrderItem,
+    Parameter,
     SelectItem,
     SelectStatement,
     Star,
@@ -52,6 +53,8 @@ def unparse_expr(expr: Expr) -> str:
         return _literal(expr.value)
     if isinstance(expr, Name):
         return expr.dotted()
+    if isinstance(expr, Parameter):
+        return f"${expr.name}"
     if isinstance(expr, Star):
         return "*"
     if isinstance(expr, BinOp):

@@ -8,6 +8,8 @@ the mapping layer.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ErbiumError(Exception):
     """Base class for every error raised by the repro package."""
@@ -121,6 +123,10 @@ class PlanningError(ErqlError):
     """The planner could not produce a physical plan for a logical query."""
 
 
+class BindError(ErqlError):
+    """Prepared-statement bindings do not match the statement's placeholders."""
+
+
 # --------------------------------------------------------------------------
 # Mapping layer errors
 # --------------------------------------------------------------------------
@@ -168,9 +174,15 @@ class AccessDenied(GovernanceError):
 
 
 class ApiError(ErbiumError):
-    """API layer error; carries an HTTP-like status code."""
+    """API layer error; carries an HTTP-like status code.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``code`` is the machine-readable error code used in response bodies
+    (``{"error": {"code", "message"}}``); when omitted, the service derives a
+    default from the status (400 -> ``bad_request``, 404 -> ``not_found``...).
+    """
+
+    def __init__(self, status: int, message: str, code: Optional[str] = None) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.code = code

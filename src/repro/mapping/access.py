@@ -65,6 +65,18 @@ def qualified(alias: str, name: str) -> str:
     return f"{alias}.{name}"
 
 
+def _value_expr(value: Any) -> Expression:
+    """A pushed-down comparison value as an expression.
+
+    ``key_equals`` values are plain constants for literal predicates and
+    already-built expressions (bind-time ``Parameter`` placeholders) for
+    ``key = $name`` — pass the latter through instead of wrapping them in a
+    ``Literal``.
+    """
+
+    return value if isinstance(value, Expression) else lit(value)
+
+
 class AccessPathBuilder:
     """Builds physical plans for E/R-level access under one mapping."""
 
@@ -332,7 +344,7 @@ class AccessPathBuilder:
         if key_equals and set(key_equals) == set(key_names):
             condition = conjunction(
                 [
-                    eq(col(f"{alias}.{column}"), lit(key_equals[name]))
+                    eq(col(f"{alias}.{column}"), _value_expr(key_equals[name]))
                     for name, column in zip(key_names, placement.key_columns)
                 ]
             )
@@ -396,7 +408,7 @@ class AccessPathBuilder:
             if key_equals and set(key_equals) == set(key_names):
                 condition = conjunction(
                     [
-                        eq(col(f"{side_alias}.{k}"), lit(key_equals[k]))
+                        eq(col(f"{side_alias}.{k}"), _value_expr(key_equals[k]))
                         for k in placement.owner_key_columns
                         if k in key_equals
                     ]
@@ -457,7 +469,7 @@ class AccessPathBuilder:
             if key_equals and set(key_equals) == set(key_names):
                 condition = conjunction(
                     [
-                        eq(col(qualified(alias, k)), lit(key_equals[k]))
+                        eq(col(qualified(alias, k)), _value_expr(key_equals[k]))
                         for k in key_names
                     ]
                 )

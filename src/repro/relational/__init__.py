@@ -12,6 +12,7 @@ This package replaces the PostgreSQL backend used by the paper's prototype
 
 from .batch import Batch
 from .engine import Database
+from .expressions import Parameter, parameter_scope
 from .plan import PlanNode, QueryResult
 from .vectorized import BatchExecutor, annotate_required_columns, execute_batch
 from .types import (
@@ -35,6 +36,8 @@ __all__ = [
     "Database",
     "PlanNode",
     "QueryResult",
+    "Parameter",
+    "parameter_scope",
     "Batch",
     "BatchExecutor",
     "execute_batch",

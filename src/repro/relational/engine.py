@@ -22,6 +22,7 @@ from .constraints import (
     UniqueConstraint,
 )
 from .cost import AUTO_ROW_MAX_COST, AUTO_ROW_MAX_ROWS, CostEstimate, CostModel
+from .expressions import parameter_scope
 from .indexes import IndexDefinition
 from .plan import PlanNode, QueryResult
 from .statistics import StatisticsManager
@@ -332,24 +333,34 @@ class Database:
             return "row"
         return "batch"
 
-    def execute(self, plan: PlanNode, executor: Optional[str] = None) -> QueryResult:
+    def execute(
+        self,
+        plan: PlanNode,
+        executor: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> QueryResult:
         """Execute a physical plan and return the result.
 
         ``executor`` overrides the database default (``"auto"``, ``"batch"``
-        or ``"row"``).  The batch path returns a columnar-backed result whose
-        row dicts materialize lazily.
+        or ``"row"``).  ``params`` supplies values for any
+        :class:`~repro.relational.expressions.Parameter` placeholders in the
+        plan, bound for the duration of this execution only — the same
+        (cached) plan can be re-executed with different bindings.  The batch
+        path returns a columnar-backed result whose row dicts materialize
+        lazily.
         """
 
         mode = executor if executor is not None else self.executor
         if mode == "auto":
             mode = self.choose_executor(plan)
-        if mode == "batch":
-            from .vectorized import execute_batch
+        with parameter_scope(params):
+            if mode == "batch":
+                from .vectorized import execute_batch
 
-            return QueryResult.from_batch(execute_batch(plan, self))
-        if mode != "row":
-            raise ValueError(f"unknown executor {mode!r}; expected one of {EXECUTORS}")
-        rows = list(plan.execute(self))
+                return QueryResult.from_batch(execute_batch(plan, self))
+            if mode != "row":
+                raise ValueError(f"unknown executor {mode!r}; expected one of {EXECUTORS}")
+            rows = list(plan.execute(self))
         columns = plan.output_columns()
         if columns is None:
             columns = list(rows[0].keys()) if rows else []

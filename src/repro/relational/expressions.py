@@ -72,6 +72,56 @@ class Literal(Expression):
         return f"lit({self.value!r})"
 
 
+# -- bind-time parameters ---------------------------------------------------
+#
+# Prepared statements compile a plan once and re-execute it with new values.
+# The plan's Parameter expressions carry only a *name*; the values live in a
+# binding scope pushed for the duration of one execution (the engine is
+# single-threaded, so a module-level stack is sufficient and keeps both
+# executors — and cached, shared plan trees — free of per-execution state).
+
+_PARAMETER_STACK: List[Dict[str, Any]] = []
+
+
+class parameter_scope:
+    """``with parameter_scope({"name": value}): ...`` — bindings for one execution."""
+
+    def __init__(self, bindings: Optional[Dict[str, Any]] = None) -> None:
+        self._bindings = dict(bindings or {})
+
+    def __enter__(self) -> Dict[str, Any]:
+        _PARAMETER_STACK.append(self._bindings)
+        return self._bindings
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _PARAMETER_STACK.pop()
+        return False
+
+
+def resolve_parameter(name: str) -> Any:
+    """The bound value of ``$name`` in the innermost scope that defines it."""
+
+    for frame in reversed(_PARAMETER_STACK):
+        if name in frame:
+            return frame[name]
+    raise ExpressionError(
+        f"unbound parameter ${name}: execute the statement with a value for it"
+    )
+
+
+@dataclass
+class Parameter(Expression):
+    """A named placeholder resolved against the active :class:`parameter_scope`."""
+
+    name: str
+
+    def evaluate(self, row: Dict[str, Any]) -> Any:
+        return resolve_parameter(self.name)
+
+    def __repr__(self) -> str:
+        return f"param(${self.name})"
+
+
 @dataclass
 class FieldAccess(Expression):
     """Access a named field of a struct-valued expression (``name.firstname``)."""

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutionError
-from .expressions import Expression
+from .expressions import Expression, Parameter, resolve_parameter
 from .plan import PlanNode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -94,9 +94,27 @@ class IndexLookup(PlanNode):
     keys: Sequence[Tuple[Any, ...]]
     alias: Optional[str] = None
 
+    def resolved_keys(self) -> List[Tuple[Any, ...]]:
+        """Key tuples with bind-time :class:`Parameter` elements resolved.
+
+        A parameterized point predicate (``key = $name``) keeps its index
+        access path; the concrete key value comes from the active parameter
+        scope at execution time.
+        """
+
+        out: List[Tuple[Any, ...]] = []
+        for key in self.keys:
+            out.append(
+                tuple(
+                    resolve_parameter(v.name) if isinstance(v, Parameter) else v
+                    for v in key
+                )
+            )
+        return out
+
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
         table = db.catalog.table(self.table_name)
-        for key in self.keys:
+        for key in self.resolved_keys():
             for row in table.lookup(self.columns, tuple(key)):
                 yield _qualify(row, self.alias)
 

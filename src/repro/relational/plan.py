@@ -96,6 +96,24 @@ class QueryResult:
 
         return self._batch
 
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the row-dict list has been built (always true for row-executor results)."""
+
+        return self._rows is not None
+
+    def row(self, index: int) -> Dict[str, Any]:
+        """One row dict by position, without materializing the full result.
+
+        Batch-backed results build the single requested row from the columns;
+        already-materialized results index the row list.  This is the accessor
+        streaming cursors (:class:`repro.session.Result`) use.
+        """
+
+        if self._rows is None:
+            return self._batch.row(index)
+        return self._rows[index]
+
     def __len__(self) -> int:
         if self._rows is None:
             return self._batch.length

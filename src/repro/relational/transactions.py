@@ -46,6 +46,28 @@ class Transaction:
             raise TransactionError("cannot record undo action on a closed transaction")
         self._undo.append(UndoRecord(description, undo))
 
+    def savepoint(self) -> int:
+        """A marker for :meth:`rollback_to` (the current undo-log length)."""
+
+        return len(self._undo)
+
+    def rollback_to(self, savepoint: int) -> None:
+        """Undo every mutation recorded after ``savepoint``, keeping the rest.
+
+        The partial-rollback primitive behind joined transaction scopes: a
+        failing statement inside an open transaction undoes only its own
+        writes, preserving statement-level atomicity without closing the
+        surrounding transaction.
+        """
+
+        if not self.active:
+            raise TransactionError("transaction is not active")
+        if savepoint < 0 or savepoint > len(self._undo):
+            raise TransactionError(f"invalid savepoint {savepoint}")
+        while len(self._undo) > savepoint:
+            record = self._undo.pop()
+            record.apply()
+
     def commit(self) -> None:
         if not self.active:
             raise TransactionError("transaction is not active")
@@ -107,15 +129,42 @@ class TransactionManager:
 
 
 class transaction:
-    """Context manager: ``with transaction(db): ...`` commits or rolls back."""
+    """Context manager: ``with transaction(db): ...`` commits or rolls back.
+
+    Scopes *join* an already-open transaction instead of failing: when a
+    session (or an outer ``with transaction(db)``) holds the transaction, an
+    inner scope — the CRUD templates wrap every multi-table operation in one —
+    records its undo actions on the outer transaction and leaves the final
+    commit / rollback to the outermost owner.  A joined scope takes a
+    savepoint on entry; if it exits with an exception it rolls back *its own*
+    writes (statement-level atomicity, exactly what the scope guaranteed when
+    it owned a one-shot transaction) and lets the exception propagate, so the
+    outer transaction never commits a half-applied statement even when the
+    caller catches the error.
+    """
 
     def __init__(self, db: "Database") -> None:
         self._db = db
+        self._joined = False
+        self._savepoint = 0
 
     def __enter__(self) -> Transaction:
-        return self._db.transactions.begin()
+        manager = self._db.transactions
+        if manager.in_transaction():
+            self._joined = True
+            assert manager.current is not None
+            self._savepoint = manager.current.savepoint()
+            return manager.current
+        self._joined = False
+        return manager.begin()
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._joined:
+            if exc_type is not None:
+                current = self._db.transactions.current
+                if current is not None and current.active:
+                    current.rollback_to(self._savepoint)
+            return False
         if exc_type is None:
             self._db.transactions.commit()
         else:

@@ -43,7 +43,9 @@ from .expressions import (
     Literal,
     Not,
     Or,
+    Parameter,
     StructBuild,
+    resolve_parameter,
 )
 from .operators import (
     Distinct,
@@ -107,6 +109,12 @@ def _build(expr: Expression) -> ColumnFn:
     if isinstance(expr, Literal):
         value = expr.value
         return lambda batch: [value] * batch.length
+
+    if isinstance(expr, Parameter):
+        # Resolved per execution, not at compile time: the compiled closure is
+        # memoized on the (cached, shared) plan, while bindings change per call.
+        name = expr.name
+        return lambda batch: [resolve_parameter(name)] * batch.length
 
     if isinstance(expr, FieldAccess):
         base = compile_expression(expr.base)
@@ -414,7 +422,7 @@ class BatchExecutor:
         prefix = f"{node.alias}." if node.alias else ""
         columns = [prefix + c for c in table.schema.column_names()]
         rows: List[Dict[str, Any]] = []
-        for key in node.keys:
+        for key in node.resolved_keys():
             for row in table.lookup(node.columns, tuple(key)):
                 rows.append({prefix + k: v for k, v in row.items()} if prefix else row)
         return Batch.from_rows(rows, columns=columns)

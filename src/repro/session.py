@@ -1,0 +1,412 @@
+"""The client surface of ErbiumDB: sessions, prepared statements, cursors.
+
+Every production DB-API exposes the same three objects this module provides:
+
+* :class:`Session` — a connection-like handle that owns transaction scope.
+  CRUD calls and ERQL queries issued through a session while a transaction is
+  open all commit (or roll back) together; used as a context manager the
+  session begins on entry and commits on clean exit.  The legacy
+  ``ErbiumDB.insert/query/...`` facade methods route through an implicit
+  *autocommit* session, so old call sites keep their one-operation-per-
+  transaction semantics unchanged.
+* :class:`PreparedStatement` — an ERQL statement compiled **once** (parse →
+  analyze → plan) and re-executed with fresh ``$name`` bindings.  Re-execution
+  performs zero parse/analyze/plan work (asserted by instrumentation counters
+  in the test suite); the compiled plan carries
+  :class:`~repro.relational.expressions.Parameter` placeholders that both
+  executors resolve at bind time.
+* :class:`Result` — a unified cursor over a
+  :class:`~repro.relational.plan.QueryResult`.  Iteration, ``fetchone`` /
+  ``fetchmany`` / ``fetchall`` and ``keys()`` follow the DB-API shape; when
+  the result is backed by a columnar batch, row dicts are built one at a time
+  as the cursor advances instead of materializing the whole result up front.
+
+:class:`CompiledQuery` is the cache entry of the plan cache in
+:mod:`repro.system`: the physical plan plus the statement's *normalized*
+text (``unparse(parse(text))``) and its parameter slots.  Caching on the
+normalized parameterized text means every binding of the same prepared
+statement — and every whitespace/case variant of the same query — shares one
+compiled plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .core import EntityInstance, RelationshipInstance
+from .errors import BindError, TransactionError
+from .relational import QueryResult
+from .relational.plan import PlanNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .system import ErbiumDB
+
+
+@dataclass
+class CompiledQuery:
+    """One fully-compiled ERQL statement (a plan-cache entry).
+
+    ``parameters`` maps each ``$name`` placeholder (in first-appearance
+    order) to the type the analyzer slotted for it (or ``None``).
+    ``entities`` / ``attribute_refs`` record which entity sets and which
+    (entity, attribute) pairs the statement reads — the API layer's
+    access-control checks consume them.  ``mapping_version`` records which
+    mapping the plan was compiled under, so holders (prepared statements)
+    can detect staleness after evolution.
+    """
+
+    text: str
+    normalized_text: str
+    plan: PlanNode
+    parameters: Dict[str, Optional[str]] = field(default_factory=dict)
+    entities: List[str] = field(default_factory=list)
+    attribute_refs: List[Tuple[str, str]] = field(default_factory=list)
+    mapping_version: int = 0
+
+
+class Result:
+    """Cursor over a query result: iteration, fetchmany, keys().
+
+    Wraps a :class:`QueryResult`; batch-backed results stream — each fetched
+    row dict is built on demand from the columnar batch, so consumers that
+    stop early (pagination, ``LIMIT``-less point reads) never pay full
+    materialization.  The convenience accessors (``scalar``, ``column``,
+    ``to_tuples``, ``sorted_tuples``) delegate to the wrapped result.
+    """
+
+    def __init__(self, result: QueryResult) -> None:
+        self._result = result
+        self._position = 0
+
+    # -- metadata ------------------------------------------------------------
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self._result.columns)
+
+    def keys(self) -> List[str]:
+        """Output column names, in select-list order (DB-API ``keys()``)."""
+
+        return list(self._result.columns)
+
+    @property
+    def raw(self) -> QueryResult:
+        """The underlying :class:`QueryResult` (fully materializable)."""
+
+        return self._result
+
+    def __len__(self) -> int:
+        return len(self._result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Result(columns={self.columns!r}, rows={len(self)}, position={self._position})"
+
+    # -- cursor --------------------------------------------------------------
+
+    def _row(self, index: int) -> Dict[str, Any]:
+        return self._result.row(index)
+
+    def fetchone(self) -> Optional[Dict[str, Any]]:
+        """The next row, or ``None`` when the cursor is exhausted."""
+
+        if self._position >= len(self):
+            return None
+        row = self._row(self._position)
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int = 100) -> List[Dict[str, Any]]:
+        """The next ``size`` rows (possibly fewer at the end; [] when done)."""
+
+        if size < 0:
+            raise ValueError("fetchmany size must be non-negative")
+        end = min(self._position + size, len(self))
+        rows = [self._row(i) for i in range(self._position, end)]
+        self._position = end
+        return rows
+
+    def fetchall(self) -> List[Dict[str, Any]]:
+        """Every remaining row."""
+
+        rows = [self._row(i) for i in range(self._position, len(self))]
+        self._position = len(self)
+        return rows
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- whole-result conveniences (ignore the cursor position) --------------
+
+    def scalar(self) -> Any:
+        return self._result.scalar()
+
+    def column(self, name: str) -> List[Any]:
+        return self._result.column(name)
+
+    def to_tuples(self) -> List[tuple]:
+        return self._result.to_tuples()
+
+    def sorted_tuples(self) -> List[tuple]:
+        return self._result.sorted_tuples()
+
+
+class PreparedStatement:
+    """An ERQL statement compiled once, executed many times with bindings.
+
+    Obtained from :meth:`Session.prepare` (or ``ErbiumDB.prepare``).  The
+    heavy work — lexing, parsing, semantic analysis, planning under the
+    active mapping — happened at prepare time; :meth:`execute` only validates
+    the bindings, resets operator caches and runs the stored physical plan.
+    If the active mapping changed since compilation (schema evolution), the
+    statement transparently recompiles against the new mapping.
+    """
+
+    def __init__(self, session: "Session", compiled: CompiledQuery) -> None:
+        self._session = session
+        self._compiled = compiled
+
+    @property
+    def text(self) -> str:
+        return self._compiled.text
+
+    @property
+    def normalized_text(self) -> str:
+        return self._compiled.normalized_text
+
+    @property
+    def parameters(self) -> Dict[str, Optional[str]]:
+        """Placeholder name -> slotted type (``None`` when not inferable)."""
+
+        return dict(self._compiled.parameters)
+
+    def _current(self) -> CompiledQuery:
+        system = self._session.system
+        if self._compiled.mapping_version != system._mapping_version:
+            self._compiled = system._compile(self._compiled.text)
+        return self._compiled
+
+    def execute(
+        self,
+        params: Optional[Dict[str, Any]] = None,
+        /,
+        executor: Optional[str] = None,
+        **bindings: Any,
+    ) -> Result:
+        """Run the compiled plan with fresh ``$name`` bindings.
+
+        Bindings come as keyword arguments (``execute(lo=0, hi=10)``) and/or
+        a positional dict (``execute({"executor": "x"})`` — the escape hatch
+        for placeholder names that collide with this method's own keywords).
+        A name supplied both ways is a :class:`~repro.errors.BindError`.
+        """
+
+        merged = dict(params or {})
+        overlap = sorted(set(merged) & set(bindings))
+        if overlap:
+            raise BindError(
+                "parameter(s) supplied both positionally and as keywords: "
+                + ", ".join(f"${n}" for n in overlap)
+            )
+        merged.update(bindings)
+        compiled = self._current()
+        return Result(
+            self._session.system._execute_compiled(compiled, merged, executor=executor)
+        )
+
+    def explain(self) -> str:
+        compiled = self._current()
+        return self._session.system.db.explain(compiled.plan)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(f"${n}" for n in self._compiled.parameters)
+        return f"PreparedStatement({self._compiled.normalized_text!r}, params=[{names}])"
+
+
+class Session:
+    """A client session: transaction scope spanning CRUD and ERQL.
+
+    ``autocommit=True`` (the implicit session behind the ``ErbiumDB`` facade)
+    leaves each operation to its own transaction — exactly the pre-session
+    behavior.  An explicit session (``ErbiumDB.session()``) can group many
+    operations::
+
+        with db.session() as s:                  # begin
+            s.insert("person", {...})
+            s.query("select ... where city = $c", params={"c": "College Park"})
+            s.update("person", 7, {"city": "Laurel"})
+        # clean exit -> commit; exception -> rollback
+
+    or drive the scope manually with :meth:`begin` / :meth:`commit` /
+    :meth:`rollback`.  CRUD templates' internal transaction scopes *join* the
+    session's open transaction (see :mod:`repro.relational.transactions`), so
+    a failure anywhere inside the scope undoes everything back to ``begin``.
+    """
+
+    def __init__(self, system: "ErbiumDB", autocommit: bool = False) -> None:
+        self.system = system
+        self.autocommit = autocommit
+        self._owns_transaction = False
+
+    # -- transaction scope ---------------------------------------------------
+
+    def in_transaction(self) -> bool:
+        return self._owns_transaction and self.system.db.transactions.in_transaction()
+
+    def begin(self) -> "Session":
+        if self.autocommit:
+            raise TransactionError("autocommit sessions cannot open explicit transactions")
+        self.system.db.transactions.begin()
+        self._owns_transaction = True
+        return self
+
+    def commit(self) -> None:
+        if not self._owns_transaction:
+            raise TransactionError("this session has no open transaction to commit")
+        self._owns_transaction = False
+        self.system.db.transactions.commit()
+
+    def rollback(self) -> None:
+        if not self._owns_transaction:
+            raise TransactionError("this session has no open transaction to roll back")
+        self._owns_transaction = False
+        self.system.db.transactions.rollback()
+
+    def __enter__(self) -> "Session":
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if not self._owns_transaction:
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False
+
+    # -- queries -------------------------------------------------------------
+
+    def prepare(self, text: str) -> PreparedStatement:
+        """Compile an ERQL SELECT once; re-execute it with fresh bindings."""
+
+        return PreparedStatement(self, self.system._compile(text))
+
+    def query(
+        self,
+        text: str,
+        params: Optional[Dict[str, Any]] = None,
+        executor: Optional[str] = None,
+    ) -> Result:
+        """Parse/plan (through the normalized-text plan cache) and execute."""
+
+        compiled = self.system._compile(text)
+        return Result(self.system._execute_compiled(compiled, params, executor=executor))
+
+    def execute(
+        self,
+        text: str,
+        params: Optional[Dict[str, Any]] = None,
+        executor: Optional[str] = None,
+    ) -> Result:
+        """Alias for :meth:`query` (DB-API spelling)."""
+
+        return self.query(text, params=params, executor=executor)
+
+    def explain(self, text: str) -> str:
+        return self.system.db.explain(self.system._compile(text).plan)
+
+    # -- CRUD (the logic behind the ErbiumDB facade methods) ------------------
+
+    def insert(self, entity: str, values: Dict[str, Any]) -> EntityInstance:
+        return self.system._require_crud().insert_entity(
+            EntityInstance(entity, dict(values))
+        )
+
+    def insert_many(self, entity: str, rows: Sequence[Dict[str, Any]]) -> int:
+        instances = [EntityInstance(entity, dict(values)) for values in rows]
+        return len(self.system._require_crud().insert_entities(instances))
+
+    def get(self, entity: str, key: Union[Any, Sequence[Any]]) -> Optional[Dict[str, Any]]:
+        instance = self.system._require_crud().get_entity(entity, key)
+        return dict(instance.values) if instance is not None else None
+
+    def update(
+        self, entity: str, key: Union[Any, Sequence[Any]], changes: Dict[str, Any]
+    ) -> None:
+        self.system._require_crud().update_entity(entity, key, changes)
+
+    def delete(self, entity: str, key: Union[Any, Sequence[Any]]) -> int:
+        return self.system._require_crud().delete_entity(entity, key)
+
+    @staticmethod
+    def _normalize_endpoints(
+        endpoints: Dict[str, Union[Any, Sequence[Any]]]
+    ) -> Dict[str, Tuple[Any, ...]]:
+        return {
+            role: tuple(v) if isinstance(v, (tuple, list)) else (v,)
+            for role, v in endpoints.items()
+        }
+
+    def link(
+        self,
+        relationship: str,
+        endpoints: Dict[str, Union[Any, Sequence[Any]]],
+        values: Optional[Dict[str, Any]] = None,
+    ) -> RelationshipInstance:
+        instance = RelationshipInstance(
+            relationship, self._normalize_endpoints(endpoints), dict(values or {})
+        )
+        return self.system._require_crud().insert_relationship(instance)
+
+    def unlink(self, relationship: str, endpoints: Dict[str, Union[Any, Sequence[Any]]]) -> int:
+        return self.system._require_crud().delete_relationship(
+            relationship, self._normalize_endpoints(endpoints)
+        )
+
+    def related(
+        self, relationship: str, from_entity: str, key: Union[Any, Sequence[Any]]
+    ) -> List[Tuple[Any, ...]]:
+        return self.system._require_crud().related_keys(relationship, from_entity, key)
+
+    def count(self, entity: str) -> int:
+        return self.system._require_crud().count_entities(entity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "autocommit" if self.autocommit else (
+            "open-transaction" if self.in_transaction() else "idle"
+        )
+        return f"Session({self.system.name!r}, {mode})"
+
+
+def check_bindings(
+    parameters: Dict[str, Optional[str]], supplied: Optional[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Validate supplied bindings against a statement's placeholder slots.
+
+    Raises :class:`~repro.errors.BindError` listing missing or unexpected
+    names; returns the validated binding dict.
+    """
+
+    given = dict(supplied or {})
+    expected = set(parameters)
+    missing = sorted(expected - set(given))
+    extra = sorted(set(given) - expected)
+    if missing:
+        raise BindError(
+            "missing value(s) for parameter(s): " + ", ".join(f"${n}" for n in missing)
+        )
+    if extra:
+        raise BindError(
+            "unexpected parameter(s): "
+            + ", ".join(f"${n}" for n in extra)
+            + (
+                "; statement declares " + ", ".join(f"${n}" for n in sorted(expected))
+                if expected
+                else "; statement declares no parameters"
+            )
+        )
+    return given

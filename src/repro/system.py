@@ -12,6 +12,11 @@ This mirrors the architecture in Figure 3 of the paper:
   as a JSON object, as the paper describes;
 * **CRUD operations** — :meth:`insert`, :meth:`get`, :meth:`update`,
   :meth:`delete`, :meth:`link`, :meth:`unlink` go through the CRUD templates;
+* **Sessions & prepared statements** — :meth:`session` returns a
+  :class:`~repro.session.Session` owning transaction scope; :meth:`prepare`
+  compiles a parameterized ERQL statement once for repeated execution.  The
+  facade CRUD/query methods below route through an implicit *autocommit*
+  session, so old call sites keep working;
 * **Ad-hoc queries** — :meth:`query` parses, analyzes, plans (against the
   active mapping) and executes an ERQL SELECT;
 * **API calls** — :mod:`repro.api` wraps an ErbiumDB instance in a REST-like
@@ -21,6 +26,7 @@ This mirrors the architecture in Figure 3 of the paper:
 from __future__ import annotations
 
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .core import (
@@ -30,8 +36,7 @@ from .core import (
     RelationshipInstance,
     ensure_valid,
 )
-from .erql import Planner, analyze_query, apply_ddl, parse_query, parse_statement
-from .erql import ast_nodes as _ast
+from .erql import Planner, analyze_query, apply_ddl, parse_query, unparse_query
 from .errors import ErbiumError, MappingError
 from .mapping import (
     AccessPathBuilder,
@@ -45,18 +50,49 @@ from .mapping import (
     fully_normalized_spec,
 )
 from .relational import Database, QueryResult
+from .session import CompiledQuery, PreparedStatement, Result, Session, check_bindings
 
 
 #: Maximum number of compiled plans kept per ErbiumDB instance.
 PLAN_CACHE_SIZE = 128
 
 
+@dataclass
+class QueryMetrics:
+    """Instrumentation counters for the compile pipeline and plan cache.
+
+    ``parses`` / ``analyses`` / ``plans`` count the actual work performed;
+    ``cache_hits`` counts compilations answered from the plan cache (by raw
+    or normalized text); ``executions`` counts plan executions.  A prepared
+    statement re-executed N times contributes N executions and *zero*
+    additional parses/analyses/plans — the acceptance property of the
+    prepared-statement layer.
+    """
+
+    parses: int = 0
+    analyses: int = 0
+    plans: int = 0
+    cache_hits: int = 0
+    executions: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "parses": self.parses,
+            "analyses": self.analyses,
+            "plans": self.plans,
+            "cache_hits": self.cache_hits,
+            "executions": self.executions,
+        }
+
+
 class ErbiumDB:
     """An embedded ErbiumDB instance: E/R schema + mapping + backend database.
 
-    Repeated :meth:`query` calls for the same text skip parse/analyze/plan via
-    a bounded LRU plan cache keyed on (query text, mapping version); the cache
-    is invalidated whenever the active mapping changes.
+    Repeated :meth:`query` calls skip parse/analyze/plan via a bounded LRU
+    plan cache keyed on the *normalized parameterized text* (the unparse of
+    the parsed statement) plus the mapping version — so whitespace/case
+    variants and every execution of a prepared statement share one compiled
+    plan.  The cache is invalidated whenever the active mapping changes.
     """
 
     def __init__(self, name: str = "erbium", schema: Optional[ERSchema] = None) -> None:
@@ -65,9 +101,11 @@ class ErbiumDB:
         self.db = Database(name)
         self.mapping: Optional[Mapping] = None
         self.crud: Optional[CrudTemplates] = None
+        self.metrics = QueryMetrics()
         self._planner: Optional[Planner] = None
-        self._plan_cache: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
+        self._plan_cache: "OrderedDict[Tuple[str, int], CompiledQuery]" = OrderedDict()
         self._mapping_version = 0
+        self._implicit_session = Session(self, autocommit=True)
 
     # ------------------------------------------------------------------- DDL
 
@@ -143,32 +181,53 @@ class ErbiumDB:
     def access_paths(self) -> AccessPathBuilder:
         return AccessPathBuilder(self.schema, self.active_mapping(), self.db)
 
+    # -------------------------------------------------------------- sessions
+
+    def session(self) -> Session:
+        """A new client session (transaction scope + CRUD + prepared queries).
+
+        Use as a context manager to span several operations with one
+        transaction::
+
+            with system.session() as s:
+                s.insert("person", {...})
+                s.query("select ... where city = $c", params={"c": "X"})
+        """
+
+        return Session(self)
+
+    def prepare(self, text: str) -> PreparedStatement:
+        """Compile an ERQL SELECT once; execute it repeatedly with bindings."""
+
+        return self._implicit_session.prepare(text)
+
     # ------------------------------------------------------------------ CRUD
+    #
+    # The facade methods below delegate to an implicit autocommit session —
+    # the same code path explicit sessions use, minus the shared transaction.
 
     def insert(self, entity: str, values: Dict[str, Any]) -> EntityInstance:
         """Insert one entity instance."""
 
-        return self._require_crud().insert_entity(EntityInstance(entity, dict(values)))
+        return self._implicit_session.insert(entity, values)
 
     def insert_many(self, entity: str, rows: Sequence[Dict[str, Any]]) -> int:
         """Bulk insert: rows are batched per physical table (vectorized path)."""
 
-        instances = [EntityInstance(entity, dict(values)) for values in rows]
-        return len(self._require_crud().insert_entities(instances))
+        return self._implicit_session.insert_many(entity, rows)
 
     def get(self, entity: str, key: Union[Any, Sequence[Any]]) -> Optional[Dict[str, Any]]:
         """Fetch one entity instance by key (None if absent)."""
 
-        instance = self._require_crud().get_entity(entity, key)
-        return dict(instance.values) if instance is not None else None
+        return self._implicit_session.get(entity, key)
 
     def update(self, entity: str, key: Union[Any, Sequence[Any]], changes: Dict[str, Any]) -> None:
-        self._require_crud().update_entity(entity, key, changes)
+        self._implicit_session.update(entity, key, changes)
 
     def delete(self, entity: str, key: Union[Any, Sequence[Any]]) -> int:
         """Entity-centric delete: removes every physical trace of the instance."""
 
-        return self._require_crud().delete_entity(entity, key)
+        return self._implicit_session.delete(entity, key)
 
     def link(
         self,
@@ -178,27 +237,18 @@ class ErbiumDB:
     ) -> RelationshipInstance:
         """Insert a relationship occurrence, e.g. ``link("takes", {"student": 7, "section": (2, 1)})``."""
 
-        normalized = {
-            role: tuple(v) if isinstance(v, (tuple, list)) else (v,)
-            for role, v in endpoints.items()
-        }
-        instance = RelationshipInstance(relationship, normalized, dict(values or {}))
-        return self._require_crud().insert_relationship(instance)
+        return self._implicit_session.link(relationship, endpoints, values)
 
     def unlink(self, relationship: str, endpoints: Dict[str, Union[Any, Sequence[Any]]]) -> int:
-        normalized = {
-            role: tuple(v) if isinstance(v, (tuple, list)) else (v,)
-            for role, v in endpoints.items()
-        }
-        return self._require_crud().delete_relationship(relationship, normalized)
+        return self._implicit_session.unlink(relationship, endpoints)
 
     def related(
         self, relationship: str, from_entity: str, key: Union[Any, Sequence[Any]]
     ) -> List[Tuple[Any, ...]]:
-        return self._require_crud().related_keys(relationship, from_entity, key)
+        return self._implicit_session.related(relationship, from_entity, key)
 
     def count(self, entity: str) -> int:
-        return self._require_crud().count_entities(entity)
+        return self._implicit_session.count(entity)
 
     def load(
         self,
@@ -219,15 +269,22 @@ class ErbiumDB:
 
     # ----------------------------------------------------------------- queries
 
-    def query(self, text: str, executor: Optional[str] = None) -> QueryResult:
+    def query(
+        self,
+        text: str,
+        executor: Optional[str] = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> QueryResult:
         """Parse, plan (under the active mapping) and execute an ERQL SELECT.
 
         ``executor`` optionally forces ``"row"`` or ``"batch"`` execution for
-        this call (the backend's default is batch).
+        this call (the backend's default is cost-based).  ``params`` supplies
+        values for ``$name`` placeholders; for repeated execution prefer
+        :meth:`prepare`, which skips the plan-cache probe entirely.
         """
 
-        plan = self.plan(text)
-        return self.db.execute(plan, executor=executor)
+        compiled = self._compile(text)
+        return self._execute_compiled(compiled, params, executor=executor)
 
     def invalidate_plans(self) -> None:
         """Drop every cached plan (called when the active mapping changes)."""
@@ -238,26 +295,92 @@ class ErbiumDB:
     def plan(self, text: str):
         """The physical plan an ERQL query compiles to under the active mapping.
 
-        Plans are cached per (query text, mapping version) in a bounded LRU;
-        a cache hit resets operator-level caches (``Materialize``) so the plan
-        re-reads current table data.
+        Resets operator-level caches so direct consumers (tests, ``explain``,
+        manual ``db.execute``) always see current table data; the query paths
+        reset in :meth:`_execute_compiled` instead.
+        """
+
+        plan = self._compile(text).plan
+        plan.reset_caches()
+        return plan
+
+    def _compile(self, text: str) -> CompiledQuery:
+        """Compile ERQL text, going through the normalized-text plan cache.
+
+        Two probes: the raw text first (exact repeats skip even the parse),
+        then — after one parse — the normalized ``unparse(parse(text))`` form,
+        under which whitespace/case/parenthesization variants and every
+        prepared execution of a parameterized statement share one plan.
+        Callers reset operator-level caches (``Materialize``) before running
+        the plan (:meth:`plan` / :meth:`_execute_compiled`), so cached plans
+        always re-read current table data.
         """
 
         if self._planner is None:
             raise MappingError("no mapping installed; call set_mapping() first")
-        key = (text, self._mapping_version)
-        cached = self._plan_cache.get(key)
+        version = self._mapping_version
+        cached = self._cache_get((text, version))
         if cached is not None:
-            self._plan_cache.move_to_end(key)
-            cached.reset_caches()
             return cached
         statement = parse_query(text)
+        self.metrics.parses += 1
+        normalized = unparse_query(statement)
+        cached = self._cache_get((normalized, version))
+        if cached is not None:
+            # remember the raw spelling so the next repeat skips the parse too
+            self._cache_put((text, version), cached)
+            return cached
         bound = analyze_query(self.schema, statement)
+        self.metrics.analyses += 1
         plan = self._planner.plan(bound)
-        self._plan_cache[key] = plan
-        if len(self._plan_cache) > PLAN_CACHE_SIZE:
+        self.metrics.plans += 1
+        attribute_refs = sorted(
+            {
+                (bound.aliases[alias], attribute)
+                for alias, attributes in bound.attributes_by_alias().items()
+                if alias in bound.aliases
+                for attribute in attributes
+            }
+        )
+        compiled = CompiledQuery(
+            text=text,
+            normalized_text=normalized,
+            plan=plan,
+            parameters=dict(bound.parameters()),
+            entities=sorted(set(bound.aliases.values())),
+            attribute_refs=attribute_refs,
+            mapping_version=version,
+        )
+        self._cache_put((normalized, version), compiled)
+        if text != normalized:
+            self._cache_put((text, version), compiled)
+        return compiled
+
+    def _cache_get(self, key: Tuple[str, int]) -> Optional[CompiledQuery]:
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            return None
+        self._plan_cache.move_to_end(key)
+        self.metrics.cache_hits += 1
+        return cached
+
+    def _cache_put(self, key: Tuple[str, int], compiled: CompiledQuery) -> None:
+        self._plan_cache[key] = compiled
+        while len(self._plan_cache) > PLAN_CACHE_SIZE:
             self._plan_cache.popitem(last=False)
-        return plan
+
+    def _execute_compiled(
+        self,
+        compiled: CompiledQuery,
+        params: Optional[Dict[str, Any]] = None,
+        executor: Optional[str] = None,
+    ) -> QueryResult:
+        """Run a compiled plan with validated bindings (shared by all paths)."""
+
+        bindings = check_bindings(compiled.parameters, params)
+        compiled.plan.reset_caches()
+        self.metrics.executions += 1
+        return self.db.execute(compiled.plan, executor=executor, params=bindings)
 
     def explain(self, text: str) -> str:
         plan = self.plan(text)

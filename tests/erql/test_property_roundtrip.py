@@ -1,15 +1,19 @@
 """Property-based ERQL tests: round-trip stability and planner totality.
 
 A small seeded random generator produces ERQL SELECT statements over the
-Figure 4 synthetic schema.  For every generated query:
+Figure 4 synthetic schema — including ``$name`` parameter placeholders (with
+matching bindings) in a fraction of WHERE clauses.  For every generated
+query:
 
 * **round-trip** — ``parse → unparse → parse`` yields an identical AST
-  (so :mod:`repro.erql.unparse` is a faithful inverse of the parser);
+  (so :mod:`repro.erql.unparse` is a faithful inverse of the parser, for
+  parameterized trees too);
 * **planner totality** — the query analyzes and plans under *every* mapping
   M1–M6 without :class:`~repro.errors.PlanningError` (logical data
   independence: valid queries stay plannable under any physical layout);
 * **executor agreement** — the row and batch executors return the same row
-  set for the generated query (random reinforcement of the parity suite).
+  set for the generated query and bindings (random reinforcement of the
+  parity suite, now covering bind-time parameters).
 """
 
 import random
@@ -36,13 +40,29 @@ AGGREGATES = ["count", "sum", "min", "max", "avg"]
 
 
 class QueryGenerator:
-    """Deterministic random ERQL SELECT statements over the Figure 4 schema."""
+    """Deterministic random ERQL SELECT statements over the Figure 4 schema.
+
+    ``query()`` returns ``(text, bindings)``: a fraction of WHERE-clause
+    comparisons use ``$p<i>`` placeholders instead of inline literals, with
+    the matching values recorded in ``bindings``.
+    """
 
     def __init__(self, seed: int) -> None:
         self.rng = random.Random(seed)
+        self.bindings = {}
 
-    def query(self) -> str:
+    def _value(self, value):
+        """Emit a literal or a fresh ``$p<i>`` placeholder bound to ``value``."""
+
+        if self.rng.random() < 0.3:
+            name = f"p{len(self.bindings)}"
+            self.bindings[name] = value
+            return f"${name}"
+        return str(value)
+
+    def query(self):
         rng = self.rng
+        self.bindings = {}
         entity = rng.choice(list(ENTITIES))
         info = ENTITIES[entity]
         join_clause = ""
@@ -66,7 +86,7 @@ class QueryGenerator:
             text += f" order by {name} {direction}"
         if rng.random() < 0.4:
             text += f" limit {rng.randint(1, 25)}"
-        return text
+        return text, dict(self.bindings)
 
     def _column(self, info, prefixes) -> str:
         rng = self.rng
@@ -102,7 +122,7 @@ class QueryGenerator:
         kind = rng.random()
         if kind < 0.5:
             op = rng.choice(["=", "!=", "<", "<=", ">", ">="])
-            return f"{column} {op} {rng.randint(0, 200)}"
+            return f"{column} {op} {self._value(rng.randint(0, 200))}"
         if kind < 0.7:
             return f"{column} is null" if rng.random() < 0.5 else f"{column} is not null"
         values = ", ".join(str(rng.randint(0, 50)) for _ in range(rng.randint(1, 4)))
@@ -127,7 +147,7 @@ def _generated_queries(seed: int):
 @pytest.mark.parametrize("seed", SEEDS)
 class TestGeneratedQueries:
     def test_parse_unparse_parse_stability(self, seed):
-        for text in _generated_queries(seed):
+        for text, _ in _generated_queries(seed):
             first = parse_query(text)
             rendered = unparse_query(first)
             second = parse_query(rendered)
@@ -138,16 +158,16 @@ class TestGeneratedQueries:
             assert unparse_query(second) == rendered
 
     def test_planner_totality_across_mappings(self, seed, mapped_systems):
-        for text in _generated_queries(seed):
+        for text, _ in _generated_queries(seed):
             for label, system in mapped_systems.items():
                 plan = system.plan(text)
                 assert isinstance(plan, PlanNode), (label, text)
 
     def test_row_batch_agreement(self, seed, mapped_systems):
         system = mapped_systems["M1"]
-        for text in _generated_queries(seed):
-            row = system.query(text, executor="row")
-            batch = system.query(text, executor="batch")
+        for text, bindings in _generated_queries(seed):
+            row = system.query(text, executor="row", params=bindings)
+            batch = system.query(text, executor="batch", params=bindings)
             assert row.columns == batch.columns, text
             assert row.sorted_tuples() == batch.sorted_tuples(), text
 
@@ -164,6 +184,9 @@ class TestUnparseSpecifics:
         "select s_id as i, struct(s_x as a, s_y as b) as payload from S",
         "select s_y as y from S where s_y = 'it''s'",
         "select r_id as k from R where not (r_y > 5) and r_id is not null",
+        "select r_id as k from R where r_y >= $lo and r_y < $hi",
+        "select s_id as i from S where s_y = $label or s_x in (1, 2)",
+        "select r_id as k, r_y + $delta as shifted from R where not (r_x.r_x1 = $x)",
     ]
 
     @pytest.mark.parametrize("text", CASES)

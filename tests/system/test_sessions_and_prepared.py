@@ -1,0 +1,646 @@
+"""Sessions, prepared statements, Result cursors and the parameterized API.
+
+Covers the acceptance criteria of the session/prepared-statement layer:
+
+* **zero recompilation** — re-executing a prepared statement performs no
+  parse/analyze/plan work (asserted via the ``QueryMetrics`` counters);
+* **binding parity** — for every experiment query (E1–E8b) under every
+  mapping M1–M6, a prepared statement with its literals lifted into ``$name``
+  parameters returns exactly the row set of the literal-inlined query, under
+  both the row and the batch executor;
+* **normalized-text plan cache** — whitespace/case variants of one query
+  share a single compiled plan;
+* **transaction scope** — a session spans CRUD and ERQL with commit/rollback;
+* **Result cursor** — iteration, ``fetchone``/``fetchmany``/``fetchall``,
+  ``keys()``, streaming from batch-backed results;
+* **REST surface** — ``POST /query`` with params, stable cursor pagination
+  with a clamped page size, transaction-scoped batch endpoints, and the
+  uniform ``{"error": {"code", "message"}}`` payload.
+"""
+
+import itertools
+
+import pytest
+
+from repro import ErbiumDB
+from repro.api import ApiService, decode_cursor, encode_cursor
+from repro.bench.experiments import all_experiments
+from repro.erql import ast_nodes as ast
+from repro.erql import parse_query, unparse_query
+from repro.errors import BindError, TransactionError
+from tests.conftest import build_university_system
+
+MAPPING_LABELS = ("M1", "M2", "M3", "M4", "M5", "M6")
+
+
+# ---------------------------------------------------------------------------
+# helpers: lift WHERE-clause literals into $parameters
+# ---------------------------------------------------------------------------
+
+
+def parameterize_query(text):
+    """Rewrite a query's WHERE-clause literals as ``$p<i>`` placeholders.
+
+    Returns ``(parameterized_text, bindings)``; queries without WHERE-clause
+    literals come back unchanged with empty bindings (still exercising the
+    prepared path).
+    """
+
+    statement = parse_query(text)
+    counter = itertools.count()
+    bindings = {}
+
+    def lift(expr):
+        if isinstance(expr, ast.Literal):
+            name = f"p{next(counter)}"
+            bindings[name] = expr.value
+            return ast.Parameter(name)
+        if isinstance(expr, ast.BinOp):
+            return ast.BinOp(expr.op, lift(expr.left), lift(expr.right))
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(expr.op, lift(expr.operand))
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(lift(expr.operand), expr.negate)
+        if isinstance(expr, ast.FuncCall):
+            return ast.FuncCall(expr.name, [lift(a) for a in expr.args], expr.distinct)
+        return expr
+
+    if statement.where is not None:
+        statement.where = lift(statement.where)
+    return unparse_query(statement), bindings
+
+
+EXPERIMENT_QUERIES = [e.query for e in all_experiments() if e.query is not None]
+
+
+# ---------------------------------------------------------------------------
+# prepared statements
+# ---------------------------------------------------------------------------
+
+
+class TestPreparedStatements:
+    def test_reexecution_does_zero_parse_analyze_plan(self, mapped_systems):
+        system = mapped_systems["M1"]
+        statement = system.prepare(
+            "select r_id, r_y from R where r_y >= $lo and r_y < $hi"
+        )
+        before = system.metrics.snapshot()
+        for lo in range(0, 50, 10):
+            statement.execute(lo=lo, hi=lo + 10)
+        after = system.metrics.snapshot()
+        assert after["parses"] == before["parses"]
+        assert after["analyses"] == before["analyses"]
+        assert after["plans"] == before["plans"]
+        assert after["executions"] == before["executions"] + 5
+
+    @pytest.mark.parametrize("query", EXPERIMENT_QUERIES)
+    def test_binding_parity_across_mappings_and_executors(self, query, mapped_systems):
+        parameterized, bindings = parameterize_query(query)
+        for label in MAPPING_LABELS:
+            system = mapped_systems[label]
+            statement = system.session().prepare(parameterized)
+            assert set(statement.parameters) == set(bindings)
+            for executor in ("row", "batch"):
+                literal = system.query(query, executor=executor)
+                prepared = statement.execute(executor=executor, **bindings)
+                assert prepared.columns == literal.columns, (label, executor, query)
+                assert prepared.sorted_tuples() == literal.sorted_tuples(), (
+                    label,
+                    executor,
+                    query,
+                )
+
+    def test_parameterized_point_lookup_keeps_index_pushdown(self, mapped_systems):
+        """``where key = $k`` must keep the IndexLookup access path (M2 keys R
+        by r_id) and re-execute correctly with fresh bindings."""
+
+        system = mapped_systems["M2"]
+        statement = system.prepare("select r_mv1 from R where r_id = $k")
+        assert "IndexLookup" in statement.explain()
+        some_ids = system.query("select r_id from R limit 3").column("r_id")
+        for r_id in some_ids:
+            literal = system.query(f"select r_mv1 from R where r_id = {r_id}")
+            for executor in ("row", "batch"):
+                bound = statement.execute(executor=executor, k=r_id)
+                assert bound.sorted_tuples() == literal.sorted_tuples(), (executor, r_id)
+
+    def test_parameter_type_slotting(self, mapped_systems):
+        statement = mapped_systems["M1"].prepare(
+            "select s_id from S where s_x = $x and s_y = $label"
+        )
+        assert statement.parameters == {"x": "int", "label": "varchar"}
+
+    def test_binding_validation(self, mapped_systems):
+        statement = mapped_systems["M1"].prepare("select r_id from R where r_y = $y")
+        with pytest.raises(BindError, match=r"\$y"):
+            statement.execute()
+        with pytest.raises(BindError, match=r"\$typo"):
+            statement.execute(y=1, typo=2)
+        with pytest.raises(BindError, match="declares no parameters"):
+            mapped_systems["M1"].query("select r_id from R", params={"stray": 1})
+
+    def test_dict_form_handles_reserved_binding_names(self, mapped_systems):
+        system = mapped_systems["M1"]
+        statement = system.prepare("select r_id from R where r_y = $executor")
+        literal = system.query("select r_id from R where r_y = 1")
+        bound = statement.execute({"executor": 1})
+        assert bound.sorted_tuples() == literal.sorted_tuples()
+        with pytest.raises(BindError, match="both positionally and as keywords"):
+            other = system.prepare("select r_id from R where r_y = $y")
+            other.execute({"y": 1}, y=2)
+
+    def test_null_and_string_bindings(self, mapped_systems):
+        system = mapped_systems["M1"]
+        result = system.query(
+            "select s_id from S where s_y = $v", params={"v": "it's"}
+        )
+        literal = system.query("select s_id from S where s_y = 'it''s'")
+        assert result.sorted_tuples() == literal.sorted_tuples()
+        # a NULL binding behaves like the NULL literal (three-valued logic)
+        bound = system.query("select s_id from S where s_x = $v", params={"v": None})
+        assert len(bound) == 0
+
+
+class TestPlanCache:
+    def test_whitespace_variants_share_one_plan(self, mapped_systems):
+        system = mapped_systems["M2"]
+        base = "select r_id from R where r_y < 7"
+        system.query(base)
+        before = system.metrics.snapshot()
+        system.query("select   r_id   from R\nwhere r_y < 7")
+        after = system.metrics.snapshot()
+        assert after["parses"] == before["parses"] + 1  # must parse to normalize
+        assert after["plans"] == before["plans"]  # ... but not re-plan
+        assert after["cache_hits"] == before["cache_hits"] + 1
+
+    def test_exact_repeat_skips_even_the_parse(self, mapped_systems):
+        system = mapped_systems["M2"]
+        text = "select r_id from R where r_y < 9"
+        system.query(text)
+        before = system.metrics.snapshot()
+        system.query(text)
+        after = system.metrics.snapshot()
+        assert after["parses"] == before["parses"]
+        assert after["cache_hits"] == before["cache_hits"] + 1
+
+    def test_prepared_statement_survives_data_changes(self):
+        system = build_university_system(students=8, instructors=2, courses=3)
+        statement = system.prepare("select count(*) as n from course")
+        first = statement.execute().scalar()
+        system.insert("course", {"course_id": 700, "title": "New", "credits": 2})
+        assert statement.execute().scalar() == first + 1
+
+
+# ---------------------------------------------------------------------------
+# sessions
+# ---------------------------------------------------------------------------
+
+
+class TestSessions:
+    def test_commit_spans_crud_and_erql(self):
+        system = build_university_system(students=6, instructors=2, courses=3)
+        with system.session() as session:
+            session.insert("course", {"course_id": 800, "title": "T", "credits": 3})
+            in_txn = session.query(
+                "select title from course where course_id = $k", params={"k": 800}
+            )
+            assert in_txn.fetchone() == {"title": "T"}
+        assert system.get("course", 800) is not None
+
+    def test_rollback_undoes_everything(self):
+        system = build_university_system(students=6, instructors=2, courses=3)
+        before = system.count("course")
+        with pytest.raises(RuntimeError):
+            with system.session() as session:
+                session.insert("course", {"course_id": 801, "title": "A", "credits": 1})
+                session.insert("course", {"course_id": 802, "title": "B", "credits": 2})
+                raise RuntimeError("abort")
+        assert system.count("course") == before
+        assert system.get("course", 801) is None and system.get("course", 802) is None
+
+    def test_explicit_begin_commit_rollback(self):
+        system = build_university_system(students=6, instructors=2, courses=3)
+        session = system.session()
+        session.begin()
+        session.insert("course", {"course_id": 810, "title": "X", "credits": 1})
+        session.rollback()
+        assert system.get("course", 810) is None
+        session.begin()
+        session.insert("course", {"course_id": 811, "title": "Y", "credits": 1})
+        session.commit()
+        assert system.get("course", 811) is not None
+        with pytest.raises(TransactionError):
+            session.commit()
+
+    def test_failed_statement_inside_session_leaves_no_partial_writes(self):
+        """Statement-level atomicity survives joining a session transaction.
+
+        Inserting a person with duplicate multi-valued values fails *after*
+        the base row has been written; the joined CRUD scope must roll back
+        its own writes (savepoint) so a caller that catches the error and
+        commits the session cannot persist a half-applied entity.
+        """
+
+        system = ErbiumDB("savepoints")
+        system.execute_ddl(
+            "create entity person (person_id int primary key, name varchar, "
+            "emails varchar[]);"
+        )
+        system.set_mapping()
+        system.insert("person", {"person_id": 1, "name": "a", "emails": ["a@x"]})
+        with system.session() as session:
+            session.insert("person", {"person_id": 2, "name": "b", "emails": ["b@x"]})
+            with pytest.raises(Exception):
+                # duplicate email values violate the side table's primary key
+                # midway through the multi-table insert
+                session.insert(
+                    "person", {"person_id": 5, "name": "c", "emails": ["y@x", "y@x"]}
+                )
+            # the failed statement is fully undone, earlier work is intact
+            assert session.get("person", 5) is None
+            assert session.get("person", 2) is not None
+        assert system.get("person", 5) is None
+        assert system.get("person", 2) is not None
+
+    def test_autocommit_facade_unchanged(self):
+        system = build_university_system(students=6, instructors=2, courses=3)
+        # facade methods still autocommit one operation at a time
+        system.insert("course", {"course_id": 820, "title": "Z", "credits": 1})
+        assert system.get("course", 820)["title"] == "Z"
+        assert not system.db.transactions.in_transaction()
+
+
+# ---------------------------------------------------------------------------
+# Result cursor
+# ---------------------------------------------------------------------------
+
+
+class TestResultCursor:
+    def test_fetch_interface(self, mapped_systems):
+        result = mapped_systems["M1"].session().query(
+            "select r_id from R order by r_id asc"
+        )
+        total = len(result)
+        assert result.keys() == ["r_id"]
+        first = result.fetchone()
+        assert first is not None and set(first) == {"r_id"}
+        chunk = result.fetchmany(10)
+        assert len(chunk) == min(10, total - 1)
+        rest = result.fetchall()
+        assert 1 + len(chunk) + len(rest) == total
+        assert result.fetchone() is None
+        assert result.fetchmany(5) == [] and result.fetchall() == []
+
+    def test_iteration_consumes_in_order(self, mapped_systems):
+        result = mapped_systems["M1"].session().query(
+            "select r_id from R order by r_id asc", executor="batch"
+        )
+        values = [row["r_id"] for row in result]
+        assert values == sorted(values) and len(values) == len(result)
+        assert result.fetchone() is None
+
+    def test_streaming_does_not_materialize_all_rows(self, mapped_systems):
+        result = mapped_systems["M1"].session().query(
+            "select r_id, r_y from R", executor="batch"
+        )
+        result.fetchmany(3)
+        # the wrapped batch result has not built its full row-dict list
+        assert not result.raw.is_materialized
+
+    def test_convenience_accessors(self, mapped_systems):
+        result = mapped_systems["M1"].session().query("select count(*) as n from R")
+        assert result.scalar() == result.raw.scalar()
+        assert result.column("n") == [result.scalar()]
+
+
+# ---------------------------------------------------------------------------
+# REST surface
+# ---------------------------------------------------------------------------
+
+
+class TestParameterizedApi:
+    @pytest.fixture()
+    def api(self):
+        system = build_university_system(students=12, instructors=3, courses=5)
+        return ApiService(system), system
+
+    def test_query_with_params(self, api):
+        service, _ = api
+        response = service.post(
+            "/query",
+            {
+                "query": "select person_id from student where city = $city",
+                "params": {"city": "College Park"},
+            },
+        )
+        assert response.status == 200
+        literal = service.post(
+            "/query",
+            {"query": "select person_id from student where city = 'College Park'"},
+        )
+        assert response.body["rows"] == literal.body["rows"]
+
+    def test_query_error_codes(self, api):
+        service, _ = api
+        missing = service.post(
+            "/query", {"query": "select person_id from student where city = $c"}
+        )
+        assert missing.status == 400
+        assert missing.body["error"]["code"] == "invalid_parameters"
+        invalid = service.post("/query", {"query": "select nope from student"})
+        assert invalid.status == 400
+        assert invalid.body["error"]["code"] == "invalid_query"
+        bad_shape = service.post(
+            "/query", {"query": "select person_id from student", "params": [1, 2]}
+        )
+        assert bad_shape.status == 422
+        assert bad_shape.body["error"]["code"] == "validation"
+
+    def test_pagination_walk_is_stable_and_complete(self, api):
+        service, _ = api
+        seen = []
+        cursor = None
+        pages = 0
+        while True:
+            body = {"limit": 5}
+            if cursor is not None:
+                body["cursor"] = cursor
+            response = service.get("/entities/student", body)
+            assert response.status == 200
+            assert len(response.body["items"]) <= 5
+            seen.extend(tuple(item["key"]) for item in response.body["items"])
+            cursor = response.body["next_cursor"]
+            pages += 1
+            if cursor is None:
+                break
+        assert pages == 3
+        assert len(seen) == len(set(seen)) == response.body["count"] == 12
+
+    def test_cursor_stable_under_deletion(self, api):
+        service, system = api
+        first = service.get("/entities/student", {"limit": 4})
+        cursor_key = tuple(first.body["items"][-1]["key"])
+        # delete the cursor row itself: the next page must neither skip nor repeat
+        remaining = {
+            tuple(i["key"])
+            for i in service.get("/entities/student", {"limit": 200}).body["items"]
+        }
+        system.delete("student", cursor_key)
+        follow = service.get(
+            "/entities/student", {"limit": 200, "cursor": first.body["next_cursor"]}
+        )
+        page1 = {tuple(i["key"]) for i in first.body["items"]}
+        page2 = {tuple(i["key"]) for i in follow.body["items"]}
+        assert page1 | page2 | {cursor_key} >= remaining
+        assert not page1 & page2
+
+    def test_limit_validation_and_clamping(self, api):
+        service, _ = api
+        for bad in ("zzz", None, [], -3, 0, True):
+            response = service.get("/entities/student", {"limit": bad})
+            assert response.status == 400, bad
+            assert response.body["error"]["code"] == "invalid_limit"
+        clamped = service.get("/entities/student", {"limit": 10_000})
+        assert clamped.status == 200 and clamped.body["limit"] == 200
+
+    def test_invalid_cursor_rejected(self, api):
+        service, _ = api
+        response = service.get("/entities/student", {"cursor": "%%%not-base64%%%"})
+        assert response.status == 400
+        assert response.body["error"]["code"] == "invalid_cursor"
+
+    def test_related_pagination(self, api):
+        service, system = api
+        student = system.crud.entity_keys("student")[0][0]
+        seen = []
+        cursor = None
+        while True:
+            body = {"limit": 2}
+            if cursor is not None:
+                body["cursor"] = cursor
+            response = service.get(
+                f"/entities/student/{student}/related/takes", body
+            )
+            assert response.status == 200
+            seen.extend(tuple(k) for k in response.body["related"])
+            cursor = response.body["next_cursor"]
+            if cursor is None:
+                break
+        assert len(seen) == response.body["count"]
+        assert sorted(seen) == sorted(
+            tuple(k) for k in system.related("takes", "student", student)
+        )
+
+    def test_error_shape_everywhere(self, api):
+        service, _ = api
+        cases = [
+            service.get("/entities/ghost"),
+            service.get("/entities/student/424242"),
+            service.post("/query", {}),
+            service.request("GET", "/no/such/route"),
+        ]
+        for response in cases:
+            assert not response.ok
+            assert set(response.body) == {"error"}
+            assert set(response.body["error"]) == {"code", "message"}, response.body
+
+    def test_batch_endpoint_commits_atomically(self, api):
+        service, system = api
+        response = service.post(
+            "/batch",
+            {
+                "operations": [
+                    {"op": "insert", "entity": "course", "values": {"course_id": 950, "title": "A", "credits": 3}},
+                    {"op": "update", "entity": "course", "key": [950], "changes": {"credits": 4}},
+                    {"op": "delete", "entity": "course", "key": [950]},
+                ]
+            },
+        )
+        assert response.status == 200 and response.body["operations"] == 3
+        assert system.get("course", 950) is None
+
+    def test_batch_endpoint_rolls_back_on_failure(self, api):
+        service, system = api
+        response = service.post(
+            "/batch",
+            {
+                "operations": [
+                    {"op": "insert", "entity": "course", "values": {"course_id": 951, "title": "A", "credits": 3}},
+                    {"op": "insert", "entity": "course", "values": {"course_id": 951, "title": "dup", "credits": 3}},
+                ]
+            },
+        )
+        assert response.status == 409
+        assert response.body["error"]["code"] == "constraint_violation"
+        assert "operation 1" in response.body["error"]["message"]
+        assert system.get("course", 951) is None
+
+    def test_batch_validation_errors_name_the_failing_index(self, api):
+        service, _ = api
+        response = service.post(
+            "/batch",
+            {
+                "operations": [
+                    {"op": "insert", "entity": "course", "values": {"course_id": 955, "title": "ok", "credits": 1}},
+                    {"op": "insert", "entity": "course", "values": {}},
+                ]
+            },
+        )
+        assert response.status == 422
+        assert "operation 1" in response.body["error"]["message"]
+
+    def test_bulk_insert_endpoint(self, api):
+        service, system = api
+        response = service.post(
+            "/entities/course/batch",
+            {"items": [
+                {"course_id": 960, "title": "X", "credits": 1},
+                {"course_id": 961, "title": "Y", "credits": 2},
+            ]},
+        )
+        assert response.status == 201 and response.body["inserted"] == 2
+        assert system.get("course", 961)["title"] == "Y"
+        empty = service.post("/entities/course/batch", {"items": []})
+        assert empty.status == 422
+
+    def test_query_endpoint_respects_access_control(self):
+        from repro.governance import AccessController, PIIRegistry, Policy
+
+        system = build_university_system(students=6, instructors=2, courses=3)
+        registry = PIIRegistry(system.schema)
+        access = AccessController(system.schema, registry)
+        access.grant(
+            Policy(role="analyst", entity="student", actions={"read"}, deny_pii=True)
+        )
+        access.assign_role("ana", "analyst")
+        service = ApiService(system, access=access)
+        # entity-level: no read grant on course
+        denied = service.post(
+            "/query", {"query": "select title from course"}, principal="ana"
+        )
+        assert denied.status == 403
+        # attribute-level: street is PII, denied to analysts
+        pii = service.post(
+            "/query", {"query": "select street from student"}, principal="ana"
+        )
+        assert pii.status == 403
+        assert "street" in pii.body["error"]["message"]
+        # permitted read still works
+        ok = service.post(
+            "/query", {"query": "select count(*) as n from student"}, principal="ana"
+        )
+        assert ok.status == 200 and ok.body["rows"][0]["n"] == 6
+        # anonymous principal on a guarded deployment
+        anonymous = service.post("/query", {"query": "select tot_credits from student"})
+        assert anonymous.status == 401
+
+    def test_listing_cache_sees_new_writes(self, api):
+        service, system = api
+        first = service.get("/entities/course", {"limit": 200})
+        system.insert("course", {"course_id": 970, "title": "fresh", "credits": 2})
+        second = service.get("/entities/course", {"limit": 200})
+        assert second.body["count"] == first.body["count"] + 1
+        assert [970] in [item["key"] for item in second.body["items"]]
+
+    def test_relationship_writes_respect_access_control(self):
+        from repro.governance import AccessController, Policy
+
+        system = build_university_system(students=6, instructors=2, courses=3)
+        access = AccessController(system.schema)
+        access.grant(Policy(role="reader", entity="student", actions={"read"}))
+        access.grant(Policy(role="reader", entity="instructor", actions={"read"}))
+        access.assign_role("ron", "reader")
+        service = ApiService(system, access=access)
+        student = system.crud.entity_keys("student")[0][0]
+        instructor = system.crud.entity_keys("instructor")[0][0]
+        link_op = {
+            "op": "link",
+            "relationship": "advisor",
+            "endpoints": {"student": student, "instructor": instructor},
+        }
+        before = system.related("advisor", "student", student)
+        denied = service.post("/batch", {"operations": [link_op]}, principal="ron")
+        assert denied.status == 403
+        assert system.related("advisor", "student", student) == before
+        direct = service.post(
+            "/relationships/advisor",
+            {"endpoints": {"student": student, "instructor": instructor}},
+            principal="ron",
+        )
+        assert direct.status == 403
+
+    def test_openapi_documents_new_surface(self, api):
+        service, _ = api
+        document = service.get("/openapi").body
+        assert "/batch" in document["paths"]
+        assert "/entities/{entity}/batch" in document["paths"]
+        assert "Error" in document["components"]["schemas"]
+        query_doc = document["paths"]["/query"]["post"]
+        assert "params" in query_doc["requestBody"]["schema"]["properties"]
+        assert document["x-pagination"]["max_page_size"] == 200
+
+
+class TestCursorCodec:
+    @pytest.mark.parametrize(
+        "key", [(1,), (3, 2), ("abc",), (1, "x", 2.5), (None,), ()]
+    )
+    def test_round_trip(self, key):
+        assert decode_cursor(encode_cursor(key)) == key
+
+    def test_pagination_never_drops_cross_type_ties(self):
+        """Keys that compare equal across types (1 vs True vs 1.0) must all
+        survive a cursor walk — a tie at a page boundary must not bisect past
+        its twin."""
+
+        from repro.api import paginate_keys
+
+        keys = [(1,), (True,), (2,), (1.0,), (0,), (False,)]
+        seen = []
+        cursor = None
+        while True:
+            page, cursor, total = paginate_keys(keys, 1, cursor)
+            seen.extend(page)
+            if cursor is None:
+                break
+        assert total == len(keys)
+        assert len(seen) == len(keys), seen
+
+
+class TestQueryStringPagination:
+    def test_get_with_query_string(self):
+        system = build_university_system(students=7, instructors=2, courses=3)
+        service = ApiService(system)
+        first = service.get("/entities/student?limit=3")
+        assert first.status == 200 and len(first.body["items"]) == 3
+        follow = service.get(
+            f"/entities/student?limit=3&cursor={first.body['next_cursor']}"
+        )
+        assert follow.status == 200
+        assert not {tuple(i["key"]) for i in first.body["items"]} & {
+            tuple(i["key"]) for i in follow.body["items"]
+        }
+
+    def test_write_methods_ignore_query_string(self):
+        """A stray query parameter must not inject attribute values into a
+        POST body (and must not fail validation either)."""
+
+        system = build_university_system(students=4, instructors=2, courses=2)
+        service = ApiService(system)
+        response = service.post(
+            "/entities/course?credits=9&utm_source=mail",
+            {"course_id": 77, "title": "qs", "credits": 3},
+        )
+        assert response.status == 201
+        assert system.get("course", 77)["credits"] == 3
+
+    def test_body_overrides_query_string(self):
+        system = build_university_system(students=7, instructors=2, courses=3)
+        service = ApiService(system)
+        response = service.get("/entities/student?limit=2", {"limit": 5})
+        assert response.status == 200 and len(response.body["items"]) == 5
+
+    def test_positional_principal_fails_loudly(self):
+        system = build_university_system(students=4, instructors=2, courses=2)
+        service = ApiService(system)
+        with pytest.raises(TypeError, match="keyword"):
+            service.request("GET", "/entities/student", "carl")
