@@ -1,0 +1,116 @@
+"""WAL overhead microbenchmark: durable vs in-memory batch-load throughput.
+
+The durability tentpole promises that ``durability=off`` preserves current
+performance (no redo record is ever built) and that durable logging stays
+cheap on the vectorized write path: one framed WAL record per batch, with
+the columnar payload shared by reference.  This gate enforces the headline
+number: a durable bulk load must finish within ``ERBIUM_WAL_OVERHEAD_MAX``
+(default 2x) of the same load in memory.
+
+Methodology follows the other load benchmarks: best of a few repeats over
+fresh (db, rows) pairs, GC swept before each timed run.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.bench.harness import DEFAULT_REPEATS
+from repro.durability import DurabilityManager, scan_segments
+from repro.relational import Column, Database, FLOAT, INT, TEXT
+
+#: Rows per timed load (smaller than the pure load gate: every durable run
+#: also writes the rows to disk).
+WAL_ROWS = int(os.environ.get("ERBIUM_WAL_ROWS", "30000"))
+#: Maximum allowed durable/in-memory ratio on the batch load.
+MAX_OVERHEAD = float(os.environ.get("ERBIUM_WAL_OVERHEAD_MAX", "2"))
+REPEATS = max(1, min(DEFAULT_REPEATS, 3))
+
+_PAYLOAD_TYPES = (TEXT, INT, FLOAT)
+WIDTH = 4
+
+
+def _make_db(name: str) -> Database:
+    columns = [Column("id", INT, nullable=False)]
+    for i in range(WIDTH - 1):
+        columns.append(Column(f"p{i}", _PAYLOAD_TYPES[i % len(_PAYLOAD_TYPES)]))
+    db = Database(name)
+    db.create_table("t", columns, primary_key=["id"])
+    return db
+
+
+def _gen_rows(count: int) -> List[Dict[str, object]]:
+    rows = []
+    for i in range(count):
+        row: Dict[str, object] = {"id": i}
+        for p in range(WIDTH - 1):
+            kind = p % len(_PAYLOAD_TYPES)
+            row[f"p{p}"] = f"v{i}" if kind == 0 else (i % 97 if kind == 1 else float(i))
+        rows.append(row)
+    return rows
+
+
+def _best_load_seconds(durable: bool, count: int, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        db = _make_db("wal-bench")
+        tmp = None
+        if durable:
+            tmp = tempfile.mkdtemp(prefix="erbium-walbench-")
+            db.durability = DurabilityManager(tmp, fsync="commit")
+        rows = _gen_rows(count)
+        gc.collect()
+        start = time.perf_counter()
+        db.insert_many("t", rows)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        if durable:
+            db.durability.wal.close()
+            shutil.rmtree(tmp, ignore_errors=True)
+    return best
+
+
+@pytest.mark.benchmark
+def test_durable_batch_load_within_overhead_budget():
+    memory = _best_load_seconds(durable=False, count=WAL_ROWS)
+    durable = _best_load_seconds(durable=True, count=WAL_ROWS)
+    ratio = durable / memory if memory > 0 else float("inf")
+    rate_mem = WAL_ROWS / memory
+    rate_wal = WAL_ROWS / durable
+    print(
+        f"\nbatch load {WAL_ROWS} rows x {WIDTH} cols: "
+        f"in-memory {rate_mem:,.0f} rows/s, durable {rate_wal:,.0f} rows/s, "
+        f"overhead {ratio:.2f}x (budget {MAX_OVERHEAD:.1f}x)"
+    )
+    assert ratio <= MAX_OVERHEAD, (
+        f"durable batch load is {ratio:.2f}x the in-memory load "
+        f"(budget {MAX_OVERHEAD:.1f}x)"
+    )
+
+
+@pytest.mark.benchmark
+def test_durable_batch_load_logs_one_record():
+    """The whole batch is one framed WAL record (not one per row)."""
+
+    db = _make_db("wal-single")
+    tmp = tempfile.mkdtemp(prefix="erbium-walrec-")
+    try:
+        db.durability = DurabilityManager(tmp, fsync="off")
+        db.insert_many("t", _gen_rows(10_000))
+        db.durability.wal.sync()
+        scan = scan_segments(tmp)
+        assert len(scan.transactions) == 1
+        assert len(scan.transactions[0]) == 1
+        record = scan.transactions[0][0]
+        assert record["t"] == "insert_batch"
+        assert len(record["columns"]["id"]) == 10_000
+        db.durability.wal.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)

@@ -1,0 +1,95 @@
+"""Durability end to end: load -> checkpoint -> crash -> reopen -> query.
+
+The script spawns a *child process* that opens a durable database, loads the
+Figure 4 benchmark dataset under mapping M2, checkpoints it, commits a little
+more DML (which lives only in the write-ahead log) and then dies abruptly
+with ``os._exit`` — no ``close()``, no final checkpoint, exactly what a
+crash looks like.  The parent then reopens the directory: recovery restores
+the columnar snapshot, replays the committed WAL tail and serves identical
+query results.
+
+Run with ``PYTHONPATH=src python examples/persistence.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+from repro import ErbiumDB
+
+SCALE = 40
+QUERY = "select r_id, r_mv1 from R where r_y < 50"
+
+
+def child(path: str) -> None:
+    """Build the database, checkpoint, write a WAL tail, crash."""
+
+    from repro.workloads.synthetic import (
+        build_synthetic_schema,
+        generate_synthetic_data,
+        synthetic_mappings,
+    )
+
+    system = ErbiumDB.open(path, name="demo", schema=build_synthetic_schema())
+    system.set_mapping(synthetic_mappings(system.schema)["M2"])
+    generate_synthetic_data(scale=SCALE, seed=7).load_into(system)
+    system.checkpoint()
+    print(f"[child] checkpointed {system.total_rows()} rows "
+          f"(checkpoint v{system.durability.store.latest_info()['version']})")
+
+    # committed after the checkpoint: exists only in the write-ahead log
+    system.insert_many(
+        "R",
+        [
+            {
+                "r_id": 90_000 + i,
+                "r_x": {"r_x1": i, "r_x2": f"post-{i}"},
+                "r_y": i,
+                "r_mv1": [i, i + 1],
+                "r_mv2": [i + 2],
+                "r_mv3": [{"x": i, "y": f"mv3-{i}"}],
+            }
+            for i in range(3)
+        ],
+    )
+    system.update("R", 90_001, {"r_y": 45})
+    rows = len(system.query(QUERY))
+    print(f"[child] committed post-checkpoint DML; query returns {rows} rows")
+    print("[child] crashing now (os._exit, no close, no checkpoint)")
+    sys.stdout.flush()
+    os._exit(17)  # simulate a hard crash
+
+
+def main() -> None:
+    base = tempfile.mkdtemp(prefix="erbium-persistence-")
+    path = os.path.join(base, "db")
+    try:
+        result = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--child", path],
+            env=dict(os.environ),
+        )
+        assert result.returncode == 17, f"child exited {result.returncode}, expected crash"
+
+        print("[parent] reopening the crashed database ...")
+        recovered = ErbiumDB.open(path)
+        rows = recovered.query(QUERY).sorted_tuples()
+        print(f"[parent] recovered {recovered.total_rows()} rows; "
+              f"query returns {len(rows)} rows")
+        assert recovered.get("R", 90_000) is not None, "WAL tail was not replayed"
+        assert recovered.get("R", 90_001)["r_y"] == 45, "replayed update missing"
+        print(f"[parent] durability status: {recovered.durability.describe()}")
+        recovered.close()
+        print("[parent] OK: checkpoint + WAL replay reproduced the committed state")
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        child(sys.argv[2])
+    else:
+        main()

@@ -99,6 +99,31 @@ _PAGINATION_PARAMETERS = [
 ]
 
 _HANDLER_DOCS: Dict[str, Dict[str, Any]] = {
+    "admin_checkpoint": {
+        "requestBody": {
+            "required": [],
+            "schema": {
+                "type": "object",
+                "properties": {
+                    "background": {
+                        "type": "boolean",
+                        "description": "Encode and write the checkpoint on a "
+                        "background thread instead of blocking the request.",
+                    }
+                },
+            },
+        },
+        "responses": {
+            "200": {
+                "description": "Checkpoint info ({version, lsn, file}) plus "
+                "current durability status."
+            },
+            "409": {
+                "description": "Durability is not enabled for this database "
+                "(error code 'durability_disabled')."
+            },
+        },
+    },
     "list_entities": {
         "parameters": _PAGINATION_PARAMETERS,
         "responses": {

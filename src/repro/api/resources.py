@@ -98,6 +98,7 @@ def default_router() -> Router:
     router.add(Route("DELETE", "/relationships/{relationship}", "delete_relationship", "Delete relationship occurrences"))
     router.add(Route("POST", "/query", "query", "Run an ERQL query with optional $name parameters"))
     router.add(Route("POST", "/batch", "batch", "Run several write operations in one transaction"))
+    router.add(Route("POST", "/admin/checkpoint", "admin_checkpoint", "Write a durable checkpoint now (requires durability)"))
     router.add(Route("GET", "/openapi", "openapi", "Generated API documentation"))
     return router
 

@@ -574,6 +574,27 @@ class ApiService:
             return {"op": op, "relationship": operation["relationship"], "removed": removed}
         raise ApiError(422, f"unknown op {op!r}")  # unreachable; _validate caught it
 
+    def _handle_admin_checkpoint(self, params, body, principal) -> Response:
+        """``POST /admin/checkpoint``: force a durable checkpoint now.
+
+        ``{"background": true}`` captures synchronously but encodes/writes
+        off-thread.  409 with code ``durability_disabled`` when the system
+        was not opened durably.
+        """
+
+        if self.system.durability is None:
+            raise ApiError(
+                409,
+                "durability is not enabled for this database; open it with "
+                "ErbiumDB.open(path)",
+                code="durability_disabled",
+            )
+        background = body.get("background", False)
+        if not isinstance(background, bool):
+            raise ApiError(400, "'background' must be a boolean", code="validation")
+        info = self.system.checkpoint(background=background)
+        return Response(200, {"checkpoint": info, "durability": self.system.durability.describe()})
+
     def _handle_openapi(self, params, body, principal) -> Response:
         return Response(
             200, generate_openapi(self.system, self.router, max_page_size=self.max_page_size)

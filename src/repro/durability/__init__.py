@@ -1,0 +1,40 @@
+"""Durability subsystem: write-ahead log, columnar snapshots, crash recovery.
+
+The subsystem has three parts, mirroring a classic redo-only ARIES design
+scaled to the single-threaded engine:
+
+* :mod:`repro.durability.wal` — a framed, checksummed, length-prefixed
+  write-ahead log.  Redo records are buffered per transaction and appended
+  *at commit* through a group-commit buffer with a configurable fsync policy
+  (``"commit"`` / ``"batch"`` / ``"off"``).
+* :mod:`repro.durability.snapshot` — the checkpoint store.  A checkpoint
+  serializes every :class:`~repro.relational.table.Table`'s columnar
+  snapshot (the same version-stamped snapshot batch scans read, so capture
+  is cheap and safe to encode off-thread) plus the E/R schema, the mapping
+  spec, catalog metadata and per-table LSN watermarks, to a versioned,
+  checksummed, atomically-renamed file.
+* :mod:`repro.durability.recovery` — restores the latest checkpoint,
+  replays the WAL tail idempotently (records at or below a table's LSN
+  watermark are skipped), truncates torn tails and discards transactions
+  whose commit frame did not survive the crash.
+
+:class:`~repro.durability.manager.DurabilityManager` owns all three and is
+what :meth:`repro.system.ErbiumDB.open` attaches to a database.  Durability
+is **off by default**: an engine without a manager attached never builds a
+redo record, so the in-memory fast paths are unchanged.
+"""
+
+from .manager import DurabilityManager
+from .recovery import has_database, recover_system
+from .snapshot import CheckpointStore
+from .wal import FSYNC_MODES, WriteAheadLog, scan_segments
+
+__all__ = [
+    "CheckpointStore",
+    "DurabilityManager",
+    "FSYNC_MODES",
+    "WriteAheadLog",
+    "has_database",
+    "recover_system",
+    "scan_segments",
+]

@@ -1,0 +1,123 @@
+"""The :class:`DurabilityManager`: WAL + checkpoint store behind one handle.
+
+The manager is the single durability hook the rest of the system sees:
+
+* the transaction layer calls :meth:`log_commit` with the redo records a
+  committing transaction accumulated (and :meth:`log_abort` on rollback);
+* :meth:`checkpoint` captures the system state off the shared columnar
+  snapshots, rotates the WAL at the capture LSN, writes the checkpoint
+  (optionally on a background thread) and prunes covered segments once the
+  new checkpoint is durable;
+* :meth:`close` syncs and releases the log.
+
+An engine without a manager attached (``Database.durability is None`` — the
+default) never builds a redo record, so durability=off preserves the
+in-memory write path byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, TYPE_CHECKING
+
+from ..errors import DurabilityError
+from .snapshot import CheckpointStore, capture_state
+from .wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..system import ErbiumDB
+
+
+class DurabilityManager:
+    """Owns the write-ahead log and checkpoint store of one database dir."""
+
+    def __init__(self, path: str, fsync: str = "commit", base_lsn: int = 0) -> None:
+        self.path = path
+        self.store = CheckpointStore(path)
+        self.wal = WriteAheadLog(path, fsync=fsync, base_lsn=base_lsn)
+        self.system: Optional["ErbiumDB"] = None
+        self.commits = 0
+        self.checkpoints = 0
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind(self, system: "ErbiumDB") -> None:
+        self.system = system
+
+    def _require_system(self) -> "ErbiumDB":
+        if self.system is None:
+            raise DurabilityError("durability manager is not bound to a system")
+        return self.system
+
+    # -- transaction hooks -----------------------------------------------------
+
+    def log_commit(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Append one committed transaction's redo records; returns commit LSN."""
+
+        self.commits += 1
+        return self.wal.append_transaction(records)
+
+    def log_abort(self, reason: str = "") -> None:
+        self.wal.append_abort(reason)
+
+    def sync(self) -> None:
+        """Force the log to disk now, regardless of fsync policy."""
+
+        self.wal.sync()
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self, background: bool = False) -> Dict[str, Any]:
+        """Snapshot the bound system and reset the log to the capture point.
+
+        The WAL is rotated at the capture LSN *before* the write starts, so
+        commits keep flowing into a fresh segment while a background writer
+        encodes; sealed segments are deleted only after the checkpoint file
+        and the ``CURRENT`` pointer are durably on disk.
+        """
+
+        system = self._require_system()
+        if system.db.transactions.in_transaction():
+            # a checkpoint captures live table slots; with a transaction open
+            # those slots include writes that may yet roll back, and
+            # persisting them as committed state would break atomicity
+            # across recovery
+            raise DurabilityError(
+                "cannot checkpoint while a transaction is open; commit or "
+                "roll back first"
+            )
+        self.wal.sync()
+        lsn = self.wal.last_lsn
+        state = capture_state(system, lsn)
+        self.wal.rotate()
+        info = self.store.write(
+            state,
+            background=background,
+            on_complete=lambda _info: self.wal.prune(lsn),
+        )
+        self.checkpoints += 1
+        return info
+
+    def wait(self) -> None:
+        """Join a pending background checkpoint (re-raising its failure)."""
+
+        self.store.wait()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self.store.wait()  # may re-raise a background checkpoint failure
+        finally:
+            self.wal.close()  # ... but the WAL always gets its final sync
+
+    def describe(self) -> Dict[str, Any]:
+        info = self.store.latest_info() or {}
+        return {
+            "path": self.path,
+            "fsync": self.wal.fsync,
+            "last_lsn": self.wal.last_lsn,
+            "commits": self.commits,
+            "checkpoints": self.checkpoints,
+            "checkpoint_version": info.get("version"),
+            "checkpoint_lsn": info.get("lsn"),
+        }

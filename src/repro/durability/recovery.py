@@ -1,0 +1,156 @@
+"""Crash recovery: checkpoint restore + idempotent WAL replay.
+
+The protocol (redo-only, commit-gated — the shape ARIES takes when there is
+no steal and a single writer):
+
+1. **Restore** — load the newest checksum-verified checkpoint, rebuild the
+   E/R schema and recompile/reinstall the mapping spec (this recreates every
+   physical table, index and constraint), then restore each table's row
+   slots *including tombstone positions*, so post-checkpoint WAL records
+   land on exactly the row ids they named before the crash.
+2. **Replay** — scan every surviving WAL segment.  Only transactions whose
+   ``commit`` frame survived are applied (records are appended at commit, so
+   an unterminated transaction can only be the torn tail of a crashed
+   append); every frame is checksum-verified; records at or below a table's
+   LSN watermark are skipped, which makes replay idempotent.
+3. **Truncate** — the torn tail of the final segment is physically cut at
+   the last committed frame.
+4. **Re-checkpoint** — recovery ends by taking a fresh checkpoint and
+   pruning replayed segments, so the next open starts from a snapshot.
+
+Replay applies *physical* redo through low-level table primitives and skips
+constraint re-checking: every replayed record described a state the engine
+had already validated and committed before the crash.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, TYPE_CHECKING
+
+from ..errors import RecoveryError
+from .snapshot import CheckpointStore, schema_from_dict, spec_from_dict
+from .wal import WalScan, scan_segments, truncate_torn_tail
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..relational import Database
+    from ..system import ErbiumDB
+
+
+def has_database(path: str) -> bool:
+    """True when ``path`` holds a recoverable database (a checkpoint exists)."""
+
+    return os.path.exists(os.path.join(path, "CURRENT"))
+
+
+def apply_record(db: "Database", record: Dict[str, Any], watermarks: Dict[str, int]) -> bool:
+    """Apply one redo record if it is above its table's LSN watermark.
+
+    Returns True when the record mutated state (used for statistics
+    invalidation).  Unknown record types and mapping-change markers raise —
+    a mapping change forces an immediate checkpoint when it happens, so a
+    correct log never replays across one.
+    """
+
+    kind = record.get("t")
+    table_name = record.get("table")
+    lsn = int(record.get("lsn", 0))
+    if kind == "mapping_change":
+        # reserved record type: mapping changes checkpoint immediately, so a
+        # correct log never replays across one (checked before the table
+        # guard — these records carry no table)
+        raise RecoveryError(
+            "WAL tail crosses a mapping change; the covering checkpoint is missing"
+        )
+    if table_name is None:
+        raise RecoveryError(f"redo record without a table: {record!r}")
+    if lsn <= watermarks.get(table_name, -1):
+        return False
+    if not db.has_table(table_name):
+        raise RecoveryError(
+            f"redo record targets unknown table {table_name!r}: {record!r}"
+        )
+    table = db.table(table_name)
+    if kind == "insert_batch":
+        columns = record["columns"]
+        names = list(columns)
+        rows = [dict(zip(names, values)) for values in zip(*(columns[n] for n in names))]
+        table.apply_insert_slots(int(record["start"]), rows)
+    elif kind == "update_batch":
+        for row_id, changes in zip(record["row_ids"], record["changes"]):
+            table.update_row(int(row_id), changes)
+    elif kind == "delete_batch":
+        for row_id in record["row_ids"]:
+            table.apply_delete_slot(int(row_id))
+    elif kind == "truncate":
+        table.truncate()
+    else:
+        raise RecoveryError(f"unknown WAL record type {kind!r}")
+    watermarks[table_name] = lsn
+    return True
+
+
+def replay(db: "Database", scan: WalScan, watermarks: Dict[str, int]) -> int:
+    """Replay every committed transaction of a scan; returns records applied."""
+
+    applied = 0
+    touched = set()
+    for transaction in scan.transactions:
+        for record in transaction:
+            if apply_record(db, record, watermarks):
+                applied += 1
+                touched.add(record["table"])
+    for table_name in touched:
+        db.statistics.invalidate(table_name)
+    return applied
+
+
+def recover_system(path: str, fsync: str = "commit") -> "ErbiumDB":
+    """Rebuild an :class:`ErbiumDB` from a database directory.
+
+    Restores the latest checkpoint, replays the WAL tail, truncates any torn
+    tail, then attaches a live :class:`DurabilityManager` and takes a fresh
+    checkpoint so subsequent opens start from a snapshot again.
+    """
+
+    from ..system import ErbiumDB  # local import: system imports this module
+    from .manager import DurabilityManager
+
+    store = CheckpointStore(path)
+    state = store.load()
+
+    schema = schema_from_dict(state["schema"])
+    spec = spec_from_dict(state["mapping_spec"])
+    system = ErbiumDB(state.get("name", "erbium"), schema)
+    system.set_mapping(spec)
+    db = system.db
+
+    for table_name, table_state in state.get("tables", {}).items():
+        if not db.has_table(table_name):
+            raise RecoveryError(
+                f"checkpoint names table {table_name!r} but the recompiled "
+                "mapping did not create it"
+            )
+        db.table(table_name).restore_slots(
+            table_state["slots"], table_state["live_ids"], table_state["columns"]
+        )
+        db.statistics.invalidate(table_name)
+    for key, value in state.get("metadata", {}).items():
+        db.catalog.put_metadata(key, value)
+
+    watermarks: Dict[str, int] = {
+        name: int(lsn) for name, lsn in state.get("table_lsns", {}).items()
+    }
+    scan = scan_segments(path)
+    replay(db, scan, watermarks)
+    truncate_torn_tail(scan)
+
+    manager = DurabilityManager(
+        path, fsync=fsync, base_lsn=max(int(state.get("lsn", 0)), scan.last_lsn)
+    )
+    system._attach_durability(manager)
+    manager.checkpoint()  # fold the replayed tail into a fresh snapshot
+    # every pre-recovery segment is now superseded — including any beyond a
+    # torn sealed segment, which must never be replayed on a later open
+    manager.wal.remove_sealed_segments()
+    return system

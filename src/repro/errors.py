@@ -149,6 +149,19 @@ class CrudTemplateError(MappingError):
 
 
 # --------------------------------------------------------------------------
+# Durability errors
+# --------------------------------------------------------------------------
+
+
+class DurabilityError(ErbiumError):
+    """Durability subsystem error (WAL, checkpoint store, configuration)."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery failed (corrupt checkpoint, unreplayable log record)."""
+
+
+# --------------------------------------------------------------------------
 # Evolution / governance / API errors
 # --------------------------------------------------------------------------
 

@@ -56,6 +56,10 @@ class Database:
         self.statistics = StatisticsManager()
         self.transactions = TransactionManager(self)
         self.cost_model = CostModel(self)
+        #: Durability hook (a :class:`~repro.durability.DurabilityManager`).
+        #: ``None`` — the default — means no redo record is ever built: the
+        #: in-memory write path pays one attribute check and nothing else.
+        self.durability: Optional[Any] = None
 
     # ------------------------------------------------------------------ DDL
 
@@ -167,9 +171,18 @@ class Database:
         validated = table.schema.validate_row(row)
         self._check_insert(table, validated)
         row_id = table.insert(validated)
+        redo = None
+        if self.durability is not None:
+            redo = {
+                "t": "insert_batch",
+                "table": table_name,
+                "start": row_id,
+                "columns": {name: [value] for name, value in validated.items()},
+            }
         self.transactions.record(
             f"insert into {table_name}",
             lambda: table.delete_row(row_id),
+            redo,
         )
         self.statistics.invalidate(table_name)
         return row_id
@@ -210,8 +223,19 @@ class Database:
             for row_id in reversed(row_ids):
                 table.delete_row(row_id)
 
+        redo = None
+        if self.durability is not None:
+            # One framed WAL record for the whole batch: row ids are
+            # contiguous from the first, and the validated columnar data is
+            # shared by reference (column lists are never mutated in place).
+            redo = {
+                "t": "insert_batch",
+                "table": table_name,
+                "start": row_ids[0],
+                "columns": batch.data,
+            }
         self.transactions.record(
-            f"insert batch of {len(row_ids)} into {table_name}", undo
+            f"insert batch of {len(row_ids)} into {table_name}", undo, redo
         )
         self.statistics.invalidate(table_name)
         return len(row_ids)
@@ -219,7 +243,15 @@ class Database:
     def delete(
         self, table_name: str, predicate: Callable[[Dict[str, Any]], bool]
     ) -> int:
-        """Delete rows matching a Python predicate, honouring FK actions."""
+        """Delete rows matching a Python predicate, honouring FK actions.
+
+        The whole statement — matched rows plus everything referential
+        actions cascade into — is covered by **one** undo record (its
+        inverse re-applies every physical change in reverse), and by batched
+        WAL records: one framed ``delete_batch`` / ``update_batch`` per run
+        of same-table changes, mirroring the single-record footprint of
+        ``insert_many``.
+        """
 
         table = self.catalog.table(table_name)
         to_delete = [
@@ -227,23 +259,48 @@ class Database:
             for row_id, row in table.rows_with_ids()
             if predicate(row)
         ]
-        for row_id, row in to_delete:
-            self._apply_delete(table, row_id, row)
+        journal: List[Tuple[Any, ...]] = []
+        try:
+            for row_id, row in to_delete:
+                self._apply_delete(table, row_id, row, journal)
+        except BaseException:
+            # a mid-statement failure (e.g. a restrict FK on the third row)
+            # must still record the changes already applied, so an enclosing
+            # transaction/savepoint can undo them and the WAL stays in step
+            # with memory if the caller swallows the error and commits
+            self._record_statement(
+                f"partial delete from {table_name}", journal
+            )
+            if journal:
+                self.statistics.invalidate(table_name)
+            raise
+        self._record_statement(
+            f"delete {len(to_delete)} rows from {table_name}", journal
+        )
         if to_delete:
             self.statistics.invalidate(table_name)
         return len(to_delete)
 
-    def _apply_delete(self, table: Table, row_id: int, row: Dict[str, Any]) -> None:
-        self._enforce_referential_delete(table.name, row)
+    def _apply_delete(
+        self,
+        table: Table,
+        row_id: int,
+        row: Dict[str, Any],
+        journal: List[Tuple[Any, ...]],
+    ) -> None:
+        if not table.is_live(row_id):
+            # already removed by a cascade earlier in this same statement
+            # (e.g. a self-referential FK whose parent matched the predicate)
+            return
+        self._enforce_referential_delete(table.name, row, journal)
         for constraint in self.catalog.constraints_for(table.name):
             constraint.check_delete(self.catalog, table, row)
         table.delete_row(row_id)
-        self.transactions.record(
-            f"delete from {table.name}",
-            lambda: table.insert_at(row_id, row),
-        )
+        journal.append(("delete", table.name, row_id, row))
 
-    def _enforce_referential_delete(self, table_name: str, row: Dict[str, Any]) -> None:
+    def _enforce_referential_delete(
+        self, table_name: str, row: Dict[str, Any], journal: List[Tuple[Any, ...]]
+    ) -> None:
         """Apply restrict / cascade / set_null semantics of inbound FKs."""
 
         for other_name in self.catalog.table_names():
@@ -267,12 +324,13 @@ class Database:
                 if constraint.on_delete == "cascade":
                     for ref_id in list(referencing):
                         ref_row = dict(other.get_row(ref_id))
-                        self._apply_delete(other, ref_id, ref_row)
+                        self._apply_delete(other, ref_id, ref_row, journal)
                     self.statistics.invalidate(other_name)
                 elif constraint.on_delete == "set_null":
                     for ref_id in list(referencing):
                         changes = {c: None for c in constraint.columns}
-                        self.update_row(other_name, ref_id, changes)
+                        self._update_row(other_name, ref_id, changes, journal)
+                    self.statistics.invalidate(other_name)
 
     def update(
         self,
@@ -280,17 +338,46 @@ class Database:
         predicate: Callable[[Dict[str, Any]], bool],
         changes: Dict[str, Any],
     ) -> int:
-        """Update rows matching a predicate with a static change dict."""
+        """Update rows matching a predicate with a static change dict.
+
+        Like :meth:`delete`, the statement records one undo entry and one
+        framed ``update_batch`` WAL record for all matched rows.
+        """
 
         table = self.catalog.table(table_name)
         matching = [row_id for row_id, row in table.rows_with_ids() if predicate(row)]
-        for row_id in matching:
-            self.update_row(table_name, row_id, changes)
+        journal: List[Tuple[Any, ...]] = []
+        try:
+            for row_id in matching:
+                self._update_row(table_name, row_id, changes, journal)
+        except BaseException:
+            # record the rows already updated before re-raising (see delete)
+            self._record_statement(f"partial update of {table_name}", journal)
+            if journal:
+                self.statistics.invalidate(table_name)
+            raise
+        self._record_statement(
+            f"update {len(matching)} rows in {table_name}", journal
+        )
         if matching:
             self.statistics.invalidate(table_name)
         return len(matching)
 
     def update_row(self, table_name: str, row_id: int, changes: Dict[str, Any]) -> None:
+        journal: List[Tuple[Any, ...]] = []
+        self._update_row(table_name, row_id, changes, journal)
+        self._record_statement(f"update {table_name}", journal)
+        self.statistics.invalidate(table_name)
+
+    def _update_row(
+        self,
+        table_name: str,
+        row_id: int,
+        changes: Dict[str, Any],
+        journal: List[Tuple[Any, ...]],
+    ) -> None:
+        """Validate, constraint-check and apply one row update, journaled."""
+
         table = self.catalog.table(table_name)
         old = dict(table.get_row(row_id))
         new = dict(old)
@@ -299,14 +386,77 @@ class Database:
         for constraint in self.catalog.constraints_for(table_name):
             constraint.check_update(self.catalog, table, old, new)
         table.update_row(row_id, changes)
-        self.transactions.record(
-            f"update {table_name}",
-            lambda: table.update_row(row_id, old),
-        )
-        self.statistics.invalidate(table_name)
+        journal.append(("update", table_name, row_id, old, dict(changes)))
+
+    def _record_statement(
+        self, description: str, journal: List[Tuple[Any, ...]]
+    ) -> None:
+        """One undo record (and batched redo records) for a whole statement.
+
+        The journal holds the statement's physical changes in application
+        order: ``("delete", table, row_id, old_row)`` and ``("update",
+        table, row_id, old_row, changes)`` entries.  Undo replays the
+        inverse in reverse order; redo groups consecutive same-table,
+        same-kind runs into single framed WAL batches (order across runs is
+        preserved, so a row updated and later deleted in one cascade replays
+        correctly).
+        """
+
+        if not journal:
+            return
+        entries = list(journal)
+        catalog = self.catalog
+
+        def undo() -> None:
+            for entry in reversed(entries):
+                table = catalog.table(entry[1])
+                if entry[0] == "delete":
+                    table.insert_at(entry[2], entry[3])
+                else:
+                    table.update_row(entry[2], entry[3])
+
+        redo = self._redo_batches(entries) if self.durability is not None else None
+        self.transactions.record(description, undo, redo)
+
+    @staticmethod
+    def _redo_batches(entries: List[Tuple[Any, ...]]) -> List[Dict[str, Any]]:
+        batches: List[Dict[str, Any]] = []
+        for entry in entries:
+            kind, table_name, row_id = entry[0], entry[1], entry[2]
+            record_type = "delete_batch" if kind == "delete" else "update_batch"
+            last = batches[-1] if batches else None
+            if last is None or last["t"] != record_type or last["table"] != table_name:
+                last = {"t": record_type, "table": table_name, "row_ids": []}
+                if record_type == "update_batch":
+                    last["changes"] = []
+                batches.append(last)
+            last["row_ids"].append(row_id)
+            if record_type == "update_batch":
+                last["changes"].append(entry[4])
+        return batches
 
     def truncate(self, table_name: str) -> None:
-        self.catalog.table(table_name).truncate()
+        """Remove every row of a table (transactional).
+
+        The undo record restores the pre-truncate slot image (shared column
+        snapshots, so capturing it is cheap), and the redo record rides the
+        transaction's commit like every other mutation — WAL replay order
+        always matches the in-memory mutation order.
+        """
+
+        table = self.catalog.table(table_name)
+        if self.transactions.in_transaction():
+            image = table.dump_slots()
+            undo = lambda: table.restore_slots(
+                image["slots"], image["live_ids"], image["columns"]
+            )
+        else:
+            # autocommit discards the undo record anyway; skip the O(rows)
+            # slot-image capture
+            undo = lambda: None
+        redo = {"t": "truncate", "table": table_name} if self.durability is not None else None
+        table.truncate()
+        self.transactions.record(f"truncate {table_name}", undo, redo)
         self.statistics.invalidate(table_name)
 
     # ----------------------------------------------------------- transactions

@@ -101,6 +101,11 @@ class Table:
 
     # -- row access ---------------------------------------------------------
 
+    def is_live(self, row_id: int) -> bool:
+        """Whether ``row_id`` names a live (non-deleted, in-range) slot."""
+
+        return 0 <= row_id < len(self._rows) and self._rows[row_id] is not None
+
     def get_row(self, row_id: int) -> Dict[str, Any]:
         if row_id < 0 or row_id >= len(self._rows) or self._rows[row_id] is None:
             raise ExecutionError(f"invalid row id {row_id} for table {self.name!r}")
@@ -161,6 +166,85 @@ class Table:
             }
             self._snapshot_version = self._version
         return self._snapshot
+
+    # -- durability ----------------------------------------------------------
+    #
+    # The checkpoint/recovery primitives.  Dump/restore preserve *slot ids*
+    # (including tombstone positions), because WAL redo records address rows
+    # physically — a compacting snapshot would invalidate every row id in
+    # the log tail.  None of these run constraint checks: checkpointed and
+    # replayed rows were validated before they were committed.
+
+    def dump_slots(self) -> Dict[str, Any]:
+        """Columnar durable image: slot count, live row ids, column data.
+
+        The column lists are the table's shared per-version snapshot (the
+        same lists batch scans read).  They are replaced, never mutated, on
+        a data-version bump, so holding them while a background checkpoint
+        writer encodes is safe.
+        """
+
+        snapshot = self._columnar_snapshot()
+        return {
+            "slots": len(self._rows),
+            "live_ids": [rid for rid, row in enumerate(self._rows) if row is not None],
+            "columns": {name: snapshot[name] for name in self.schema.column_names()},
+        }
+
+    def restore_slots(
+        self, slots: int, live_ids: Sequence[int], columns: Dict[str, List[Any]]
+    ) -> None:
+        """Rebuild storage from a durable image (inverse of :meth:`dump_slots`)."""
+
+        names = self.schema.column_names()
+        self._rows = [None] * slots
+        if live_ids:
+            series = [columns[name] for name in names]
+            for row_id, values in zip(live_ids, zip(*series)):
+                self._rows[row_id] = dict(zip(names, values))
+        self._live_count = len(live_ids)
+        self._version += 1
+        for index in self._indexes.values():
+            index.clear()
+            for row_id, row in self.rows_with_ids():
+                index.insert(row_id, row)
+
+    def apply_insert_slots(self, start: int, rows: Sequence[Dict[str, Any]]) -> int:
+        """Redo an insert batch at its original slots (WAL replay).
+
+        Pads the slot list when pre-crash rollbacks left trailing
+        tombstones, and skips slots that are already live (idempotence
+        backstop on top of the per-table LSN watermark).  Returns the number
+        of rows actually placed.
+        """
+
+        validated = [self.schema.validate_row(row) for row in rows]
+        if len(self._rows) < start:
+            self._rows.extend([None] * (start - len(self._rows)))
+        applied = 0
+        for offset, row in enumerate(validated):
+            row_id = start + offset
+            if row_id < len(self._rows):
+                if self._rows[row_id] is not None:
+                    continue
+                self._rows[row_id] = row
+            else:
+                self._rows.append(row)
+            for index in self._indexes.values():
+                index.insert(row_id, row)
+            self._live_count += 1
+            applied += 1
+        if applied:
+            self._version += 1
+        return applied
+
+    def apply_delete_slot(self, row_id: int) -> bool:
+        """Redo a delete; a no-op on an already-dead slot (idempotent)."""
+
+        if row_id < 0 or row_id >= len(self._rows) or self._rows[row_id] is None:
+            return False
+        self.delete_row(row_id)
+        return True
 
     # -- mutation ------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Minimal transaction support: undo-log based rollback.
+"""Minimal transaction support: undo-log based rollback, redo-log durability.
 
 The paper notes that entity-level updates may touch several physical tables
 (e.g. inserting a Person under mapping M1 writes the person table plus one row
@@ -12,25 +12,53 @@ record per batch (the inverse deletes every row id of the batch in reverse),
 so a 50k-row bulk insert costs one log entry, not 50k.  There is no
 concurrency control — the engine is single-threaded, as is the paper's
 prototype layer.
+
+When a :class:`~repro.durability.DurabilityManager` is attached to the
+database (``db.durability``), every undo entry may carry *redo* records —
+JSON-ready write-ahead-log payloads describing the same mutation forwards.
+Redo records ride the undo log so the two stay aligned: a partial rollback
+(:meth:`Transaction.rollback_to`) that pops undo entries drops their redo
+records with them, and a full rollback discards all of them (writing only an
+``abort`` marker).  The redo stream reaches the log **at commit**: the
+transaction manager hands the surviving records to the durability manager,
+which appends them as one framed begin/commit group and fsyncs according to
+its policy.  With durability off (the default) no redo record is ever built
+and commit behaves exactly as before.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import TransactionError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Database
 
+#: Redo payload accepted by ``record``: one WAL record dict or several.
+RedoArg = Union[None, Dict[str, Any], Sequence[Dict[str, Any]]]
+
 
 @dataclass
 class UndoRecord:
-    """One inverse action; ``apply`` undoes the original mutation."""
+    """One inverse action; ``apply`` undoes the original mutation.
+
+    ``redo`` carries the forward WAL payload(s) for the same mutation (empty
+    when durability is off).
+    """
 
     description: str
     apply: Callable[[], None]
+    redo: Tuple[Dict[str, Any], ...] = ()
+
+
+def _normalize_redo(redo: RedoArg) -> Tuple[Dict[str, Any], ...]:
+    if redo is None:
+        return ()
+    if isinstance(redo, dict):
+        return (redo,)
+    return tuple(redo)
 
 
 class Transaction:
@@ -41,10 +69,10 @@ class Transaction:
         self._undo: List[UndoRecord] = []
         self.active = True
 
-    def record(self, description: str, undo: Callable[[], None]) -> None:
+    def record(self, description: str, undo: Callable[[], None], redo: RedoArg = None) -> None:
         if not self.active:
             raise TransactionError("cannot record undo action on a closed transaction")
-        self._undo.append(UndoRecord(description, undo))
+        self._undo.append(UndoRecord(description, undo, _normalize_redo(redo)))
 
     def savepoint(self) -> int:
         """A marker for :meth:`rollback_to` (the current undo-log length)."""
@@ -57,7 +85,8 @@ class Transaction:
         The partial-rollback primitive behind joined transaction scopes: a
         failing statement inside an open transaction undoes only its own
         writes, preserving statement-level atomicity without closing the
-        surrounding transaction.
+        surrounding transaction.  The popped entries' redo records are
+        dropped with them, so the WAL never sees the undone writes.
         """
 
         if not self.active:
@@ -67,6 +96,11 @@ class Transaction:
         while len(self._undo) > savepoint:
             record = self._undo.pop()
             record.apply()
+
+    def redo_records(self) -> List[Dict[str, Any]]:
+        """The surviving redo payloads, in original mutation order."""
+
+        return [payload for record in self._undo for payload in record.redo]
 
     def commit(self) -> None:
         if not self.active:
@@ -110,6 +144,14 @@ class TransactionManager:
         if not self.in_transaction():
             raise TransactionError("no active transaction to commit")
         assert self._current is not None
+        durability = self._db.durability
+        if durability is not None:
+            records = self._current.redo_records()
+            if records:
+                # WAL append (and fsync, per policy) happens *before* the
+                # in-memory commit point; if the disk write raises, the
+                # transaction stays active and the caller can roll back.
+                durability.log_commit(records)
         self._current.commit()
         self._current = None
 
@@ -117,15 +159,39 @@ class TransactionManager:
         if not self.in_transaction():
             raise TransactionError("no active transaction to roll back")
         assert self._current is not None
+        had_redo = bool(self._current.redo_records())
         self._current.rollback()
         self._current = None
+        durability = self._db.durability
+        if durability is not None and had_redo:
+            durability.log_abort()
 
-    def record(self, description: str, undo: Callable[[], None]) -> None:
-        """Record an undo action if a transaction is open (no-op otherwise)."""
+    def record(self, description: str, undo: Callable[[], None], redo: RedoArg = None) -> None:
+        """Record an undo action (plus optional redo payloads).
+
+        Inside a transaction both ride the undo log until commit.  Outside
+        one — the autocommit path — there is nothing to undo, but the redo
+        payloads still must reach the WAL: they are appended immediately as
+        a single-statement transaction.
+        """
 
         if self.in_transaction():
             assert self._current is not None
-            self._current.record(description, undo)
+            self._current.record(description, undo, redo)
+            return
+        durability = self._db.durability
+        if durability is not None:
+            records = _normalize_redo(redo)
+            if records:
+                try:
+                    durability.log_commit(records)
+                except BaseException:
+                    # the mutation is already applied in memory; if its log
+                    # append fails, undo it so memory and WAL never diverge
+                    # (the transaction path gets the same guarantee by
+                    # appending before the in-memory commit point)
+                    undo()
+                    raise
 
 
 class transaction:

@@ -264,11 +264,26 @@ class Session:
         self._owns_transaction = True
         return self
 
-    def commit(self) -> None:
+    def commit(self, sync: bool = False) -> None:
+        """Commit the session's transaction.
+
+        When durability is enabled the commit's redo records reach the
+        write-ahead log here (fsynced according to the log's policy);
+        ``sync=True`` additionally forces the log to disk before returning,
+        regardless of policy — the per-commit escape hatch for ``"batch"`` /
+        ``"off"`` configurations.
+        """
+
         if not self._owns_transaction:
             raise TransactionError("this session has no open transaction to commit")
-        self._owns_transaction = False
+        # commit may fail at the WAL append (disk error) and leave the
+        # transaction active so it can still be rolled back — release this
+        # session's ownership only once the commit actually happened
         self.system.db.transactions.commit()
+        self._owns_transaction = False
+        durability = self.system.db.durability
+        if sync and durability is not None:
+            durability.sync()
 
     def rollback(self) -> None:
         if not self._owns_transaction:

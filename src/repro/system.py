@@ -25,6 +25,7 @@ This mirrors the architecture in Figure 3 of the paper:
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -37,7 +38,7 @@ from .core import (
     ensure_valid,
 )
 from .erql import Planner, analyze_query, apply_ddl, parse_query, unparse_query
-from .errors import ErbiumError, MappingError
+from .errors import DurabilityError, ErbiumError, MappingError
 from .mapping import (
     AccessPathBuilder,
     CrudTemplates,
@@ -74,6 +75,7 @@ class QueryMetrics:
     plans: int = 0
     cache_hits: int = 0
     executions: int = 0
+    evictions: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -82,6 +84,7 @@ class QueryMetrics:
             "plans": self.plans,
             "cache_hits": self.cache_hits,
             "executions": self.executions,
+            "evictions": self.evictions,
         }
 
 
@@ -95,15 +98,23 @@ class ErbiumDB:
     plan.  The cache is invalidated whenever the active mapping changes.
     """
 
-    def __init__(self, name: str = "erbium", schema: Optional[ERSchema] = None) -> None:
+    def __init__(
+        self,
+        name: str = "erbium",
+        schema: Optional[ERSchema] = None,
+        plan_cache_size: int = PLAN_CACHE_SIZE,
+    ) -> None:
         self.name = name
         self.schema = schema if schema is not None else ERSchema(name)
         self.db = Database(name)
         self.mapping: Optional[Mapping] = None
         self.crud: Optional[CrudTemplates] = None
         self.metrics = QueryMetrics()
+        self.durability = None  # a DurabilityManager once enable_durability ran
+        self._mapping_spec: Optional[MappingSpec] = None
         self._planner: Optional[Planner] = None
         self._plan_cache: "OrderedDict[Tuple[str, int], CompiledQuery]" = OrderedDict()
+        self._plan_cache_size = plan_cache_size
         self._mapping_version = 0
         self._implicit_session = Session(self, autocommit=True)
 
@@ -148,9 +159,15 @@ class ErbiumDB:
             )
         mapping.install(self.db)
         self.mapping = mapping
+        self._mapping_spec = spec
         self.crud = CrudTemplates(self.schema, mapping, self.db)
         self._planner = Planner(self.schema, mapping, self.db)
         self.invalidate_plans()
+        if self.durability is not None:
+            # A mapping change is a DDL barrier for the log: checkpoint now
+            # (capturing schema + spec + freshly created tables) so the WAL
+            # tail never has to replay across it.
+            self.durability.checkpoint()
         return mapping
 
     def choose_mapping(
@@ -180,6 +197,130 @@ class ErbiumDB:
 
     def access_paths(self) -> AccessPathBuilder:
         return AccessPathBuilder(self.schema, self.active_mapping(), self.db)
+
+    # ------------------------------------------------------------ durability
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        name: str = "erbium",
+        schema: Optional[ERSchema] = None,
+        fsync: str = "commit",
+    ) -> "ErbiumDB":
+        """Open (or create) a durable database rooted at ``path``.
+
+        If ``path`` holds a checkpoint, the system is **recovered**: the
+        latest columnar snapshot is restored, the WAL tail is replayed
+        (committed transactions only, idempotently, with torn tails
+        truncated) and the result is returned ready to serve — every query
+        answers exactly as it did before the crash/restart.  On this path
+        the *stored* name and schema win: ``name`` is ignored, and an
+        explicitly passed ``schema`` is only accepted when it matches the
+        recovered one (a mismatch raises
+        :class:`~repro.errors.DurabilityError` rather than silently
+        operating against a different schema).  Otherwise a fresh durable
+        system is returned; durable logging begins when :meth:`set_mapping`
+        installs a mapping (which writes checkpoint #1).
+
+        ``fsync`` is the WAL policy: ``"commit"`` (default, fsync every
+        commit), ``"batch"`` (group-commit fsync) or ``"off"``.
+        """
+
+        from .durability import has_database, recover_system
+        from .durability.snapshot import schema_to_dict
+
+        if has_database(path):
+            system = recover_system(path, fsync=fsync)
+            if schema is not None and schema_to_dict(schema) != schema_to_dict(
+                system.schema
+            ):
+                system.close(checkpoint=False)
+                raise DurabilityError(
+                    f"database at {path!r} was recovered with schema "
+                    f"{system.schema.name!r}, which differs from the schema "
+                    "passed to open(); recover without a schema argument or "
+                    "migrate explicitly"
+                )
+            return system
+        system = cls(name, schema=schema)
+        system.enable_durability(path, fsync=fsync)
+        return system
+
+    def enable_durability(self, path: str, fsync: str = "commit"):
+        """Attach a write-ahead log + checkpoint store rooted at ``path``.
+
+        ``path`` must be fresh (or a directory this database already logs
+        to): attaching a new LSN epoch next to another database's leftover
+        WAL segments would let a later recovery replay foreign records, so
+        a directory holding segments but no checkpoint is refused.
+        """
+
+        from .durability import DurabilityManager, has_database
+        from .durability.wal import list_segments, scan_segments
+
+        if self.durability is not None:
+            raise DurabilityError(
+                f"durability is already enabled at {self.durability.path!r}"
+            )
+        if has_database(path):
+            raise DurabilityError(
+                f"{path!r} already holds a database; use ErbiumDB.open(path) "
+                "to recover it instead of attaching a fresh log"
+            )
+        if os.path.isdir(path) and list_segments(path):
+            # A checkpoint-less directory with segments is either (a) the
+            # startup window of a previous open() that died before
+            # set_mapping wrote checkpoint #1 — its segments can hold no
+            # committed work, since DML needs tables and tables arrive with
+            # the checkpoint — or (b) a database whose CURRENT file was
+            # lost.  (a) is safely re-creatable; (b) must not be silently
+            # wiped.
+            if scan_segments(path).transactions:
+                raise DurabilityError(
+                    f"{path!r} holds write-ahead-log segments with committed "
+                    "transactions but no checkpoint; refusing to overwrite "
+                    "them — clear the directory explicitly if the data is "
+                    "expendable"
+                )
+            for _base, segment in list_segments(path):
+                os.remove(segment)
+        manager = DurabilityManager(path, fsync=fsync)
+        self._attach_durability(manager)
+        if self.mapping is not None:
+            manager.checkpoint()
+        return manager
+
+    def _attach_durability(self, manager) -> None:
+        manager.bind(self)
+        self.durability = manager
+        self.db.durability = manager
+
+    def checkpoint(self, background: bool = False) -> Dict[str, Any]:
+        """Write a checkpoint now; returns its {version, lsn, file} info.
+
+        ``background=True`` captures synchronously (cheap: the columnar
+        snapshots are shared by reference) but encodes and writes on a
+        background thread, so large checkpoints don't stall the caller.
+        """
+
+        if self.durability is None:
+            raise DurabilityError(
+                "durability is not enabled; open the database with "
+                "ErbiumDB.open(path) or call enable_durability(path)"
+            )
+        return self.durability.checkpoint(background=background)
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Flush and release durability resources (no-op when not durable)."""
+
+        if self.durability is None:
+            return
+        if checkpoint and self.mapping is not None:
+            self.durability.checkpoint()
+        self.durability.close()
+        self.db.durability = None
+        self.durability = None
 
     # -------------------------------------------------------------- sessions
 
@@ -287,9 +428,19 @@ class ErbiumDB:
         return self._execute_compiled(compiled, params, executor=executor)
 
     def invalidate_plans(self) -> None:
-        """Drop every cached plan (called when the active mapping changes)."""
+        """Evict plans compiled under stale mapping versions.
+
+        Called whenever the active mapping (or the schema behind it)
+        changes: the version bump makes every existing key stale, and stale
+        entries are evicted eagerly — rather than left to age out of the
+        LRU — so the cache never retains plans that could only ever miss.
+        ``metrics.evictions`` counts them.
+        """
 
         self._mapping_version += 1
+        # the bump makes every existing key stale (and _cache_put refuses
+        # stale versions), so eviction is a counted clear
+        self.metrics.evictions += len(self._plan_cache)
         self._plan_cache.clear()
 
     def plan(self, text: str):
@@ -365,9 +516,14 @@ class ErbiumDB:
         return cached
 
     def _cache_put(self, key: Tuple[str, int], compiled: CompiledQuery) -> None:
+        if key[1] != self._mapping_version:
+            # compiled under a mapping that changed mid-flight: never cache
+            # a plan that the next probe could not legally return
+            return
         self._plan_cache[key] = compiled
-        while len(self._plan_cache) > PLAN_CACHE_SIZE:
+        while len(self._plan_cache) > self._plan_cache_size:
             self._plan_cache.popitem(last=False)
+            self.metrics.evictions += 1
 
     def _execute_compiled(
         self,
@@ -396,6 +552,8 @@ class ErbiumDB:
         }
         if self.mapping is not None:
             out["mapping"] = self.mapping.describe()
+        if self.durability is not None:
+            out["durability"] = self.durability.describe()
         return out
 
     def total_rows(self) -> int:
