@@ -158,7 +158,14 @@ _HANDLER_DOCS: Dict[str, Dict[str, Any]] = {
                 },
             },
         },
-        "responses": {"200": {"description": "columns, rows and count."}},
+        "responses": {
+            "200": {
+                "description": "columns, rows and count.  The query executes "
+                "under a statement-level snapshot read view: the result is "
+                "one transactionally consistent version of the store, and "
+                "execution never blocks on a concurrently-committing writer."
+            }
+        },
     },
     "create_entities_batch": {
         "requestBody": {
@@ -215,7 +222,13 @@ _ERROR_SCHEMA = {
                     "type": "string",
                     "description": "Machine-readable error code (e.g. "
                     "'not_found', 'validation', 'invalid_query', "
-                    "'invalid_parameters', 'constraint_violation').",
+                    "'invalid_parameters', 'constraint_violation', "
+                    "'serialization_conflict').  'serialization_conflict' "
+                    "(HTTP 409) means a snapshot-isolation transaction lost "
+                    "a first-committer-wins race — another transaction "
+                    "committed a write to the same row after this "
+                    "transaction's snapshot was pinned; the request may be "
+                    "retried against fresh state.",
                 },
                 "message": {"type": "string"},
             },

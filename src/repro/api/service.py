@@ -40,9 +40,11 @@ from ..errors import (
     LexerError,
     ParseError,
     PlanningError,
+    SerializationError,
     TypeMismatchError,
 )
 from ..governance import AccessController, AuditLog
+from ..session import Session
 from ..system import ErbiumDB
 from .openapi import generate_openapi
 from .resources import (
@@ -112,6 +114,22 @@ class ApiService:
         self.router: Router = default_router()
         # per-entity sorted key lists, invalidated by any table data change
         self._sorted_keys_cache: Dict[str, Tuple[Any, List[Any]]] = {}
+        # Read endpoints execute under statement-level snapshot views pinned
+        # through this autocommit MVCC session: each GET / POST /query reads
+        # one transactionally-consistent version of the store and never
+        # blocks on (or behind) a concurrently-committing writer.  The
+        # session holds no per-request state, so it is safe to share across
+        # request threads.
+        self._reader = Session(system, autocommit=True, isolation="snapshot")
+
+    def close(self) -> None:
+        """Release the reader session's cached snapshot views (idempotent).
+
+        Call on service shutdown so views pinned by idle request threads do
+        not retain superseded table snapshots; the service stays usable.
+        """
+
+        self._reader.close()
 
     # -- public entry point ----------------------------------------------------
 
@@ -185,6 +203,10 @@ class ApiService:
             return 400, "invalid_query"
         if isinstance(exc, BindError):
             return 400, "invalid_parameters"
+        if isinstance(exc, SerializationError):
+            # first-committer-wins loser: the transaction raced a concurrent
+            # writer and must be retried against a fresh snapshot
+            return 409, "serialization_conflict"
         if isinstance(exc, ConstraintViolation):
             return 409, "constraint_violation"
         if isinstance(exc, (TypeMismatchError, InstanceError)):
@@ -253,19 +275,18 @@ class ApiService:
             raise ApiError(400, "limit must be at least 1", code="invalid_limit")
         return min(value, self.max_page_size)
 
-    def _sorted_entity_keys(self, entity: str) -> List[Any]:
+    def _sorted_entity_keys(self, entity: str, view) -> List[Any]:
         """The entity's decorated-sorted key list, cached per data version.
 
         Walking a large listing page by page would otherwise re-fetch and
-        re-sort all N keys per request; the cache is keyed on every table's
-        data version, so any write anywhere invalidates it (conservative but
-        exact — entity key sets can span several physical tables).
+        re-sort all N keys per request; the cache token is the snapshot
+        ``view``'s per-table watermarks (the keys are read *through* that
+        view), so any write anywhere invalidates it — conservative but exact,
+        since entity key sets can span several physical tables — and snapshot
+        data is never filed under a newer live version.
         """
 
-        token = tuple(
-            (table.name, table.version)
-            for table in self.system.db.catalog.tables()
-        )
+        token = tuple(sorted(view.watermarks().items()))
         cached = self._sorted_keys_cache.get(entity)
         if cached is not None and cached[0] == token:
             return cached[1]
@@ -296,18 +317,21 @@ class ApiService:
         limit = self._parse_limit(body)
         cursor = self._parse_cursor(body)
         crud = self.system.crud
-        page, next_cursor, total = paginate_sorted(
-            self._sorted_entity_keys(entity), limit, cursor
-        )
         items = []
-        for key in page:
-            instance = crud.get_entity(entity, key)
-            if instance is None:
-                continue
-            values = instance.values
-            if self.access is not None and principal is not None:
-                values = self.access.redact(principal, instance).values
-            items.append({"key": list(key), "values": values})
+        with self._reader.read_scope() as view:
+            # one snapshot covers the key listing and every item fetch, so a
+            # page can never mix rows from two different commit points
+            page, next_cursor, total = paginate_sorted(
+                self._sorted_entity_keys(entity, view), limit, cursor
+            )
+            for key in page:
+                instance = crud.get_entity(entity, key)
+                if instance is None:
+                    continue
+                values = instance.values
+                if self.access is not None and principal is not None:
+                    values = self.access.redact(principal, instance).values
+                items.append({"key": list(key), "values": values})
         return Response(
             200,
             {
@@ -324,7 +348,8 @@ class ApiService:
         key = parse_key(params["key"])
         self._require_entity(entity)
         self._check(principal, "read", entity)
-        instance = self.system.crud.get_entity(entity, key)
+        with self._reader.read_scope():
+            instance = self.system.crud.get_entity(entity, key)
         if instance is None:
             raise ApiError(404, f"no instance of {entity!r} with key {key}")
         values = instance.values
@@ -385,7 +410,8 @@ class ApiService:
         self._require_relationship(relationship)
         limit = self._parse_limit(body)
         cursor = self._parse_cursor(body)
-        related = self.system.related(relationship, entity, key)
+        with self._reader.read_scope():
+            related = self.system._require_crud().related_keys(relationship, entity, key)
         page, next_cursor, total = paginate_keys(related, limit, cursor)
         return Response(
             200,
@@ -445,7 +471,10 @@ class ApiService:
         for entity in compiled.entities:
             self._check(principal, "read", entity)
         self._check_attribute_visibility(principal, compiled.attribute_refs)
-        result = self.system._execute_compiled(compiled, bindings)
+        # statement-level snapshot: the query reads one consistent version of
+        # the store and runs in parallel with any committing writer
+        with self._reader.read_scope():
+            result = self.system._execute_compiled(compiled, bindings)
         return Response(
             200,
             {"columns": result.columns, "rows": [dict(r) for r in result.rows], "count": len(result)},

@@ -41,6 +41,8 @@ class DurabilityManager:
     # -- binding ---------------------------------------------------------------
 
     def bind(self, system: "ErbiumDB") -> None:
+        """Attach the manager to the system whose state it checkpoints."""
+
         self.system = system
 
     def _require_system(self) -> "ErbiumDB":
@@ -57,6 +59,8 @@ class DurabilityManager:
         return self.wal.append_transaction(records)
 
     def log_abort(self, reason: str = "") -> None:
+        """Append an abort marker for a rolled-back transaction (replay skips it)."""
+
         self.wal.append_abort(reason)
 
     def sync(self) -> None:
@@ -105,12 +109,21 @@ class DurabilityManager:
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
+        """Join any background checkpoint, then sync and close the WAL.
+
+        Idempotent: a second call finds the log already closed and the store
+        idle.  A background checkpoint failure re-raises *after* the WAL has
+        received its final sync.
+        """
+
         try:
             self.store.wait()  # may re-raise a background checkpoint failure
         finally:
             self.wal.close()  # ... but the WAL always gets its final sync
 
     def describe(self) -> Dict[str, Any]:
+        """Operator-facing status: path, fsync policy, LSNs, commit/checkpoint counts."""
+
         info = self.store.latest_info() or {}
         return {
             "path": self.path,

@@ -66,6 +66,8 @@ KEEP_CHECKPOINTS = 2
 
 
 def attribute_to_dict(attribute: Attribute) -> Dict[str, Any]:
+    """JSON-ready image of one attribute (simple/composite/multivalued/derived)."""
+
     out: Dict[str, Any] = {
         "name": attribute.name,
         "type_name": attribute.type_name,
@@ -91,6 +93,8 @@ def attribute_to_dict(attribute: Attribute) -> Dict[str, Any]:
 
 
 def attribute_from_dict(data: Dict[str, Any]) -> Attribute:
+    """Inverse of :func:`attribute_to_dict`."""
+
     kind = data.get("kind", "simple")
     common = dict(
         name=data["name"],
@@ -117,6 +121,8 @@ def attribute_from_dict(data: Dict[str, Any]) -> Attribute:
 
 
 def entity_to_dict(entity: EntitySet) -> Dict[str, Any]:
+    """JSON-ready image of an entity set (strong or weak, incl. hierarchy)."""
+
     out: Dict[str, Any] = {
         "name": entity.name,
         "weak": entity.is_weak(),
@@ -134,6 +140,8 @@ def entity_to_dict(entity: EntitySet) -> Dict[str, Any]:
 
 
 def entity_from_dict(data: Dict[str, Any]) -> EntitySet:
+    """Inverse of :func:`entity_to_dict`."""
+
     common = dict(
         name=data["name"],
         attributes=[attribute_from_dict(a) for a in data.get("attributes", [])],
@@ -153,6 +161,8 @@ def entity_from_dict(data: Dict[str, Any]) -> EntitySet:
 
 
 def relationship_to_dict(relationship: RelationshipSet) -> Dict[str, Any]:
+    """JSON-ready image of a relationship set and its participants."""
+
     return {
         "name": relationship.name,
         "participants": [
@@ -171,6 +181,8 @@ def relationship_to_dict(relationship: RelationshipSet) -> Dict[str, Any]:
 
 
 def relationship_from_dict(data: Dict[str, Any]) -> RelationshipSet:
+    """Inverse of :func:`relationship_to_dict`."""
+
     return RelationshipSet(
         name=data["name"],
         participants=[
@@ -189,6 +201,8 @@ def relationship_from_dict(data: Dict[str, Any]) -> RelationshipSet:
 
 
 def schema_to_dict(schema: ERSchema) -> Dict[str, Any]:
+    """Full-fidelity serialization of an E/R schema (unlike ``describe()``)."""
+
     return {
         "name": schema.name,
         "entities": [entity_to_dict(e) for e in schema.entities()],
@@ -197,6 +211,8 @@ def schema_to_dict(schema: ERSchema) -> Dict[str, Any]:
 
 
 def schema_from_dict(data: Dict[str, Any]) -> ERSchema:
+    """Inverse of :func:`schema_to_dict`."""
+
     schema = ERSchema(data.get("name", "schema"))
     for entity in data.get("entities", []):
         schema.add_entity(entity_from_dict(entity))
@@ -211,6 +227,8 @@ def schema_from_dict(data: Dict[str, Any]) -> ERSchema:
 
 
 def spec_to_dict(spec: MappingSpec) -> Dict[str, Any]:
+    """JSON-ready image of a :class:`MappingSpec` (checkpointed with the data)."""
+
     return {
         "name": spec.name,
         "hierarchy": dict(spec.hierarchy),
@@ -227,6 +245,8 @@ def spec_to_dict(spec: MappingSpec) -> Dict[str, Any]:
 
 
 def spec_from_dict(data: Dict[str, Any]) -> MappingSpec:
+    """Inverse of :func:`spec_to_dict`."""
+
     return MappingSpec(
         name=data.get("name", "custom"),
         hierarchy=dict(data.get("hierarchy", {})),
@@ -314,9 +334,13 @@ class CheckpointStore:
 
     @property
     def current_path(self) -> str:
+        """Path of the ``CURRENT`` pointer file naming the live checkpoint."""
+
         return os.path.join(self.directory, CURRENT_FILE)
 
     def has_checkpoint(self) -> bool:
+        """Whether this directory holds a completed checkpoint."""
+
         return os.path.exists(self.current_path)
 
     def latest_info(self) -> Optional[Dict[str, Any]]:

@@ -82,6 +82,8 @@ _SEGMENT_SUFFIX = ".log"
 
 
 def segment_name(base_lsn: int) -> str:
+    """Canonical filename of the segment whose first record has ``base_lsn``."""
+
     return f"{_SEGMENT_PREFIX}{base_lsn:016d}{_SEGMENT_SUFFIX}"
 
 
@@ -107,6 +109,12 @@ def list_segments(directory: str) -> List[Tuple[int, str]]:
 
 
 def encode_frame(record: Dict[str, Any]) -> bytes:
+    """Frame one record: length prefix + CRC32 + compact-JSON payload.
+
+    The length/checksum header is what lets recovery detect torn tails: a
+    frame that fails either check ends the valid prefix of the segment.
+    """
+
     payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
     return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
 
@@ -143,6 +151,8 @@ class WriteAheadLog:
         self._file = open(self.segment_path, "ab")
 
     def close(self) -> None:
+        """Sync and close the active segment (idempotent; safe to call twice)."""
+
         if self._file is not None:
             self.sync()
             self._file.close()
@@ -150,6 +160,8 @@ class WriteAheadLog:
 
     @property
     def closed(self) -> bool:
+        """Whether :meth:`close` has run (no active segment file)."""
+
         return self._file is None
 
     @property
@@ -326,6 +338,8 @@ class WalScan:
 
     @property
     def torn(self) -> bool:
+        """Whether the last segment ends in a torn/corrupt frame (crash tail)."""
+
         return self.valid_end < self.file_size
 
 

@@ -60,6 +60,18 @@ class TransactionError(RelationalError):
     """Misuse of the transaction API (e.g. commit without begin)."""
 
 
+class SerializationError(TransactionError):
+    """A snapshot-isolation transaction lost a first-committer-wins race.
+
+    Raised when a transaction pinned at snapshot version ``v`` tries to
+    update or delete a row that another transaction wrote after ``v`` —
+    committing it would silently overwrite work the transaction never saw.
+    The losing transaction must roll back; the caller may retry it against a
+    fresh snapshot.  The REST layer surfaces this as HTTP 409 with error code
+    ``serialization_conflict``.
+    """
+
+
 class ExecutionError(RelationalError):
     """Runtime failure while executing a physical plan."""
 

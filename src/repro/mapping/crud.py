@@ -383,7 +383,7 @@ class CrudTemplates:
         normalized_keys = [tuple(k) if isinstance(k, (tuple, list)) else (k,) for k in keys]
         key_names = self.schema.effective_key(entity)
         placement = self.mapping.entity_placement(entity)
-        table = self.db.catalog.table(placement.table) if placement.table else None
+        table = self.db.read_table(placement.table) if placement.table else None
         weak_sets = self.schema.weak_entities_of(entity) if include_weak else []
 
         documents: List[Dict[str, Any]] = []
@@ -404,7 +404,7 @@ class CrudTemplates:
                 for key, row in owner_rows.items():
                     grouped[key] = list(row.get(weak_placement.array_column) or [])
             else:
-                weak_table = self.db.catalog.table(weak_placement.table)
+                weak_table = self.db.read_table(weak_placement.table)
                 wanted = set(normalized_keys)
                 owner_columns = weak_placement.key_columns[: len(key_names)]
                 for row in weak_table.rows():

@@ -13,6 +13,7 @@ This package replaces the PostgreSQL backend used by the paper's prototype
 from .batch import Batch
 from .engine import Database
 from .expressions import Parameter, parameter_scope
+from .mvcc import ReadView, SnapshotRegistry, TableView, current_read_view, read_view_scope
 from .plan import PlanNode, QueryResult
 from .vectorized import BatchExecutor, annotate_required_columns, execute_batch
 from .types import (
@@ -38,6 +39,11 @@ __all__ = [
     "QueryResult",
     "Parameter",
     "parameter_scope",
+    "ReadView",
+    "SnapshotRegistry",
+    "TableView",
+    "current_read_view",
+    "read_view_scope",
     "Batch",
     "BatchExecutor",
     "execute_batch",

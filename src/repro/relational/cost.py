@@ -71,8 +71,11 @@ class CostModel:
         self._db = db
 
     def _stats(self, table_name: str) -> TableStats:
+        # Estimates only need ballpark cardinalities: tolerate bounded row
+        # drift so concurrent readers don't re-analyze a table on every query
+        # while a writer keeps bumping its data version.
         table = self._db.catalog.table(table_name)
-        return self._db.statistics.stats_for(table)
+        return self._db.statistics.stats_for(table, tolerate_drift=True)
 
     def estimate(self, node: PlanNode) -> CostEstimate:
         """Recursively estimate a plan; unknown operators get a generic charge."""

@@ -9,10 +9,20 @@ through :meth:`Database.execute`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import threading
 
-from ..errors import CatalogError, ConstraintViolation, ForeignKeyViolation
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import (
+    CatalogError,
+    ConstraintViolation,
+    ForeignKeyViolation,
+    SerializationError,
+    TransactionError,
+)
 from .catalog import Catalog
+from .mvcc import ReadView, SnapshotRegistry, TableSnapshot, TableView, current_read_view
 from .constraints import (
     CheckConstraint,
     Constraint,
@@ -52,10 +62,40 @@ class Database:
             raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
         self.name = name
         self.executor = executor
+        #: Writer mutual exclusion (single writer / many readers): held by an
+        #: open write transaction from begin to commit/rollback, and for the
+        #: span of each autocommit DML statement.  Reentrant, so statements
+        #: inside an owned transaction nest without deadlocking.  Readers
+        #: never take it — snapshot reads go through :meth:`begin_read_view`.
+        self.write_lock = threading.RLock()
+        #: Short-lived storage latch: serializes read-view pinning against
+        #: the writer's *publication points* — pre-image capture, the commit
+        #: point's pre-image release, and rollback's undo replay.  Every
+        #: critical section is tiny (the latch is never held across a
+        #: statement body), so readers pin views essentially wait-free even
+        #: against a continuously-writing transaction.
+        self.storage_latch = threading.RLock()
         self.catalog = Catalog()
         self.statistics = StatisticsManager()
         self.transactions = TransactionManager(self)
         self.cost_model = CostModel(self)
+        #: Retained multi-version snapshots backing open read views.
+        self.snapshots = SnapshotRegistry()
+        # Committed pre-images of tables the in-flight write (transaction or
+        # autocommit statement) has mutated, keyed by table name.  Undo-log
+        # writes apply in place, so live storage holds *unpublished* data
+        # while a write is in flight; read views pin these retained
+        # snapshots instead (no dirty, no torn reads).  Captured at the
+        # write's first mutation of each table (a free reference grab when
+        # the snapshot is already built), released at the publication point:
+        # transaction commit/rollback, or autocommit statement end.
+        self._txn_preimages: Dict[str, TableSnapshot] = {}
+        #: Publication epoch: bumped (under the latch) every time committed
+        #: state changes — a transaction commits or rolls back, an autocommit
+        #: statement completes, DDL alters the catalog.  Sessions compare a
+        #: cached view's pin-time epoch against this to reuse the view across
+        #: statements *without taking any lock* while nothing has changed.
+        self.publication_epoch = 0
         #: Durability hook (a :class:`~repro.durability.DurabilityManager`).
         #: ``None`` — the default — means no redo record is ever built: the
         #: in-memory write path pays one attribute check and nothing else.
@@ -72,27 +112,190 @@ class Database:
     ) -> Table:
         """Create a table, registering implied PK / NOT NULL constraints."""
 
-        schema = TableSchema(name=name, columns=list(columns), primary_key=tuple(primary_key))
-        table = self.catalog.create_table(schema)
-        if primary_key:
-            self.catalog.add_constraint(name, PrimaryKeyConstraint(tuple(primary_key)))
-        for column in columns:
-            if not column.nullable:
-                self.catalog.add_constraint(name, NotNullConstraint(column.name))
-        for constraint in constraints:
-            self.catalog.add_constraint(name, constraint)
-        self.statistics.invalidate(name)
-        return table
+        # DDL is a (rare) writer: exclude other writers for the statement and
+        # readers' pins for the catalog mutation + epoch bump, so a pin never
+        # iterates the catalog mid-change and the bump is never lost.
+        with self.write_lock, self.storage_latch:
+            schema = TableSchema(name=name, columns=list(columns), primary_key=tuple(primary_key))
+            table = self.catalog.create_table(schema)
+            if primary_key:
+                self.catalog.add_constraint(name, PrimaryKeyConstraint(tuple(primary_key)))
+            for column in columns:
+                if not column.nullable:
+                    self.catalog.add_constraint(name, NotNullConstraint(column.name))
+            for constraint in constraints:
+                self.catalog.add_constraint(name, constraint)
+            self.statistics.invalidate(name)
+            self.publication_epoch += 1
+            return table
 
     def drop_table(self, name: str) -> None:
-        self.catalog.drop_table(name)
-        self.statistics.invalidate(name)
+        with self.write_lock, self.storage_latch:
+            self.catalog.drop_table(name)
+            self.statistics.invalidate(name)
+            self.snapshots.forget(name)
+            self.publication_epoch += 1
 
     def has_table(self, name: str) -> bool:
         return self.catalog.has_table(name)
 
     def table(self, name: str) -> Table:
         return self.catalog.table(name)
+
+    # ------------------------------------------------------------------ MVCC
+
+    def read_table(self, name: str) -> Union[Table, TableView]:
+        """Resolve a table for *reading*, honouring the thread's read view.
+
+        Every read-side access path (``SeqScan``, ``IndexLookup``, index
+        nested-loop joins — in both executors) goes through here.  With a
+        :func:`~repro.relational.mvcc.read_view_scope` active on the calling
+        thread, the pinned :class:`~repro.relational.mvcc.TableView` answers
+        instead of live storage; a table created *after* the view was pinned
+        reads as empty (it did not exist at the snapshot point — falling back
+        to live storage could expose another transaction's uncommitted
+        rows).  Write paths always use :meth:`table` / the catalog directly —
+        constraints must check current state, never a snapshot.
+        """
+
+        view = current_read_view()
+        if view is not None:
+            pinned = view.table(name)
+            if pinned is not None:
+                return pinned
+            return view.empty_table(self.catalog.table(name).schema, name)
+        return self.catalog.table(name)
+
+    def begin_read_view(self) -> ReadView:
+        """Pin a consistent snapshot of every table and return the view.
+
+        Pinning takes only the storage latch, whose critical sections are all
+        tiny (pre-image capture/publication, pin bookkeeping) — so a reader
+        never waits on an open writer *transaction*, nor even on an in-flight
+        *statement*: tables the writer has touched resolve to their retained
+        committed pre-images, so the view only ever contains committed data.
+
+        The very first pin on a database performs a one-time handshake: it
+        waits for the writer lock once, flips the registry's sticky
+        ``mvcc_active`` flag, and releases.  That guarantees no statement or
+        transaction is mid-flight at activation, so every later write
+        captures pre-images from its start — and until activation, writers
+        pay nothing for MVCC.  The caller must eventually ``close()`` the
+        view so the registry can drop superseded snapshots.
+        """
+
+        self.activate_mvcc()
+        with self.storage_latch:
+            return self.snapshots.pin(
+                self.catalog,
+                self._txn_preimages if self._txn_preimages else None,
+                epoch=self.publication_epoch,
+            )
+
+    def activate_mvcc(self) -> None:
+        """One-time MVCC activation handshake (idempotent, sticky).
+
+        Waits for the writer lock once — guaranteeing no statement or
+        transaction is mid-flight at the moment the sticky flag flips, so
+        every later write captures pre-images from its start.  Called
+        automatically by the first :meth:`begin_read_view` and by snapshot
+        session construction; a deployment expecting concurrent reads can
+        call it eagerly at startup so no reader ever waits, even the first.
+        """
+
+        if self.snapshots.mvcc_active:
+            return
+        if self.transactions.owned_by_current_thread():
+            # the writer lock is reentrant, so waiting on it here would be a
+            # no-op for our own open transaction — whose earlier writes have
+            # no pre-images and would leak uncommitted state into views
+            raise TransactionError(
+                "cannot activate MVCC inside this thread's open transaction; "
+                "create the snapshot session (or call activate_mvcc()) before "
+                "beginning the transaction"
+            )
+        with self.write_lock:
+            self.snapshots.mvcc_active = True
+
+    def _capture_preimage(self, table: Table) -> None:
+        """Retain ``table``'s committed snapshot before the first write a
+        statement (or transaction) makes to it.
+
+        Only the single writer calls this (it holds the writer lock), so the
+        un-latched membership probe is safe; the latch covers just the
+        retain-and-publish step so a concurrent reader pin sees the
+        pre-image either fully registered or not at all.  No-op until a
+        reader has activated MVCC — see :meth:`begin_read_view`.
+        """
+
+        if not self.snapshots.mvcc_active:
+            return
+        if table.name in self._txn_preimages:
+            return
+        with self.storage_latch:
+            self._txn_preimages[table.name] = self.snapshots.retain_current(table)
+
+    def _release_preimages(self) -> None:
+        """Drop the writer's pre-image pins (commit / rollback / statement end).
+
+        Callers hold the storage latch, so a concurrent reader pin observes
+        either every pre-image (the write is still unpublished) or none (its
+        outcome is fully published) — never a mix.
+        """
+
+        if self._txn_preimages:
+            self.snapshots.release(self._txn_preimages.values())
+            self._txn_preimages.clear()
+        self.publication_epoch += 1
+
+    @contextmanager
+    def _write_statement(self) -> Iterator[None]:
+        """Writer-side scope for one DML statement.
+
+        Holds the writer lock for the statement (reentrant: statements inside
+        an owned transaction nest), and — for *autocommit* statements, whose
+        end is their commit point — publishes the statement by releasing its
+        pre-image pins under the latch.  Statements inside a transaction
+        leave that to the transaction manager's commit/rollback.  The
+        statement body runs **without** the storage latch: readers pinning
+        views mid-statement resolve mutated tables to their captured
+        pre-images, so they neither wait for the statement nor observe its
+        intermediate state.
+        """
+
+        with self.write_lock:
+            try:
+                yield
+            finally:
+                if not self.transactions.in_transaction() and self._txn_preimages:
+                    with self.storage_latch:
+                        self._release_preimages()
+
+    def _check_write_conflict(self, table: Table, row_id: int) -> None:
+        """First-committer-wins: refuse to overwrite a row newer than our snapshot.
+
+        Only transactions carrying snapshot watermarks (begun by
+        ``Session(isolation="snapshot")``) are checked; each slot is checked
+        once per transaction, and slots this transaction already wrote are
+        exempt, so a transaction never conflicts with itself.  Inserts are
+        never checked — a brand-new slot cannot shadow anyone's update (key
+        collisions are the constraint system's business).
+        """
+
+        txn = self.transactions.current
+        if txn is None or not txn.active or txn.snapshot_watermarks is None:
+            return
+        key = (table.name, row_id)
+        if key in txn.written_rows:
+            return
+        watermark = txn.snapshot_watermarks.get(table.name)
+        if watermark is not None and table.row_version(row_id) > watermark:
+            raise SerializationError(
+                f"row {row_id} of table {table.name!r} was written at version "
+                f"{table.row_version(row_id)}, after this transaction's snapshot "
+                f"(version {watermark}); first committer wins — roll back and retry"
+            )
+        txn.written_rows.add(key)
 
     def create_index(
         self,
@@ -103,15 +306,16 @@ class Database:
         kind: str = "hash",
     ) -> None:
         index_name = name or f"{table_name}_{'_'.join(columns)}_idx"
-        self.catalog.create_index(
-            IndexDefinition(
-                name=index_name,
-                table=table_name,
-                columns=tuple(columns),
-                unique=unique,
-                kind=kind,
+        with self.write_lock, self.storage_latch:  # DDL: exclude writers + pins
+            self.catalog.create_index(
+                IndexDefinition(
+                    name=index_name,
+                    table=table_name,
+                    columns=tuple(columns),
+                    unique=unique,
+                    kind=kind,
+                )
             )
-        )
 
     def add_foreign_key(
         self,
@@ -121,15 +325,16 @@ class Database:
         ref_columns: Sequence[str],
         on_delete: str = "restrict",
     ) -> None:
-        self.catalog.add_constraint(
-            table_name,
-            ForeignKeyConstraint(
-                columns=tuple(columns),
-                ref_table=ref_table,
-                ref_columns=tuple(ref_columns),
-                on_delete=on_delete,
-            ),
-        )
+        with self.write_lock:
+            self.catalog.add_constraint(
+                table_name,
+                ForeignKeyConstraint(
+                    columns=tuple(columns),
+                    ref_table=ref_table,
+                    ref_columns=tuple(ref_columns),
+                    on_delete=on_delete,
+                ),
+            )
 
     def add_check(
         self,
@@ -151,12 +356,14 @@ class Database:
             if expression is None:
                 raise ValueError("add_check needs a predicate or an expression")
             predicate = lambda row, _e=expression: bool(_e.evaluate(row))
-        self.catalog.add_constraint(
-            table_name, CheckConstraint(label, predicate, expression=expression)
-        )
+        with self.write_lock:
+            self.catalog.add_constraint(
+                table_name, CheckConstraint(label, predicate, expression=expression)
+            )
 
     def add_unique(self, table_name: str, columns: Sequence[str]) -> None:
-        self.catalog.add_constraint(table_name, UniqueConstraint(tuple(columns)))
+        with self.write_lock:
+            self.catalog.add_constraint(table_name, UniqueConstraint(tuple(columns)))
 
     # ------------------------------------------------------------------ DML
 
@@ -167,25 +374,31 @@ class Database:
     def insert(self, table_name: str, row: Dict[str, Any]) -> int:
         """Insert one row (validated against types and constraints)."""
 
-        table = self.catalog.table(table_name)
-        validated = table.schema.validate_row(row)
-        self._check_insert(table, validated)
-        row_id = table.insert(validated)
-        redo = None
-        if self.durability is not None:
-            redo = {
-                "t": "insert_batch",
-                "table": table_name,
-                "start": row_id,
-                "columns": {name: [value] for name, value in validated.items()},
-            }
-        self.transactions.record(
-            f"insert into {table_name}",
-            lambda: table.delete_row(row_id),
-            redo,
-        )
-        self.statistics.invalidate(table_name)
-        return row_id
+        with self._write_statement():
+            table = self.catalog.table(table_name)
+            validated = table.schema.validate_row(row)
+            self._check_insert(table, validated)
+            self._capture_preimage(table)
+            row_id = table.insert(validated)
+            txn = self.transactions.current
+            if txn is not None and txn.active and txn.snapshot_watermarks is not None:
+                # only snapshot transactions consult written_rows (their own
+                # inserts must be exempt from later conflict checks)
+                txn.written_rows.add((table_name, row_id))
+            redo = None
+            if self.durability is not None:
+                redo = {
+                    "t": "insert_batch",
+                    "table": table_name,
+                    "start": row_id,
+                    "columns": {name: [value] for name, value in validated.items()},
+                }
+            self.transactions.record(
+                f"insert into {table_name}",
+                lambda: table.delete_row(row_id),
+                redo,
+            )
+            return row_id
 
     def insert_many(self, table_name: str, rows: Iterable[Dict[str, Any]]) -> int:
         """Bulk insert through the vectorized write path; returns rows inserted.
@@ -213,32 +426,36 @@ class Database:
             rows = list(rows)
         if not rows:
             return 0
-        table = self.catalog.table(table_name)
-        batch = table.validate_batch(rows)
-        for constraint in self.catalog.constraints_for(table_name):
-            constraint.check_insert_batch(self.catalog, table, batch)
-        row_ids = table.insert_batch(batch, validated=True)
+        with self._write_statement():
+            table = self.catalog.table(table_name)
+            batch = table.validate_batch(rows)
+            for constraint in self.catalog.constraints_for(table_name):
+                constraint.check_insert_batch(self.catalog, table, batch)
+            self._capture_preimage(table)
+            row_ids = table.insert_batch(batch, validated=True)
+            txn = self.transactions.current
+            if txn is not None and txn.active and txn.snapshot_watermarks is not None:
+                txn.written_rows.update((table_name, row_id) for row_id in row_ids)
 
-        def undo(table: Table = table, row_ids: List[int] = row_ids) -> None:
-            for row_id in reversed(row_ids):
-                table.delete_row(row_id)
+            def undo(table: Table = table, row_ids: List[int] = row_ids) -> None:
+                for row_id in reversed(row_ids):
+                    table.delete_row(row_id)
 
-        redo = None
-        if self.durability is not None:
-            # One framed WAL record for the whole batch: row ids are
-            # contiguous from the first, and the validated columnar data is
-            # shared by reference (column lists are never mutated in place).
-            redo = {
-                "t": "insert_batch",
-                "table": table_name,
-                "start": row_ids[0],
-                "columns": batch.data,
-            }
-        self.transactions.record(
-            f"insert batch of {len(row_ids)} into {table_name}", undo, redo
-        )
-        self.statistics.invalidate(table_name)
-        return len(row_ids)
+            redo = None
+            if self.durability is not None:
+                # One framed WAL record for the whole batch: row ids are
+                # contiguous from the first, and the validated columnar data is
+                # shared by reference (column lists are never mutated in place).
+                redo = {
+                    "t": "insert_batch",
+                    "table": table_name,
+                    "start": row_ids[0],
+                    "columns": batch.data,
+                }
+            self.transactions.record(
+                f"insert batch of {len(row_ids)} into {table_name}", undo, redo
+            )
+            return len(row_ids)
 
     def delete(
         self, table_name: str, predicate: Callable[[Dict[str, Any]], bool]
@@ -253,33 +470,30 @@ class Database:
         ``insert_many``.
         """
 
-        table = self.catalog.table(table_name)
-        to_delete = [
-            (row_id, dict(row))
-            for row_id, row in table.rows_with_ids()
-            if predicate(row)
-        ]
-        journal: List[Tuple[Any, ...]] = []
-        try:
-            for row_id, row in to_delete:
-                self._apply_delete(table, row_id, row, journal)
-        except BaseException:
-            # a mid-statement failure (e.g. a restrict FK on the third row)
-            # must still record the changes already applied, so an enclosing
-            # transaction/savepoint can undo them and the WAL stays in step
-            # with memory if the caller swallows the error and commits
+        with self._write_statement():
+            table = self.catalog.table(table_name)
+            to_delete = [
+                (row_id, dict(row))
+                for row_id, row in table.rows_with_ids()
+                if predicate(row)
+            ]
+            journal: List[Tuple[Any, ...]] = []
+            try:
+                for row_id, row in to_delete:
+                    self._apply_delete(table, row_id, row, journal)
+            except BaseException:
+                # a mid-statement failure (e.g. a restrict FK on the third row)
+                # must still record the changes already applied, so an enclosing
+                # transaction/savepoint can undo them and the WAL stays in step
+                # with memory if the caller swallows the error and commits
+                self._record_statement(
+                    f"partial delete from {table_name}", journal
+                )
+                raise
             self._record_statement(
-                f"partial delete from {table_name}", journal
+                f"delete {len(to_delete)} rows from {table_name}", journal
             )
-            if journal:
-                self.statistics.invalidate(table_name)
-            raise
-        self._record_statement(
-            f"delete {len(to_delete)} rows from {table_name}", journal
-        )
-        if to_delete:
-            self.statistics.invalidate(table_name)
-        return len(to_delete)
+            return len(to_delete)
 
     def _apply_delete(
         self,
@@ -292,9 +506,11 @@ class Database:
             # already removed by a cascade earlier in this same statement
             # (e.g. a self-referential FK whose parent matched the predicate)
             return
+        self._check_write_conflict(table, row_id)
         self._enforce_referential_delete(table.name, row, journal)
         for constraint in self.catalog.constraints_for(table.name):
             constraint.check_delete(self.catalog, table, row)
+        self._capture_preimage(table)
         table.delete_row(row_id)
         journal.append(("delete", table.name, row_id, row))
 
@@ -325,12 +541,10 @@ class Database:
                     for ref_id in list(referencing):
                         ref_row = dict(other.get_row(ref_id))
                         self._apply_delete(other, ref_id, ref_row, journal)
-                    self.statistics.invalidate(other_name)
                 elif constraint.on_delete == "set_null":
                     for ref_id in list(referencing):
                         changes = {c: None for c in constraint.columns}
                         self._update_row(other_name, ref_id, changes, journal)
-                    self.statistics.invalidate(other_name)
 
     def update(
         self,
@@ -344,30 +558,27 @@ class Database:
         framed ``update_batch`` WAL record for all matched rows.
         """
 
-        table = self.catalog.table(table_name)
-        matching = [row_id for row_id, row in table.rows_with_ids() if predicate(row)]
-        journal: List[Tuple[Any, ...]] = []
-        try:
-            for row_id in matching:
-                self._update_row(table_name, row_id, changes, journal)
-        except BaseException:
-            # record the rows already updated before re-raising (see delete)
-            self._record_statement(f"partial update of {table_name}", journal)
-            if journal:
-                self.statistics.invalidate(table_name)
-            raise
-        self._record_statement(
-            f"update {len(matching)} rows in {table_name}", journal
-        )
-        if matching:
-            self.statistics.invalidate(table_name)
-        return len(matching)
+        with self._write_statement():
+            table = self.catalog.table(table_name)
+            matching = [row_id for row_id, row in table.rows_with_ids() if predicate(row)]
+            journal: List[Tuple[Any, ...]] = []
+            try:
+                for row_id in matching:
+                    self._update_row(table_name, row_id, changes, journal)
+            except BaseException:
+                # record the rows already updated before re-raising (see delete)
+                self._record_statement(f"partial update of {table_name}", journal)
+                raise
+            self._record_statement(
+                f"update {len(matching)} rows in {table_name}", journal
+            )
+            return len(matching)
 
     def update_row(self, table_name: str, row_id: int, changes: Dict[str, Any]) -> None:
-        journal: List[Tuple[Any, ...]] = []
-        self._update_row(table_name, row_id, changes, journal)
-        self._record_statement(f"update {table_name}", journal)
-        self.statistics.invalidate(table_name)
+        with self._write_statement():
+            journal: List[Tuple[Any, ...]] = []
+            self._update_row(table_name, row_id, changes, journal)
+            self._record_statement(f"update {table_name}", journal)
 
     def _update_row(
         self,
@@ -379,12 +590,14 @@ class Database:
         """Validate, constraint-check and apply one row update, journaled."""
 
         table = self.catalog.table(table_name)
+        self._check_write_conflict(table, row_id)
         old = dict(table.get_row(row_id))
         new = dict(old)
         new.update(changes)
         new = table.schema.validate_row(new)
         for constraint in self.catalog.constraints_for(table_name):
             constraint.check_update(self.catalog, table, old, new)
+        self._capture_preimage(table)
         table.update_row(row_id, changes)
         journal.append(("update", table_name, row_id, old, dict(changes)))
 
@@ -444,20 +657,28 @@ class Database:
         always matches the in-memory mutation order.
         """
 
-        table = self.catalog.table(table_name)
-        if self.transactions.in_transaction():
-            image = table.dump_slots()
-            undo = lambda: table.restore_slots(
-                image["slots"], image["live_ids"], image["columns"]
-            )
-        else:
-            # autocommit discards the undo record anyway; skip the O(rows)
-            # slot-image capture
-            undo = lambda: None
-        redo = {"t": "truncate", "table": table_name} if self.durability is not None else None
-        table.truncate()
-        self.transactions.record(f"truncate {table_name}", undo, redo)
-        self.statistics.invalidate(table_name)
+        with self._write_statement():
+            table = self.catalog.table(table_name)
+            # truncate is a delete of every live row: first-committer-wins
+            # must see it that way, or a snapshot transaction could silently
+            # discard rows committed after its snapshot
+            txn = self.transactions.current
+            if txn is not None and txn.active and txn.snapshot_watermarks is not None:
+                for row_id, _row in table.rows_with_ids():
+                    self._check_write_conflict(table, row_id)
+            if self.transactions.in_transaction():
+                image = table.dump_slots()
+                undo = lambda: table.restore_slots(
+                    image["slots"], image["live_ids"], image["columns"]
+                )
+            else:
+                # autocommit discards the undo record anyway; skip the O(rows)
+                # slot-image capture
+                undo = lambda: None
+            redo = {"t": "truncate", "table": table_name} if self.durability is not None else None
+            self._capture_preimage(table)
+            table.truncate()
+            self.transactions.record(f"truncate {table_name}", undo, redo)
 
     # ----------------------------------------------------------- transactions
 

@@ -12,6 +12,8 @@ operator (see :mod:`repro.relational.operators`).
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -80,28 +82,43 @@ class Literal(Expression):
 # single-threaded, so a module-level stack is sufficient and keeps both
 # executors — and cached, shared plan trees — free of per-execution state).
 
-_PARAMETER_STACK: List[Dict[str, Any]] = []
+# One binding stack per thread: concurrent sessions execute the same cached
+# plan with different parameter values, so the stack a Parameter resolves
+# against must be private to the executing thread.
+_PARAMETER_FRAMES = threading.local()
+
+
+def _parameter_stack() -> List[Dict[str, Any]]:
+    stack = getattr(_PARAMETER_FRAMES, "stack", None)
+    if stack is None:
+        stack = _PARAMETER_FRAMES.stack = []
+    return stack
 
 
 class parameter_scope:
-    """``with parameter_scope({"name": value}): ...`` — bindings for one execution."""
+    """``with parameter_scope({"name": value}): ...`` — bindings for one execution.
+
+    Scopes are thread-local: a binding pushed on one thread is invisible to
+    every other, so parallel readers can execute one shared compiled plan
+    with independent bindings.
+    """
 
     def __init__(self, bindings: Optional[Dict[str, Any]] = None) -> None:
         self._bindings = dict(bindings or {})
 
     def __enter__(self) -> Dict[str, Any]:
-        _PARAMETER_STACK.append(self._bindings)
+        _parameter_stack().append(self._bindings)
         return self._bindings
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        _PARAMETER_STACK.pop()
+        _parameter_stack().pop()
         return False
 
 
 def resolve_parameter(name: str) -> Any:
     """The bound value of ``$name`` in the innermost scope that defines it."""
 
-    for frame in reversed(_PARAMETER_STACK):
+    for frame in reversed(_parameter_stack()):
         if name in frame:
             return frame[name]
     raise ExpressionError(

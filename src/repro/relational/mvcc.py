@@ -1,0 +1,524 @@
+"""Multi-version read views: snapshot-isolation reads over a mutating store.
+
+The batch executor already reads *version-stamped columnar snapshots* out of
+:class:`~repro.relational.table.Table` storage: every mutation bumps the
+table's data version, and the per-version snapshot (one immutable list per
+column) is **replaced, never mutated in place**.  That discipline — the same
+one the durability checkpoints exploit to encode state on a background
+thread — is exactly what a multi-version read view needs:
+
+* :class:`SnapshotRegistry` pins the current snapshot of every table under a
+  short storage latch and hands out a :class:`ReadView`.  Entries are
+  refcounted and keyed ``(table, version)``, so two views pinned at the same
+  version share one snapshot, and a snapshot superseded by later writes is
+  retained until the last view referencing it closes.
+* :class:`ReadView` is the transaction-visible object: per-table version
+  watermarks (consumed by first-committer-wins conflict detection) plus
+  :class:`TableView` accessors that answer the read-side :class:`Table`
+  surface — ``column_data`` for the batch executor, ``rows``/``scan`` for the
+  row executor, ``lookup`` for index access paths — entirely from the pinned
+  snapshot.
+* :func:`read_view_scope` binds a view to the current thread; while a scope
+  is active, :meth:`Database.read_table` resolves table reads through the
+  view instead of live storage, so **both executors** run unchanged plan
+  trees against a frozen version of the data while a writer mutates the live
+  tables in parallel.
+
+Views are cheap to pin when the store is idle (the per-version snapshot is
+cached on the table) and cost at most one snapshot rebuild per mutated table
+when it is not.  Reads through a view never take the writer lock, which is
+what lets a continuously-committing writer and many readers make progress
+together (see ``docs/concurrency.md``).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .catalog import Catalog
+    from .types import TableSchema
+
+
+class TableSnapshot:
+    """One immutable (table, version) snapshot retained by the registry.
+
+    ``columns`` holds the table's shared per-version column lists (captured by
+    reference — they are never mutated after publication), ``row_count`` the
+    number of live rows they describe.  Instances are shared by every view
+    pinned at the same version; ``refs`` counts those views.
+
+    The row-dict materialization and the per-key-column lookup maps are
+    cached *here*, on the shared snapshot, rather than per view: between two
+    writer commits every statement-level view pins the same snapshot, so a
+    point lookup pays the O(rows) map build once per (version, key columns) —
+    not once per query.  The builds are idempotent over immutable inputs, so
+    a concurrent double-build is a benign race (last write wins, both results
+    are equal).
+    """
+
+    __slots__ = ("name", "version", "schema", "columns", "row_count", "refs",
+                 "_rows", "_lookup_maps")
+
+    def __init__(
+        self,
+        name: str,
+        version: int,
+        schema: "TableSchema",
+        columns: Dict[str, List[Any]],
+        row_count: int,
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.schema = schema
+        self.columns = columns
+        self.row_count = row_count
+        self.refs = 0
+        self._rows: Optional[List[Dict[str, Any]]] = None
+        self._lookup_maps: Dict[Tuple[str, ...], Dict[Tuple[Any, ...], List[int]]] = {}
+
+    def materialized_rows(self) -> List[Dict[str, Any]]:
+        """Row dicts for every live row (built once, shared by all views)."""
+
+        rows = self._rows
+        if rows is None:
+            names = self.schema.column_names()
+            series = [self.columns[n] for n in names]
+            if series:
+                rows = [dict(zip(names, values)) for values in zip(*series)]
+            else:
+                rows = [{} for _ in range(self.row_count)]
+            self._rows = rows
+        return rows
+
+    def lookup_map(self, columns: Tuple[str, ...]) -> Dict[Tuple[Any, ...], List[int]]:
+        """Equality-lookup hash map on ``columns`` (built once per snapshot)."""
+
+        cached = self._lookup_maps.get(columns)
+        if cached is None:
+            cached = {}
+            series = [
+                self.columns.get(c, [None] * self.row_count) for c in columns
+            ]
+            for row_id, key in enumerate(zip(*series)):
+                cached.setdefault(key, []).append(row_id)
+            self._lookup_maps[columns] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TableSnapshot {self.name}@v{self.version} rows={self.row_count} "
+            f"refs={self.refs}>"
+        )
+
+
+class TableView:
+    """Read-only :class:`Table` facade over one pinned :class:`TableSnapshot`.
+
+    Implements exactly the surface the read side of both executors consumes:
+
+    * :meth:`column_data` — the batch executor's scan fast path (returns the
+      pinned column lists by reference; unknown columns come back all-NULL,
+      matching ``Table.column_data``);
+    * :meth:`rows` / :meth:`scan` / :meth:`rows_with_ids` — the row
+      executor's iteration surface (row dicts materialize lazily, once per
+      view);
+    * :meth:`lookup` / :meth:`lookup_ids` — equality access paths
+      (``IndexLookup``, index nested-loop joins); a hash map per key-column
+      tuple is built lazily *on the shared snapshot*, so point reads pay the
+      build once per (table version, key columns) across every view pinned
+      at that version.
+
+    Row ids are positions in the snapshot, which is all the read-only
+    operators require of them.
+    """
+
+    __slots__ = ("_snapshot", "schema")
+
+    def __init__(self, snapshot: TableSnapshot) -> None:
+        self._snapshot = snapshot
+        self.schema = snapshot.schema
+
+    # -- metadata ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._snapshot.name
+
+    @property
+    def version(self) -> int:
+        """The pinned data version (the view's watermark for this table)."""
+
+        return self._snapshot.version
+
+    @property
+    def row_count(self) -> int:
+        return self._snapshot.row_count
+
+    def __len__(self) -> int:
+        return self._snapshot.row_count
+
+    # -- columnar access ---------------------------------------------------
+
+    def column_data(self, columns: Iterable[str]) -> Dict[str, List[Any]]:
+        """Pinned column lists for ``columns`` (all-NULL for unknown names)."""
+
+        snapshot = self._snapshot.columns
+        out: Dict[str, List[Any]] = {}
+        for name in columns:
+            values = snapshot.get(name)
+            if values is None:
+                values = [None] * self._snapshot.row_count
+            out[name] = values
+        return out
+
+    # -- row access --------------------------------------------------------
+
+    def _materialized(self) -> List[Dict[str, Any]]:
+        return self._snapshot.materialized_rows()
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        """Iterate live rows (shared dicts; callers must not mutate them)."""
+
+        return iter(self._materialized())
+
+    def rows_with_ids(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        return enumerate(self._materialized())
+
+    def scan(self) -> Iterator[Dict[str, Any]]:
+        """Iterate copies of live rows (safe to mutate downstream)."""
+
+        for row in self._materialized():
+            yield dict(row)
+
+    def is_live(self, row_id: int) -> bool:
+        return 0 <= row_id < self._snapshot.row_count
+
+    def get_row(self, row_id: int) -> Dict[str, Any]:
+        if not self.is_live(row_id):
+            raise ExecutionError(
+                f"invalid row id {row_id} for view of table {self.name!r}"
+            )
+        return self._materialized()[row_id]
+
+    # -- lookups -----------------------------------------------------------
+
+    def lookup(self, columns: Tuple[str, ...], key: Tuple[Any, ...]) -> List[Dict[str, Any]]:
+        """Equality lookup against the pinned snapshot (same shape as Table)."""
+
+        rows = self._materialized()
+        ids = self._snapshot.lookup_map(tuple(columns)).get(tuple(key), ())
+        return [dict(rows[rid]) for rid in ids]
+
+    def lookup_ids(self, columns: Tuple[str, ...], key: Tuple[Any, ...]) -> List[int]:
+        return list(self._snapshot.lookup_map(tuple(columns)).get(tuple(key), ()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TableView {self.name}@v{self.version} rows={self.row_count}>"
+
+
+class ReadView:
+    """A consistent snapshot of every table, pinned at one point in time.
+
+    The view is the unit snapshot-isolation hands to a transaction: all reads
+    executed under :func:`read_view_scope` resolve against the pinned
+    snapshots, and :meth:`watermarks` feeds first-committer-wins conflict
+    detection for a transaction that later upgrades to writing (see
+    ``Transaction.snapshot_watermarks``).
+
+    :meth:`close` releases the registry pins (idempotent); a view is also a
+    context manager so short statement-level snapshots read naturally::
+
+        with db.begin_read_view() as view, read_view_scope(view):
+            db.execute(plan)
+    """
+
+    def __init__(
+        self,
+        registry: "SnapshotRegistry",
+        snapshots: Dict[str, TableSnapshot],
+        epoch: int = -1,
+    ) -> None:
+        self._registry = registry
+        self._snapshots = snapshots
+        self._views: Dict[str, TableView] = {}
+        self._closed = False
+        #: The database's publication epoch at pin time.  Sessions compare it
+        #: against the live epoch to reuse one view across many statements
+        #: while no writer has published anything new (see Session.read_scope).
+        self.epoch = epoch
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def watermarks(self) -> Dict[str, int]:
+        """Per-table pinned data versions (the snapshot's commit horizon)."""
+
+        return {name: snap.version for name, snap in self._snapshots.items()}
+
+    def table_names(self) -> List[str]:
+        return sorted(self._snapshots)
+
+    def table(self, name: str) -> Optional[TableView]:
+        """The pinned view of ``name`` (None for tables created after the pin)."""
+
+        view = self._views.get(name)
+        if view is None:
+            snapshot = self._snapshots.get(name)
+            if snapshot is None:
+                return None
+            view = TableView(snapshot)
+            self._views[name] = view
+        return view
+
+    def empty_table(self, schema: "TableSchema", name: str) -> TableView:
+        """An all-empty view for a table that did not exist at pin time.
+
+        Snapshot semantics require such a table to read as empty — its live
+        contents were written after this view's commit point (and may even
+        be uncommitted).  Cached on the view so repeated scans share one
+        instance.
+        """
+
+        view = self._views.get(name)
+        if view is None:
+            snapshot = TableSnapshot(
+                name=name,
+                version=-1,
+                schema=schema,
+                columns={column: [] for column in schema.column_names()},
+                row_count=0,
+            )
+            view = self._views[name] = TableView(snapshot)
+        return view
+
+    def close(self) -> None:
+        """Release the registry pins.  Idempotent; reads after close still
+        answer from the captured snapshots (the view keeps its references),
+        but the registry is free to drop superseded versions."""
+
+        if self._closed:
+            return
+        self._closed = True
+        self._registry.release(self._snapshots.values())
+
+    def __del__(self) -> None:  # backstop for sessions dropped without close
+        # Must not take the registry lock: the GC can run this finalizer on
+        # any thread at any allocation — including inside a registry method
+        # that already holds the (non-reentrant) lock.  Enqueue the pins on
+        # a lock-free deque instead; the registry drains it on its next
+        # locked operation.
+        if not self._closed:
+            self._closed = True
+            try:
+                self._registry.defer_release(list(self._snapshots.values()))
+            except Exception:  # pragma: no cover - interpreter shutdown corners
+                pass
+
+    def __enter__(self) -> "ReadView":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"<ReadView tables={len(self._snapshots)} {state}>"
+
+
+class SnapshotRegistry:
+    """Refcounted retention of per-version table snapshots.
+
+    ``pin`` captures one :class:`TableSnapshot` per catalog table — sharing
+    the entry when a snapshot at that version is already retained — and
+    ``release`` drops entries whose last view closed.  The registry itself
+    never copies data: entries alias the tables' shared per-version column
+    lists, so retention cost is bounded by the number of *distinct versions*
+    still referenced, not by the number of views.
+
+    ``pin`` must be called with the owning database's storage latch held (see
+    :meth:`Database.begin_read_view`), which is what makes the multi-table
+    capture atomic with respect to writers; ``release`` may be called from
+    any thread at any time.
+    """
+
+    def __init__(self) -> None:
+        #: Sticky flag set by the first :meth:`Database.begin_read_view` on
+        #: this database (after a one-time handshake with the writer lock).
+        #: Until it is set no reader exists, so writers skip pre-image
+        #: capture entirely — MVCC bookkeeping costs nothing for
+        #: single-threaded workloads.
+        self.mvcc_active = False
+        self._entries: Dict[Tuple[str, int], TableSnapshot] = {}
+        # The most recent snapshot per table is kept even at zero refs: it is
+        # not superseded (the table is still at that version), and dropping
+        # it would discard the shared row/lookup caches that make repeated
+        # statement-level views cheap.  It is evicted when a *newer* version
+        # is pinned (or the table is forgotten).
+        self._latest: Dict[str, TableSnapshot] = {}
+        self._lock = threading.Lock()
+        # Releases enqueued by ReadView.__del__ (which must never take the
+        # lock — see there); deque.append/popleft are atomic without one.
+        self._orphans: "deque" = deque()
+
+    def defer_release(self, snapshots: List[TableSnapshot]) -> None:
+        """Queue a lock-free release (finalizer path); drained on next op."""
+
+        self._orphans.append(snapshots)
+
+    def _drain_orphans(self) -> None:
+        """Apply deferred releases; caller holds the lock."""
+
+        while True:
+            try:
+                snapshots = self._orphans.popleft()
+            except IndexError:
+                return
+            for snapshot in snapshots:
+                snapshot.refs -= 1
+                if snapshot.refs <= 0 and self._latest.get(snapshot.name) is not snapshot:
+                    self._entries.pop((snapshot.name, snapshot.version), None)
+
+    def _get_or_create(self, table: Any) -> TableSnapshot:
+        """Entry for the table's current version; caller holds the lock."""
+
+        key = (table.name, table.version)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = TableSnapshot(
+                name=table.name,
+                version=table.version,
+                schema=table.schema,
+                columns=table._columnar_snapshot(),
+                row_count=table.row_count,
+            )
+            self._entries[key] = entry
+        previous = self._latest.get(table.name)
+        if previous is not entry:
+            self._latest[table.name] = entry
+            if previous is not None and previous.refs <= 0:
+                self._entries.pop((previous.name, previous.version), None)
+        return entry
+
+    def pin(
+        self,
+        catalog: "Catalog",
+        preimages: Optional[Dict[str, TableSnapshot]] = None,
+        epoch: int = -1,
+    ) -> ReadView:
+        """Capture every table's current version; caller holds the latch.
+
+        ``preimages`` maps tables an *open, uncommitted* write transaction
+        has already mutated to their retained last-committed snapshots; the
+        view pins those instead of live state, so readers never observe the
+        writer's in-place, not-yet-committed changes (no dirty reads).
+        """
+
+        snapshots: Dict[str, TableSnapshot] = {}
+        with self._lock:
+            self._drain_orphans()
+            for table in catalog.tables():
+                if preimages is not None:
+                    entry = preimages.get(table.name)
+                    if entry is not None:
+                        entry.refs += 1
+                        snapshots[table.name] = entry
+                        continue
+                entry = self._get_or_create(table)
+                entry.refs += 1
+                snapshots[table.name] = entry
+        return ReadView(self, snapshots, epoch=epoch)
+
+    def retain_current(self, table: Any) -> TableSnapshot:
+        """Pin the table's *current* snapshot on behalf of a writer.
+
+        Called by the engine — under the storage latch, before a
+        transaction's first write to ``table`` — to retain the table's
+        last-committed image for the duration of the transaction (the
+        pre-image readers pin while the writer's uncommitted changes sit in
+        live storage).  The caller owns one reference and must ``release``
+        it at commit or rollback.
+        """
+
+        with self._lock:
+            entry = self._get_or_create(table)
+            entry.refs += 1
+            return entry
+
+    def release(self, snapshots: Iterable[TableSnapshot]) -> None:
+        with self._lock:
+            self._drain_orphans()
+            for snapshot in snapshots:
+                snapshot.refs -= 1
+                if snapshot.refs <= 0 and self._latest.get(snapshot.name) is not snapshot:
+                    # superseded and unreferenced: nothing can pin it again
+                    self._entries.pop((snapshot.name, snapshot.version), None)
+
+    def forget(self, table_name: str) -> None:
+        """Drop the cached latest snapshot of a dropped table."""
+
+        with self._lock:
+            entry = self._latest.pop(table_name, None)
+            if entry is not None and entry.refs <= 0:
+                self._entries.pop((entry.name, entry.version), None)
+
+    def retained(self) -> List[Tuple[str, int]]:
+        """The (table, version) snapshots pinned by open views or writers.
+
+        Excludes the zero-ref "latest version" cache entries — they are a
+        performance detail, not retention on anyone's behalf.
+        """
+
+        with self._lock:
+            self._drain_orphans()
+            return sorted(
+                key for key, entry in self._entries.items() if entry.refs > 0
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._drain_orphans()
+            return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# Thread-local view binding
+# ---------------------------------------------------------------------------
+
+_ACTIVE = threading.local()
+
+
+def current_read_view() -> Optional[ReadView]:
+    """The read view bound to this thread, or ``None`` for live reads."""
+
+    return getattr(_ACTIVE, "view", None)
+
+
+class read_view_scope:
+    """Bind a :class:`ReadView` to the current thread for a ``with`` block.
+
+    While active, :meth:`Database.read_table` (and therefore every scan /
+    lookup both executors perform) resolves through the view.  Scopes nest;
+    the previous binding is restored on exit.  ``read_view_scope(None)``
+    explicitly restores live reads inside an outer scope.
+    """
+
+    def __init__(self, view: Optional[ReadView]) -> None:
+        self._view = view
+        self._previous: Optional[ReadView] = None
+
+    def __enter__(self) -> Optional[ReadView]:
+        self._previous = current_read_view()
+        _ACTIVE.view = self._view
+        return self._view
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _ACTIVE.view = self._previous
+        return False

@@ -19,6 +19,8 @@ six mappings:
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -56,7 +58,7 @@ class SeqScan(PlanNode):
     projection: Optional[Dict[str, str]] = None
 
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
-        table = db.catalog.table(self.table_name)
+        table = db.read_table(self.table_name)
         if self.projection is not None:
             items = list(self.projection.items())
             for row in table.rows():
@@ -113,7 +115,7 @@ class IndexLookup(PlanNode):
         return out
 
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
-        table = db.catalog.table(self.table_name)
+        table = db.read_table(self.table_name)
         for key in self.resolved_keys():
             for row in table.lookup(self.columns, tuple(key)):
                 yield _qualify(row, self.alias)
@@ -362,7 +364,7 @@ class IndexNestedLoopJoin(PlanNode):
         return [self.outer]
 
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
-        table = db.catalog.table(self.inner_table)
+        table = db.read_table(self.inner_table)
         prefix = f"{self.inner_alias}." if self.inner_alias else ""
         null_inner = {f"{prefix}{c}": None for c in table.schema.column_names()}
         for outer_row in self.outer.execute(db):
@@ -642,29 +644,37 @@ class Limit(PlanNode):
 
 @dataclass
 class Materialize(PlanNode):
-    """Materialize the child output once and replay it (caching subplans)."""
+    """Materialize the child output once and replay it (caching subplans).
+
+    The row-mode cache is **thread-local**: cached plans are shared across
+    concurrent sessions, and a materialized subresult must never leak from
+    one reader's snapshot into another's execution.  ``reset_caches`` (called
+    before every execution) clears only the calling thread's entry, so
+    parallel readers neither clobber nor observe each other's
+    materializations.  (The batch executor keeps a per-run cache of its own —
+    see ``BatchExecutor._materialize``.)
+    """
 
     child: PlanNode
 
     def __post_init__(self) -> None:
-        self._cache: Optional[List[Dict[str, Any]]] = None
-        self._batch_cache = None  # set by the batch executor
+        self._tls = threading.local()
 
     def children(self) -> List[PlanNode]:
         return [self.child]
 
     def reset_caches(self) -> None:
-        self._cache = None
-        self._batch_cache = None
+        self._tls.rows = None
         super().reset_caches()
 
     def output_columns(self) -> Optional[List[str]]:
         return self.child.output_columns()
 
     def execute(self, db: "Database") -> Iterator[Dict[str, Any]]:
-        if self._cache is None:
-            self._cache = list(self.child.execute(db))
-        return iter(list(self._cache))
+        rows = getattr(self._tls, "rows", None)
+        if rows is None:
+            rows = self._tls.rows = list(self.child.execute(db))
+        return iter(list(rows))
 
     def label(self) -> str:
         return "Materialize"

@@ -10,6 +10,8 @@ without executing every query.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -114,6 +116,9 @@ class StatisticsManager:
     :meth:`invalidate` explicitly (transaction rollback replaying undo
     records, direct ``Table`` mutations).  The cost-based executor choice in
     :meth:`Database.execute` therefore never decides on pre-DML cardinalities.
+    DML deliberately does *not* call :meth:`invalidate` (version keying makes
+    it redundant, and popping entries would defeat the drift tolerance
+    below); it exists for DDL (dropped/recreated table names) and tests.
     Tables past :data:`ANALYZE_SAMPLE_LIMIT` rows are analyzed on a fixed-size
     prefix sample (estimates extrapolated to the full row count by
     ``analyze_table``) so re-analysis after a bulk load stays cheap.
@@ -122,24 +127,68 @@ class StatisticsManager:
     #: Rows examined per analysis before switching to prefix sampling.
     ANALYZE_SAMPLE_LIMIT = 10_000
 
+    #: Drift budget for ``tolerate_drift=True``: stale stats are served while
+    #: the live row count stays within ``max(DRIFT_FLOOR_ROWS,
+    #: DRIFT_FRACTION * cached_rows)`` of the cached one.
+    DRIFT_FRACTION = 0.25
+    DRIFT_FLOOR_ROWS = 64
+
     def __init__(self) -> None:
         self._stats: Dict[str, Tuple[int, TableStats]] = {}
+        # concurrent readers consult stats on every cost-based executor
+        # choice; the cache dict must tolerate that alongside writer
+        # invalidations
+        self._lock = threading.Lock()
 
-    def stats_for(self, table: Table, refresh: bool = False) -> TableStats:
+    def stats_for(
+        self, table: Table, refresh: bool = False, tolerate_drift: bool = False
+    ) -> TableStats:
+        """Current statistics for ``table`` (re-analyzed when stale).
+
+        ``tolerate_drift=True`` relaxes exactness: statistics computed at an
+        older data version are served as long as the live row count has not
+        drifted past the budget above, and once it has, a **light** estimate
+        (the live row count with default column selectivities, built in O(1))
+        is returned instead of rescanning.  The cost model uses this for the
+        per-execution executor choice, so a continuously-committing writer
+        never forces concurrent readers into O(rows) re-analysis mid-query;
+        correctness-sensitive callers keep the default exact, version-keyed
+        behavior.
+        """
+
+        # Unlocked read: dict.get is atomic under the GIL and entries are
+        # immutable (version, stats) tuples — the lock only guards writes.
+        # The cost model probes this on every query, so a contended lock
+        # here would serialize the concurrent read path.
         entry = self._stats.get(table.name)
-        if refresh or entry is None or entry[0] != table.version:
-            limit = (
-                self.ANALYZE_SAMPLE_LIMIT
-                if table.row_count > self.ANALYZE_SAMPLE_LIMIT
-                else None
-            )
-            stats = analyze_table(table, sample_limit=limit)
-            self._stats[table.name] = (table.version, stats)
-            return stats
-        return entry[1]
+        if not refresh and entry is not None:
+            if entry[0] == table.version:
+                return entry[1]
+            if tolerate_drift:
+                cached = entry[1]
+                budget = max(
+                    self.DRIFT_FLOOR_ROWS, self.DRIFT_FRACTION * cached.row_count
+                )
+                if abs(table.row_count - cached.row_count) <= budget:
+                    return cached
+                # Too much churn for the cached histograms, but an exact
+                # cardinality is one attribute read away — good enough for
+                # executor choice, and O(1) on the hot path.
+                return TableStats(table_name=table.name, row_count=table.row_count)
+        limit = (
+            self.ANALYZE_SAMPLE_LIMIT
+            if table.row_count > self.ANALYZE_SAMPLE_LIMIT
+            else None
+        )
+        version = table.version
+        stats = analyze_table(table, sample_limit=limit)
+        with self._lock:
+            self._stats[table.name] = (version, stats)
+        return stats
 
     def invalidate(self, table_name: Optional[str] = None) -> None:
-        if table_name is None:
-            self._stats.clear()
-        else:
-            self._stats.pop(table_name, None)
+        with self._lock:
+            if table_name is None:
+                self._stats.clear()
+            else:
+                self._stats.pop(table_name, None)

@@ -34,6 +34,11 @@ class Table:
         self._version = 0
         self._snapshot: Optional[Dict[str, List[Any]]] = None
         self._snapshot_version = -1
+        # Per-slot write stamps: the data version at which each slot was last
+        # mutated (insert, update, delete, undo re-insert).  Snapshot-isolation
+        # transactions compare these against their read view's watermark for
+        # first-committer-wins conflict detection; see Database._check_write_conflict.
+        self._row_versions: List[int] = []
         if schema.primary_key:
             self.create_index(
                 IndexDefinition(
@@ -138,6 +143,26 @@ class Table:
 
         return self._version
 
+    def row_version(self, row_id: int) -> int:
+        """The data version at which slot ``row_id`` was last written.
+
+        Valid for tombstoned slots too (a delete is a write event); slots
+        beyond the stamp list — possible only transiently — report version 0.
+        """
+
+        if 0 <= row_id < len(self._row_versions):
+            return self._row_versions[row_id]
+        return 0
+
+    def _stamp(self, row_id: int) -> None:
+        versions = self._row_versions
+        if row_id < len(versions):
+            versions[row_id] = self._version
+        else:
+            if row_id > len(versions):
+                versions.extend([0] * (row_id - len(versions)))
+            versions.append(self._version)
+
     def column_data(self, columns: Iterable[str]) -> Dict[str, List[Any]]:
         """Column-major snapshot of the requested columns over live rows.
 
@@ -204,6 +229,7 @@ class Table:
                 self._rows[row_id] = dict(zip(names, values))
         self._live_count = len(live_ids)
         self._version += 1
+        self._row_versions = [self._version] * slots
         for index in self._indexes.values():
             index.clear()
             for row_id, row in self.rows_with_ids():
@@ -236,6 +262,8 @@ class Table:
             applied += 1
         if applied:
             self._version += 1
+            for row_id in range(start, start + len(validated)):
+                self._stamp(row_id)
         return applied
 
     def apply_delete_slot(self, row_id: int) -> bool:
@@ -256,6 +284,7 @@ class Table:
         self._rows.append(validated)
         self._live_count += 1
         self._version += 1
+        self._stamp(row_id)
         for index in self._indexes.values():
             index.insert(row_id, validated)
         return row_id
@@ -365,6 +394,7 @@ class Table:
         self._rows.extend(new_rows)
         self._live_count += batch.length
         self._version += 1
+        self._row_versions.extend([self._version] * batch.length)
         for index in self._indexes.values():
             if isinstance(index, HashIndex):
                 icols = index.columns
@@ -388,6 +418,7 @@ class Table:
         self._rows[row_id] = validated
         self._live_count += 1
         self._version += 1
+        self._stamp(row_id)
         for index in self._indexes.values():
             index.insert(row_id, validated)
 
@@ -398,6 +429,7 @@ class Table:
         self._rows[row_id] = None
         self._live_count -= 1
         self._version += 1
+        self._stamp(row_id)
         return row
 
     def update_row(self, row_id: int, changes: Dict[str, Any]) -> Tuple[Dict[str, Any], Dict[str, Any]]:
@@ -412,6 +444,7 @@ class Table:
             index.insert(row_id, validated)
         self._rows[row_id] = validated
         self._version += 1
+        self._stamp(row_id)
         return old, validated
 
     def delete_where(self, predicate: Callable[[Dict[str, Any]], bool]) -> int:
@@ -442,6 +475,7 @@ class Table:
         self._rows.clear()
         self._live_count = 0
         self._version += 1
+        self._row_versions.clear()
         for index in self._indexes.values():
             index.clear()
 
@@ -452,6 +486,7 @@ class Table:
         self._rows = list(live)
         self._live_count = len(live)
         self._version += 1
+        self._row_versions = [self._version] * len(live)
         for index in self._indexes.values():
             index.clear()
             for row_id, row in enumerate(self._rows):

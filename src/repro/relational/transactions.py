@@ -9,9 +9,29 @@ unchanged.
 The implementation is a classic undo log: every mutation records the inverse
 operation; rollback replays the log backwards.  Batch DML records *one* undo
 record per batch (the inverse deletes every row id of the batch in reverse),
-so a 50k-row bulk insert costs one log entry, not 50k.  There is no
-concurrency control — the engine is single-threaded, as is the paper's
-prototype layer.
+so a 50k-row bulk insert costs one log entry, not 50k.
+
+Concurrency follows a **single-writer / many-readers** protocol:
+
+* :meth:`TransactionManager.begin` acquires the database's writer lock
+  (``Database.write_lock``, reentrant) and holds it until the transaction
+  commits or rolls back, so at most one write transaction is ever open.
+  A second thread calling ``begin`` blocks until the current writer
+  finishes; a second ``begin`` on the *owning* thread still raises
+  :class:`~repro.errors.TransactionError` (API misuse, not contention).
+* Because the WAL append in :meth:`TransactionManager.commit` happens while
+  the writer lock is held, **WAL commit order always equals in-memory commit
+  order** — recovery replays transactions exactly as they serialized.
+* Readers never take the writer lock: snapshot-isolation sessions pin a
+  :class:`~repro.relational.mvcc.ReadView` and read retained snapshots (see
+  :mod:`repro.relational.mvcc`), so an open writer transaction never blocks
+  a reader.
+* A transaction begun by a snapshot session carries
+  :attr:`Transaction.snapshot_watermarks`; the engine consults them for
+  first-committer-wins conflict detection
+  (:meth:`Database._check_write_conflict`) and raises
+  :class:`~repro.errors.SerializationError` when the transaction would
+  overwrite a row committed after its snapshot.
 
 When a :class:`~repro.durability.DurabilityManager` is attached to the
 database (``db.durability``), every undo entry may carry *redo* records —
@@ -27,6 +47,8 @@ and commit behaves exactly as before.
 """
 
 from __future__ import annotations
+
+import threading
 
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -62,12 +84,21 @@ def _normalize_redo(redo: RedoArg) -> Tuple[Dict[str, Any], ...]:
 
 
 class Transaction:
-    """A single open transaction with an undo log."""
+    """A single open transaction with an undo log.
+
+    ``snapshot_watermarks`` is set (by snapshot-isolation sessions) to the
+    per-table data versions of the read view the transaction began under;
+    the engine then runs first-committer-wins conflict detection on every
+    update/delete.  ``written_rows`` tracks the ``(table, row_id)`` slots this
+    transaction already wrote, so a transaction never conflicts with itself.
+    """
 
     def __init__(self, db: "Database") -> None:
         self._db = db
         self._undo: List[UndoRecord] = []
         self.active = True
+        self.snapshot_watermarks: Optional[Dict[str, int]] = None
+        self.written_rows: set = set()
 
     def record(self, description: str, undo: Callable[[], None], redo: RedoArg = None) -> None:
         if not self.active:
@@ -93,9 +124,10 @@ class Transaction:
             raise TransactionError("transaction is not active")
         if savepoint < 0 or savepoint > len(self._undo):
             raise TransactionError(f"invalid savepoint {savepoint}")
-        while len(self._undo) > savepoint:
-            record = self._undo.pop()
-            record.apply()
+        with self._db.storage_latch:
+            while len(self._undo) > savepoint:
+                record = self._undo.pop()
+                record.apply()
 
     def redo_records(self) -> List[Dict[str, Any]]:
         """The surviving redo payloads, in original mutation order."""
@@ -111,9 +143,12 @@ class Transaction:
     def rollback(self) -> None:
         if not self.active:
             raise TransactionError("transaction is not active")
-        while self._undo:
-            record = self._undo.pop()
-            record.apply()
+        # undo application mutates tables: hold the storage latch so readers
+        # never pin a view in the middle of a rollback
+        with self._db.storage_latch:
+            while self._undo:
+                record = self._undo.pop()
+                record.apply()
         self.active = False
 
     def __len__(self) -> int:
@@ -121,11 +156,20 @@ class Transaction:
 
 
 class TransactionManager:
-    """Owns the (single) current transaction of a database."""
+    """Owns the (single) current write transaction of a database.
+
+    Writer mutual exclusion lives here: ``begin`` acquires the database's
+    (reentrant) writer lock and the matching ``commit`` / ``rollback``
+    releases it, so write transactions from different threads serialize and
+    the WAL sees commits in exactly their in-memory order.  The lock is held
+    across the WAL append at commit; if the append fails, the transaction —
+    and the lock — stay held so the owner can roll back.
+    """
 
     def __init__(self, db: "Database") -> None:
         self._db = db
         self._current: Optional[Transaction] = None
+        self._owner: Optional[int] = None
 
     @property
     def current(self) -> Optional[Transaction]:
@@ -134,10 +178,36 @@ class TransactionManager:
     def in_transaction(self) -> bool:
         return self._current is not None and self._current.active
 
-    def begin(self) -> Transaction:
+    def owned_by_current_thread(self) -> bool:
+        """Whether the open transaction (if any) belongs to this thread.
+
+        Joined scopes (:class:`transaction`) must only ever join a
+        transaction their own thread opened — another thread's open
+        transaction is a signal to *wait* for the writer lock, not to
+        append to a foreign undo log.
+        """
+
+        return self.in_transaction() and self._owner == threading.get_ident()
+
+    def begin(self, snapshot_watermarks: Optional[Dict[str, int]] = None) -> Transaction:
+        """Open the single write transaction, blocking on the writer lock.
+
+        A concurrent thread's ``begin`` waits for the open transaction to
+        finish; a nested ``begin`` on the owning thread raises (the lock is
+        reentrant, so only the misuse check distinguishes the two).
+        ``snapshot_watermarks`` attaches first-committer-wins conflict state
+        for transactions upgraded from a snapshot read view.
+        """
+
+        self._db.write_lock.acquire()
         if self.in_transaction():
+            self._db.write_lock.release()
             raise TransactionError("a transaction is already active")
         self._current = Transaction(self._db)
+        self._owner = threading.get_ident()
+        self._current.snapshot_watermarks = (
+            dict(snapshot_watermarks) if snapshot_watermarks is not None else None
+        )
         return self._current
 
     def commit(self) -> None:
@@ -150,21 +220,38 @@ class TransactionManager:
             if records:
                 # WAL append (and fsync, per policy) happens *before* the
                 # in-memory commit point; if the disk write raises, the
-                # transaction stays active and the caller can roll back.
+                # transaction stays active (still holding the writer lock)
+                # and the caller can roll back.
                 durability.log_commit(records)
-        self._current.commit()
-        self._current = None
+        with self._db.storage_latch:
+            # the commit point and the pre-image release publish atomically
+            # with respect to reader pins: a view sees the whole transaction
+            # or none of it
+            self._current.commit()
+            self._current = None
+            self._owner = None
+            self._db._release_preimages()
+        self._db.write_lock.release()
 
     def rollback(self) -> None:
         if not self.in_transaction():
             raise TransactionError("no active transaction to roll back")
         assert self._current is not None
         had_redo = bool(self._current.redo_records())
-        self._current.rollback()
-        self._current = None
-        durability = self._db.durability
-        if durability is not None and had_redo:
-            durability.log_abort()
+        try:
+            with self._db.storage_latch:
+                self._current.rollback()
+                self._current = None
+                self._owner = None
+                self._db._release_preimages()
+            durability = self._db.durability
+            if durability is not None and had_redo:
+                # still under the writer lock: the abort marker lands in the
+                # WAL before any later writer's records
+                durability.log_abort()
+        finally:
+            if self._current is None:
+                self._db.write_lock.release()
 
     def record(self, description: str, undo: Callable[[], None], redo: RedoArg = None) -> None:
         """Record an undo action (plus optional redo payloads).
@@ -216,7 +303,10 @@ class transaction:
 
     def __enter__(self) -> Transaction:
         manager = self._db.transactions
-        if manager.in_transaction():
+        if manager.owned_by_current_thread():
+            # join only a transaction THIS thread opened; another thread's
+            # open transaction means "wait your turn" — manager.begin below
+            # blocks on the writer lock until it finishes
             self._joined = True
             assert manager.current is not None
             self._savepoint = manager.current.savepoint()

@@ -373,6 +373,10 @@ class BatchExecutor:
 
     def __init__(self, db: "Database") -> None:
         self.db = db
+        # Per-run Materialize results: executors are created per execution,
+        # so this cache can never leak a batch across snapshots or threads
+        # (unlike state stored on the shared, cached plan nodes).
+        self._materialized: Dict[int, Batch] = {}
 
     def run(self, plan: PlanNode) -> Batch:
         handler = _DISPATCH.get(type(plan))
@@ -398,7 +402,7 @@ class BatchExecutor:
     # -- access paths --------------------------------------------------------
 
     def _seq_scan(self, node: SeqScan) -> Batch:
-        table = self.db.catalog.table(node.table_name)
+        table = self.db.read_table(node.table_name)
         if node.projection is not None:
             items = list(node.projection.items())
             physical = table.column_data([p for p, _ in items])
@@ -418,7 +422,7 @@ class BatchExecutor:
         return batch
 
     def _index_lookup(self, node: IndexLookup) -> Batch:
-        table = self.db.catalog.table(node.table_name)
+        table = self.db.read_table(node.table_name)
         prefix = f"{node.alias}." if node.alias else ""
         columns = [prefix + c for c in table.schema.column_names()]
         rows: List[Dict[str, Any]] = []
@@ -599,7 +603,7 @@ class BatchExecutor:
 
     def _index_nested_loop_join(self, node: IndexNestedLoopJoin) -> Batch:
         outer = self.run(node.outer)
-        table = self.db.catalog.table(node.inner_table)
+        table = self.db.read_table(node.inner_table)
         prefix = f"{node.inner_alias}." if node.inner_alias else ""
         inner_names = table.schema.column_names()
         inner_columns = [prefix + c for c in inner_names]
@@ -718,10 +722,10 @@ class BatchExecutor:
         return batch.slice(node.offset, node.offset + node.count)
 
     def _materialize(self, node: Materialize) -> Batch:
-        cached = getattr(node, "_batch_cache", None)
+        cached = self._materialized.get(id(node))
         if cached is None:
             cached = self.run(node.child)
-            node._batch_cache = cached
+            self._materialized[id(node)] = cached
         return cached
 
 

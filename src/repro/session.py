@@ -8,7 +8,12 @@ Every production DB-API exposes the same three objects this module provides:
   session begins on entry and commits on clean exit.  The legacy
   ``ErbiumDB.insert/query/...`` facade methods route through an implicit
   *autocommit* session, so old call sites keep their one-operation-per-
-  transaction semantics unchanged.
+  transaction semantics unchanged.  ``Session(isolation="snapshot")`` turns
+  the session into an MVCC reader: its reads resolve through a pinned
+  :class:`~repro.relational.mvcc.ReadView` and run fully in parallel with a
+  mutating writer, with first-committer-wins conflict detection
+  (:class:`~repro.errors.SerializationError`) if the transaction upgrades to
+  writing.  See the class docstring and ``docs/concurrency.md``.
 * :class:`PreparedStatement` — an ERQL statement compiled **once** (parse →
   analyze → plan) and re-executed with fresh ``$name`` bindings.  Re-execution
   performs zero parse/analyze/plan work (asserted by instrumentation counters
@@ -31,16 +36,23 @@ compiled plan.
 
 from __future__ import annotations
 
+import threading
+
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .core import EntityInstance, RelationshipInstance
 from .errors import BindError, TransactionError
 from .relational import QueryResult
+from .relational.mvcc import ReadView, read_view_scope
 from .relational.plan import PlanNode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .system import ErbiumDB
+
+#: Isolation levels accepted by :class:`Session`.
+ISOLATION_LEVELS = ("live", "snapshot")
 
 
 @dataclass
@@ -214,9 +226,10 @@ class PreparedStatement:
             )
         merged.update(bindings)
         compiled = self._current()
-        return Result(
-            self._session.system._execute_compiled(compiled, merged, executor=executor)
-        )
+        with self._session.read_scope():
+            return Result(
+                self._session.system._execute_compiled(compiled, merged, executor=executor)
+            )
 
     def explain(self) -> str:
         compiled = self._current()
@@ -245,24 +258,108 @@ class Session:
     :meth:`rollback`.  CRUD templates' internal transaction scopes *join* the
     session's open transaction (see :mod:`repro.relational.transactions`), so
     a failure anywhere inside the scope undoes everything back to ``begin``.
+
+    **Isolation.**  ``isolation`` selects how the session's reads interact
+    with concurrent writers:
+
+    * ``"live"`` (default) — reads see the live store.  An explicit
+      transaction takes the engine's writer lock from :meth:`begin` to
+      :meth:`commit`, so live transactions serialize with every writer;
+      this is the pre-MVCC behavior, unchanged.
+    * ``"snapshot"`` — reads resolve through a pinned
+      :class:`~repro.relational.mvcc.ReadView` and **never block on (or
+      behind) a writer**.  Without an explicit transaction every statement
+      pins a fresh view for its own duration (statement-level snapshot:
+      each result is transactionally consistent).  Inside
+      :meth:`begin` ... :meth:`commit`, the view pinned at ``begin`` serves
+      every read — repeatable reads across statements.  The first *write*
+      upgrades the transaction: it waits for the writer lock, opens an
+      engine transaction carrying the view's version watermarks, and from
+      then on the transaction reads the live store (its own writes
+      included) while **first-committer-wins** conflict detection raises
+      :class:`~repro.errors.SerializationError` if it tries to overwrite a
+      row some other transaction committed after the snapshot was pinned.
+
+    A session object is not thread-safe; share the :class:`ErbiumDB`, not
+    the session.
     """
 
-    def __init__(self, system: "ErbiumDB", autocommit: bool = False) -> None:
+    def __init__(
+        self,
+        system: "ErbiumDB",
+        autocommit: bool = False,
+        isolation: str = "live",
+    ) -> None:
+        if isolation not in ISOLATION_LEVELS:
+            raise ValueError(
+                f"unknown isolation {isolation!r}; expected one of {ISOLATION_LEVELS}"
+            )
         self.system = system
         self.autocommit = autocommit
+        self.isolation = isolation
         self._owns_transaction = False
+        self._view: Optional[ReadView] = None
+        self._writing = False
+        # Statement-level view cache, one slot per thread (the API service
+        # shares one reader session across request threads).  A cached view
+        # is reused lock-free while the database's publication epoch is
+        # unchanged and replaced after the next commit — so the steady-state
+        # read path performs no locking at all.
+        self._stmt_views = threading.local()
+        # every live cached view, across threads, so close() can drop pins
+        # held by threads that have gone idle
+        self._open_views: set = set()
+        if isolation == "snapshot":
+            # flip the engine into MVCC mode now (one-time, idempotent), so
+            # this session's reads never wait — not even the very first
+            system.db.activate_mvcc()
 
     # -- transaction scope ---------------------------------------------------
 
     def in_transaction(self) -> bool:
-        return self._owns_transaction and self.system.db.transactions.in_transaction()
+        if not self._owns_transaction:
+            return False
+        if self._view is not None:
+            return True  # read-only snapshot transaction (no engine txn yet)
+        return self.system.db.transactions.in_transaction()
 
     def begin(self) -> "Session":
         if self.autocommit:
             raise TransactionError("autocommit sessions cannot open explicit transactions")
-        self.system.db.transactions.begin()
+        if self._owns_transaction:
+            raise TransactionError("this session already has an open transaction")
+        if self.isolation == "snapshot":
+            # Pin the read view only: snapshot transactions stay pure readers
+            # (no writer lock, no engine transaction) until their first write.
+            self._view = self.system.db.begin_read_view()
+        else:
+            self.system.db.transactions.begin()
         self._owns_transaction = True
+        self._writing = False
         return self
+
+    def _ensure_writable(self) -> None:
+        """Upgrade an open snapshot transaction to a writer before its first write.
+
+        Acquires the writer lock (blocking while another write transaction is
+        open), opens the engine transaction with the pinned view's watermarks
+        (enabling first-committer-wins conflict detection) and releases the
+        view — from here on the transaction reads the live store, its own
+        writes included.  Live sessions and autocommit statements need no
+        upgrade: their locking is handled by the transaction manager and the
+        engine's per-statement locks.
+        """
+
+        if not (self._owns_transaction and self.isolation == "snapshot"):
+            return
+        if self._writing:
+            return
+        view = self._view
+        assert view is not None
+        self.system.db.transactions.begin(snapshot_watermarks=view.watermarks())
+        self._writing = True
+        self._view = None
+        view.close()
 
     def commit(self, sync: bool = False) -> None:
         """Commit the session's transaction.
@@ -271,16 +368,24 @@ class Session:
         write-ahead log here (fsynced according to the log's policy);
         ``sync=True`` additionally forces the log to disk before returning,
         regardless of policy — the per-commit escape hatch for ``"batch"`` /
-        ``"off"`` configurations.
+        ``"off"`` configurations.  Committing a read-only snapshot
+        transaction simply releases its view.
         """
 
         if not self._owns_transaction:
             raise TransactionError("this session has no open transaction to commit")
+        if self._view is not None:
+            # read-only snapshot transaction: nothing to write, release the view
+            view, self._view = self._view, None
+            self._owns_transaction = False
+            view.close()
+            return
         # commit may fail at the WAL append (disk error) and leave the
         # transaction active so it can still be rolled back — release this
         # session's ownership only once the commit actually happened
         self.system.db.transactions.commit()
         self._owns_transaction = False
+        self._writing = False
         durability = self.system.db.durability
         if sync and durability is not None:
             durability.sync()
@@ -288,8 +393,88 @@ class Session:
     def rollback(self) -> None:
         if not self._owns_transaction:
             raise TransactionError("this session has no open transaction to roll back")
-        self._owns_transaction = False
+        if self._view is not None:
+            view, self._view = self._view, None
+            self._owns_transaction = False
+            view.close()
+            return
+        # release ownership only once the rollback actually completed: if an
+        # undo callback fails, the engine transaction (and the writer lock it
+        # holds) stays reachable through this session for a retry
         self.system.db.transactions.rollback()
+        self._owns_transaction = False
+        self._writing = False
+
+    # -- read scope ----------------------------------------------------------
+
+    @contextmanager
+    def read_scope(self) -> Iterator[Optional[ReadView]]:
+        """Bind the appropriate read view for one read operation.
+
+        * live sessions: no view — reads see live storage (yields ``None``);
+        * snapshot transaction, before any write: the transaction's pinned
+          view;
+        * snapshot transaction, after its first write: live reads (the
+          transaction must see its own writes; it holds the writer lock, so
+          live state is stable apart from those writes);
+        * snapshot session outside a transaction: a fresh statement-level
+          view, pinned for the duration of this operation and released after.
+
+        Every read entry point of the session — ERQL queries, prepared
+        executions, entity reads — runs under this scope; the engine's
+        :meth:`~repro.relational.engine.Database.read_table` resolves scans
+        through whatever view it binds.
+        """
+
+        if self.isolation != "snapshot" or self._writing:
+            yield None
+            return
+        if self._view is not None:
+            with read_view_scope(self._view):
+                yield self._view
+            return
+        view = self._statement_view()
+        with read_view_scope(view):
+            yield view
+
+    def _statement_view(self) -> ReadView:
+        """This thread's cached statement-level view, refreshed on publication.
+
+        The staleness probe is one unlocked integer comparison; only when a
+        writer has actually published something new does the session pin a
+        fresh view (and release the old one).  A probe racing a concurrent
+        publication can at worst reuse the previous committed snapshot for
+        one more statement — still a transactionally consistent view, which
+        is exactly what statement-level snapshot isolation promises.
+        """
+
+        db = self.system.db
+        view: Optional[ReadView] = getattr(self._stmt_views, "view", None)
+        if view is None or view.epoch != db.publication_epoch:
+            if view is not None:
+                view.close()
+                self._open_views.discard(view)
+            view = self._stmt_views.view = db.begin_read_view()
+            self._open_views.add(view)
+        return view
+
+    def close(self) -> None:
+        """Release every cached statement view this session still pins.
+
+        A thread's cached view is normally replaced (and released) on its
+        next statement after a commit; threads that go idle while the writer
+        keeps committing would otherwise retain superseded snapshots until
+        they die.  Long-lived shared sessions (e.g. a service's reader
+        session) should be closed on shutdown; closing is idempotent and the
+        session remains usable (views re-pin on the next read).
+        """
+
+        while self._open_views:
+            try:
+                view = self._open_views.pop()
+            except KeyError:  # pragma: no cover - concurrent close
+                break
+            view.close()
 
     def __enter__(self) -> "Session":
         return self.begin()
@@ -316,10 +501,18 @@ class Session:
         params: Optional[Dict[str, Any]] = None,
         executor: Optional[str] = None,
     ) -> Result:
-        """Parse/plan (through the normalized-text plan cache) and execute."""
+        """Parse/plan (through the normalized-text plan cache) and execute.
+
+        Snapshot sessions execute under :meth:`read_scope`, so the result is
+        always transactionally consistent even while a writer commits in
+        parallel.
+        """
 
         compiled = self.system._compile(text)
-        return Result(self.system._execute_compiled(compiled, params, executor=executor))
+        with self.read_scope():
+            return Result(
+                self.system._execute_compiled(compiled, params, executor=executor)
+            )
 
     def execute(
         self,
@@ -337,24 +530,29 @@ class Session:
     # -- CRUD (the logic behind the ErbiumDB facade methods) ------------------
 
     def insert(self, entity: str, values: Dict[str, Any]) -> EntityInstance:
+        self._ensure_writable()
         return self.system._require_crud().insert_entity(
             EntityInstance(entity, dict(values))
         )
 
     def insert_many(self, entity: str, rows: Sequence[Dict[str, Any]]) -> int:
+        self._ensure_writable()
         instances = [EntityInstance(entity, dict(values)) for values in rows]
         return len(self.system._require_crud().insert_entities(instances))
 
     def get(self, entity: str, key: Union[Any, Sequence[Any]]) -> Optional[Dict[str, Any]]:
-        instance = self.system._require_crud().get_entity(entity, key)
+        with self.read_scope():
+            instance = self.system._require_crud().get_entity(entity, key)
         return dict(instance.values) if instance is not None else None
 
     def update(
         self, entity: str, key: Union[Any, Sequence[Any]], changes: Dict[str, Any]
     ) -> None:
+        self._ensure_writable()
         self.system._require_crud().update_entity(entity, key, changes)
 
     def delete(self, entity: str, key: Union[Any, Sequence[Any]]) -> int:
+        self._ensure_writable()
         return self.system._require_crud().delete_entity(entity, key)
 
     @staticmethod
@@ -375,9 +573,11 @@ class Session:
         instance = RelationshipInstance(
             relationship, self._normalize_endpoints(endpoints), dict(values or {})
         )
+        self._ensure_writable()
         return self.system._require_crud().insert_relationship(instance)
 
     def unlink(self, relationship: str, endpoints: Dict[str, Union[Any, Sequence[Any]]]) -> int:
+        self._ensure_writable()
         return self.system._require_crud().delete_relationship(
             relationship, self._normalize_endpoints(endpoints)
         )
@@ -385,10 +585,12 @@ class Session:
     def related(
         self, relationship: str, from_entity: str, key: Union[Any, Sequence[Any]]
     ) -> List[Tuple[Any, ...]]:
-        return self.system._require_crud().related_keys(relationship, from_entity, key)
+        with self.read_scope():
+            return self.system._require_crud().related_keys(relationship, from_entity, key)
 
     def count(self, entity: str) -> int:
-        return self.system._require_crud().count_entities(entity)
+        with self.read_scope():
+            return self.system._require_crud().count_entities(entity)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         mode = "autocommit" if self.autocommit else (

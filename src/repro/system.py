@@ -26,9 +26,11 @@ This mirrors the architecture in Figure 3 of the paper:
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .core import (
     EntityInstance,
@@ -51,6 +53,7 @@ from .mapping import (
     fully_normalized_spec,
 )
 from .relational import Database, QueryResult
+from .relational.mvcc import ReadView, read_view_scope
 from .session import CompiledQuery, PreparedStatement, Result, Session, check_bindings
 
 
@@ -115,6 +118,9 @@ class ErbiumDB:
         self._planner: Optional[Planner] = None
         self._plan_cache: "OrderedDict[Tuple[str, int], CompiledQuery]" = OrderedDict()
         self._plan_cache_size = plan_cache_size
+        # Guards the plan cache and the metrics counters: concurrent reader
+        # sessions share both, and OrderedDict reordering is not atomic.
+        self._cache_lock = threading.Lock()
         self._mapping_version = 0
         self._implicit_session = Session(self, autocommit=True)
 
@@ -312,7 +318,14 @@ class ErbiumDB:
         return self.durability.checkpoint(background=background)
 
     def close(self, checkpoint: bool = True) -> None:
-        """Flush and release durability resources (no-op when not durable)."""
+        """Flush and release durability resources.
+
+        Idempotent and safe on any instance: closing a never-durable system
+        is a no-op, and a second ``close()`` after a successful one is too
+        (the first detached the durability manager).  When the final
+        checkpoint or the log close raises — e.g. a disk error — the manager
+        stays attached so the caller can retry or ``close(checkpoint=False)``.
+        """
 
         if self.durability is None:
             return
@@ -324,7 +337,7 @@ class ErbiumDB:
 
     # -------------------------------------------------------------- sessions
 
-    def session(self) -> Session:
+    def session(self, isolation: str = "live") -> Session:
         """A new client session (transaction scope + CRUD + prepared queries).
 
         Use as a context manager to span several operations with one
@@ -333,9 +346,40 @@ class ErbiumDB:
             with system.session() as s:
                 s.insert("person", {...})
                 s.query("select ... where city = $c", params={"c": "X"})
+
+        ``isolation="snapshot"`` returns an MVCC session: its reads run
+        against a pinned read view — fully in parallel with a mutating
+        writer, never blocking on the writer lock — and a transaction that
+        writes gets first-committer-wins conflict detection (see
+        :class:`~repro.session.Session` and ``docs/concurrency.md``).
         """
 
-        return Session(self)
+        return Session(self, isolation=isolation)
+
+    @contextmanager
+    def read_view(self) -> Iterator[ReadView]:
+        """Pin a consistent snapshot for the ``with`` block (power-user hook).
+
+        Every query executed inside the block — via :meth:`query`, sessions,
+        or prepared statements on this thread — reads the pinned snapshot
+        instead of live tables::
+
+            with system.read_view():
+                a = system.query("select count(id) from person p").scalar()
+                b = system.query("select count(id) from person p").scalar()
+                assert a == b          # repeatable even under concurrent writers
+
+        Sessions with ``isolation="snapshot"`` manage this automatically;
+        the explicit form is for read-only code that wants a multi-statement
+        consistent view without a session object.
+        """
+
+        view = self.db.begin_read_view()
+        try:
+            with read_view_scope(view):
+                yield view
+        finally:
+            view.close()
 
     def prepare(self, text: str) -> PreparedStatement:
         """Compile an ERQL SELECT once; execute it repeatedly with bindings."""
@@ -437,11 +481,12 @@ class ErbiumDB:
         ``metrics.evictions`` counts them.
         """
 
-        self._mapping_version += 1
-        # the bump makes every existing key stale (and _cache_put refuses
-        # stale versions), so eviction is a counted clear
-        self.metrics.evictions += len(self._plan_cache)
-        self._plan_cache.clear()
+        with self._cache_lock:
+            self._mapping_version += 1
+            # the bump makes every existing key stale (and _cache_put refuses
+            # stale versions), so eviction is a counted clear
+            self.metrics.evictions += len(self._plan_cache)
+            self._plan_cache.clear()
 
     def plan(self, text: str):
         """The physical plan an ERQL query compiles to under the active mapping.
@@ -474,7 +519,8 @@ class ErbiumDB:
         if cached is not None:
             return cached
         statement = parse_query(text)
-        self.metrics.parses += 1
+        with self._cache_lock:
+            self.metrics.parses += 1
         normalized = unparse_query(statement)
         cached = self._cache_get((normalized, version))
         if cached is not None:
@@ -482,9 +528,10 @@ class ErbiumDB:
             self._cache_put((text, version), cached)
             return cached
         bound = analyze_query(self.schema, statement)
-        self.metrics.analyses += 1
         plan = self._planner.plan(bound)
-        self.metrics.plans += 1
+        with self._cache_lock:
+            self.metrics.analyses += 1
+            self.metrics.plans += 1
         attribute_refs = sorted(
             {
                 (bound.aliases[alias], attribute)
@@ -508,22 +555,24 @@ class ErbiumDB:
         return compiled
 
     def _cache_get(self, key: Tuple[str, int]) -> Optional[CompiledQuery]:
-        cached = self._plan_cache.get(key)
-        if cached is None:
-            return None
-        self._plan_cache.move_to_end(key)
-        self.metrics.cache_hits += 1
-        return cached
+        with self._cache_lock:
+            cached = self._plan_cache.get(key)
+            if cached is None:
+                return None
+            self._plan_cache.move_to_end(key)
+            self.metrics.cache_hits += 1
+            return cached
 
     def _cache_put(self, key: Tuple[str, int], compiled: CompiledQuery) -> None:
-        if key[1] != self._mapping_version:
-            # compiled under a mapping that changed mid-flight: never cache
-            # a plan that the next probe could not legally return
-            return
-        self._plan_cache[key] = compiled
-        while len(self._plan_cache) > self._plan_cache_size:
-            self._plan_cache.popitem(last=False)
-            self.metrics.evictions += 1
+        with self._cache_lock:
+            if key[1] != self._mapping_version:
+                # compiled under a mapping that changed mid-flight: never cache
+                # a plan that the next probe could not legally return
+                return
+            self._plan_cache[key] = compiled
+            while len(self._plan_cache) > self._plan_cache_size:
+                self._plan_cache.popitem(last=False)
+                self.metrics.evictions += 1
 
     def _execute_compiled(
         self,
@@ -535,6 +584,9 @@ class ErbiumDB:
 
         bindings = check_bindings(compiled.parameters, params)
         compiled.plan.reset_caches()
+        # racy-but-benign increment: the hot path must not contend on the
+        # cache lock; concurrent runs may undercount, single-threaded runs
+        # (which is what the instrumentation tests assert on) stay exact
         self.metrics.executions += 1
         return self.db.execute(compiled.plan, executor=executor, params=bindings)
 
