@@ -12,6 +12,7 @@ This package replaces the PostgreSQL backend used by the paper's prototype
 
 from .batch import Batch
 from .engine import Database
+from .typed import TypedColumn, pylist, typed_columns_disabled, typed_columns_enabled
 from .expressions import Parameter, parameter_scope
 from .mvcc import ReadView, SnapshotRegistry, TableView, current_read_view, read_view_scope
 from .plan import PlanNode, QueryResult
@@ -46,6 +47,10 @@ __all__ = [
     "read_view_scope",
     "Batch",
     "BatchExecutor",
+    "TypedColumn",
+    "pylist",
+    "typed_columns_disabled",
+    "typed_columns_enabled",
     "execute_batch",
     "annotate_required_columns",
     "Column",

@@ -1,10 +1,15 @@
 """Columnar record batches: the data unit of the vectorized executor.
 
-A :class:`Batch` is a set of named columns of equal length.  Values are plain
-Python lists (the repo has no hard numpy dependency on the query path), but
-the layout removes the per-row dict construction and per-row expression-tree
-interpretation that dominate the row executor — each operator touches each
-column once instead of touching each row once per column.
+A :class:`Batch` is a set of named columns of equal length.  A column is
+either a plain Python list (the object fallback — ARRAY/STRUCT values,
+mixed-type data) or a :class:`~repro.relational.typed.TypedColumn` (numpy
+values + validity bitmap; see that module).  Either way the layout removes
+the per-row dict construction and per-row expression-tree interpretation
+that dominate the row executor — each operator touches each column once
+instead of touching each row once per column — and typed columns further
+replace the per-element Python work with numpy kernels: ``take`` is one
+fancy-indexing gather, ``slice`` a zero-copy view, ``concat`` one
+``np.concatenate`` per column.
 
 Column order is significant: it mirrors the key order of the row dicts the
 row executor would produce, so ``to_rows()`` round-trips exactly and the two
@@ -14,9 +19,28 @@ executors can be compared row-for-row (see
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
 
 from ..errors import ExecutionError
+from .typed import TypedColumn, pylist
+
+#: One batch column: an object-path list or a typed numpy-backed column.
+ColumnData = Union[List[Any], TypedColumn]
+
+
+def _check_indices(indices: Any, length: int) -> None:
+    """Reject out-of-range / negative gather positions with ExecutionError."""
+
+    if isinstance(indices, np.ndarray):
+        if indices.size and (indices.min() < 0 or indices.max() >= length):
+            raise ExecutionError(
+                f"take index out of range for batch of {length} rows"
+            )
+        return
+    if indices and (min(indices) < 0 or max(indices) >= length):
+        raise ExecutionError(f"take index out of range for batch of {length} rows")
 
 
 class Batch:
@@ -30,7 +54,7 @@ class Batch:
 
     __slots__ = ("columns", "data", "length", "source_rows")
 
-    def __init__(self, columns: Sequence[str], data: Dict[str, List[Any]], length: int) -> None:
+    def __init__(self, columns: Sequence[str], data: Dict[str, ColumnData], length: int) -> None:
         self.columns: List[str] = list(columns)
         self.data = data
         self.length = length
@@ -66,7 +90,7 @@ class Batch:
         return cls(columns, data, len(rows))
 
     @classmethod
-    def from_columns(cls, columns: Sequence[str], data: Dict[str, List[Any]]) -> "Batch":
+    def from_columns(cls, columns: Sequence[str], data: Dict[str, ColumnData]) -> "Batch":
         length = len(data[columns[0]]) if columns else 0
         for name in columns:
             if len(data[name]) != length:
@@ -83,7 +107,7 @@ class Batch:
     def has_column(self, name: str) -> bool:
         return name in self.data
 
-    def column(self, name: str) -> List[Any]:
+    def column(self, name: str) -> ColumnData:
         """One column's values; raises like a row-mode ``ColumnRef`` would."""
 
         try:
@@ -91,8 +115,13 @@ class Batch:
         except KeyError:
             raise ExecutionError(f"batch has no column {name!r}") from None
 
+    def column_list(self, name: str) -> List[Any]:
+        """One column as a plain Python list (typed columns materialize)."""
+
+        return pylist(self.column(name))
+
     def row(self, index: int) -> Dict[str, Any]:
-        return {c: self.data[c][index] for c in self.columns}
+        return {c: pylist(self.data[c])[index] for c in self.columns}
 
     def to_rows(self) -> List[Dict[str, Any]]:
         """Materialize row dicts (the boundary back to the row-oriented API)."""
@@ -100,22 +129,38 @@ class Batch:
         columns = self.columns
         if not columns:
             return [{} for _ in range(self.length)]
-        pairs = [(c, self.data[c]) for c in columns]
+        pairs = [(c, pylist(self.data[c])) for c in columns]
         return [{c: values[i] for c, values in pairs} for i in range(self.length)]
 
     def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        pairs = [(c, pylist(self.data[c])) for c in self.columns]
         for i in range(self.length):
-            yield self.row(i)
+            yield {c: values[i] for c, values in pairs}
 
     # -- transforms (all return new batches; columns are shared, not copied) --
 
-    def take(self, indices: Sequence[int]) -> "Batch":
-        """Select rows by position (gather)."""
+    def take(self, indices: Any) -> "Batch":
+        """Select rows by position (gather).
 
-        data = {}
+        ``indices`` may be a Python sequence or a numpy integer array; every
+        position must be in ``[0, len(self))`` — out-of-range (including
+        negative) indices raise :class:`ExecutionError` instead of wrapping
+        or failing midway, matching :meth:`from_columns` strictness.
+        """
+
+        _check_indices(indices, self.length)
+        idx_array: Optional[np.ndarray] = (
+            indices if isinstance(indices, np.ndarray) else None
+        )
+        data: Dict[str, ColumnData] = {}
         for name in self.columns:
             source = self.data[name]
-            data[name] = [source[i] for i in indices]
+            if isinstance(source, TypedColumn):
+                if idx_array is None:
+                    idx_array = np.asarray(indices, dtype=np.intp)
+                data[name] = source.take(idx_array)
+            else:
+                data[name] = [source[i] for i in indices]
         return Batch(self.columns, data, len(indices))
 
     def slice(self, start: int, stop: int) -> "Batch":
@@ -139,7 +184,7 @@ class Batch:
         """
 
         columns: List[str] = []
-        data: Dict[str, List[Any]] = {}
+        data: Dict[str, ColumnData] = {}
         for c in self.columns:
             target = renames.get(c, c)
             if target not in data:
@@ -147,9 +192,13 @@ class Batch:
             data[target] = self.data[c]
         return Batch(columns, data, self.length)
 
-    def with_column(self, name: str, values: List[Any]) -> "Batch":
-        """Add (or replace) one column."""
+    def with_column(self, name: str, values: ColumnData) -> "Batch":
+        """Add (or replace) one column; its length must match the batch."""
 
+        if len(values) != self.length:
+            raise ExecutionError(
+                f"column {name!r} has length {len(values)}, expected {self.length}"
+            )
         columns = list(self.columns)
         if name not in self.data:
             columns.append(name)
@@ -170,16 +219,32 @@ class Batch:
                         seen.add(c)
                         names.append(c)
             columns = names
-        data: Dict[str, List[Any]] = {c: [] for c in columns}
-        total = 0
-        for batch in batches:
-            for c in columns:
-                if batch.has_column(c):
-                    data[c].extend(batch.data[c])
-                else:
-                    data[c].extend([None] * batch.length)
-            total += batch.length
+        data: Dict[str, ColumnData] = {}
+        total = sum(batch.length for batch in batches)
+        for c in columns:
+            pieces = [
+                batch.data[c] if batch.has_column(c) else batch.length
+                for batch in batches
+            ]
+            data[c] = _concat_column(pieces)
         return Batch(columns, data, total)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Batch rows={self.length} cols={self.columns}>"
+
+
+def _concat_column(pieces: List[Any]) -> ColumnData:
+    """Stack column pieces; an ``int`` piece means that many NULL pads."""
+
+    typed = [p for p in pieces if isinstance(p, TypedColumn)]
+    if typed and len(typed) == len(pieces):
+        combined = TypedColumn.concat(typed)
+        if combined is not None:
+            return combined
+    out: List[Any] = []
+    for piece in pieces:
+        if isinstance(piece, int):
+            out.extend([None] * piece)
+        else:
+            out.extend(pylist(piece))
+    return out

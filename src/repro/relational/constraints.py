@@ -21,6 +21,7 @@ from ..errors import (
     UniqueViolation,
 )
 from .indexes import HashIndex
+from .typed import TypedColumn, pylist
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .batch import Batch
@@ -38,8 +39,8 @@ def _batch_keys(batch: "Batch", columns: Sequence[str]) -> list:
     """
 
     if len(columns) == 1:
-        return batch.column(columns[0])
-    return list(zip(*[batch.column(c) for c in columns]))
+        return batch.column_list(columns[0])
+    return list(zip(*[batch.column_list(c) for c in columns]))
 
 
 def _existing_keys(table: "Table", columns: Sequence[str]):
@@ -119,6 +120,15 @@ class NotNullConstraint(Constraint):
 
     def check_insert_batch(self, catalog: "Catalog", table: "Table", batch: "Batch") -> None:
         values = batch.column(self.column)
+        if isinstance(values, TypedColumn):
+            # Validity bitmap sweep: no materialization when the column is clean.
+            hole = values.first_null()
+            if hole is not None:
+                raise NotNullViolation(
+                    f"column {self.column!r} of table {table.name!r} must not be "
+                    f"NULL (batch row {hole})"
+                )
+            return
         if None in values:  # C-level scan; scalar == never matches None
             raise NotNullViolation(
                 f"column {self.column!r} of table {table.name!r} must not be "
@@ -368,6 +378,12 @@ class CheckConstraint(Constraint):
             from .vectorized import compile_expression
 
             values = compile_expression(self.expression)(batch)
+            if isinstance(values, TypedColumn):
+                # Mask sweep: only fetch row positions when something failed.
+                mask = values.truth_mask()
+                if mask.all():
+                    return
+                values = mask.tolist()
         else:
             values = [self._holds(row) for row in batch.iter_rows()]
         for i, ok in enumerate(values):

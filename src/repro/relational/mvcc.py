@@ -39,6 +39,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import ExecutionError
+from .typed import pylist
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .catalog import Catalog
@@ -48,9 +49,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class TableSnapshot:
     """One immutable (table, version) snapshot retained by the registry.
 
-    ``columns`` holds the table's shared per-version column lists (captured by
+    ``columns`` holds the table's shared per-version columns (captured by
     reference — they are never mutated after publication), ``row_count`` the
-    number of live rows they describe.  Instances are shared by every view
+    number of live rows they describe.  Columns are plain lists or immutable
+    :class:`~repro.relational.typed.TypedColumn` arrays; either way retention
+    is zero-copy — pinning a superseded version keeps the already-built
+    arrays alive, it never copies them.  Instances are shared by every view
     pinned at the same version; ``refs`` counts those views.
 
     The row-dict materialization and the per-key-column lookup maps are
@@ -88,7 +92,7 @@ class TableSnapshot:
         rows = self._rows
         if rows is None:
             names = self.schema.column_names()
-            series = [self.columns[n] for n in names]
+            series = [pylist(self.columns[n]) for n in names]
             if series:
                 rows = [dict(zip(names, values)) for values in zip(*series)]
             else:
@@ -103,7 +107,7 @@ class TableSnapshot:
         if cached is None:
             cached = {}
             series = [
-                self.columns.get(c, [None] * self.row_count) for c in columns
+                pylist(self.columns.get(c, [None] * self.row_count)) for c in columns
             ]
             for row_id, key in enumerate(zip(*series)):
                 cached.setdefault(key, []).append(row_id)

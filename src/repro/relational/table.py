@@ -18,8 +18,9 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 from operator import itemgetter
 
 from ..errors import CatalogError, ExecutionError, TypeMismatchError
-from .batch import Batch
+from .batch import Batch, ColumnData
 from .indexes import HashIndex, Index, IndexDefinition, create_index
+from .typed import TypedColumn, pylist, typed_columns_enabled
 from .types import TableSchema
 
 
@@ -32,7 +33,7 @@ class Table:
         self._indexes: Dict[str, Index] = {}
         self._live_count = 0
         self._version = 0
-        self._snapshot: Optional[Dict[str, List[Any]]] = None
+        self._snapshot: Optional[Dict[str, ColumnData]] = None
         self._snapshot_version = -1
         # Per-slot write stamps: the data version at which each slot was last
         # mutated (insert, update, delete, undo re-insert).  Snapshot-isolation
@@ -163,18 +164,21 @@ class Table:
                 versions.extend([0] * (row_id - len(versions)))
             versions.append(self._version)
 
-    def column_data(self, columns: Iterable[str]) -> Dict[str, List[Any]]:
+    def column_data(self, columns: Iterable[str]) -> Dict[str, ColumnData]:
         """Column-major snapshot of the requested columns over live rows.
 
         The snapshot for the whole table is built once per data version and
         shared afterwards (this is the batch executor's scan fast path, so
         repeated queries read prebuilt columns instead of re-walking row
-        dicts).  Callers must treat the returned lists as immutable; unknown
-        columns come back as all-``None``, matching ``row.get``.
+        dicts).  Columns whose declared type fits a typed layout come back as
+        immutable :class:`~repro.relational.typed.TypedColumn` arrays (the
+        vectorized kernels' input); the rest are plain lists.  Callers must
+        treat either as immutable; unknown columns come back as all-``None``,
+        matching ``row.get``.
         """
 
         snapshot = self._columnar_snapshot()
-        out: Dict[str, List[Any]] = {}
+        out: Dict[str, ColumnData] = {}
         for name in columns:
             values = snapshot.get(name)
             if values is None:
@@ -182,13 +186,20 @@ class Table:
             out[name] = values
         return out
 
-    def _columnar_snapshot(self) -> Dict[str, List[Any]]:
+    def _columnar_snapshot(self) -> Dict[str, ColumnData]:
         if self._snapshot is None or self._snapshot_version != self._version:
             live = [row for row in self._rows if row is not None]
-            self._snapshot = {
-                name: [row.get(name) for row in live]
-                for name in self.schema.column_names()
-            }
+            snapshot: Dict[str, ColumnData] = {}
+            use_typed = typed_columns_enabled()
+            for column in self.schema.columns:
+                values = [row.get(column.name) for row in live]
+                if use_typed:
+                    typed = TypedColumn.from_values(values, column.dtype)
+                    if typed is not None:
+                        snapshot[column.name] = typed
+                        continue
+                snapshot[column.name] = values
+            self._snapshot = snapshot
             self._snapshot_version = self._version
         return self._snapshot
 
@@ -213,7 +224,9 @@ class Table:
         return {
             "slots": len(self._rows),
             "live_ids": [rid for rid, row in enumerate(self._rows) if row is not None],
-            "columns": {name: snapshot[name] for name in self.schema.column_names()},
+            "columns": {
+                name: pylist(snapshot[name]) for name in self.schema.column_names()
+            },
         }
 
     def restore_slots(

@@ -15,8 +15,17 @@ on a pure-Python substrate.  This module executes the *same*
   — no per-row dict is ever materialized for scans — and honours the
   ``required_columns`` annotation written by
   :func:`annotate_required_columns`, so scans project early;
-* any operator (or expression) this module does not know falls back to the
-  row implementation, which keeps the executor total over future plan nodes.
+* when a column is a :class:`~repro.relational.typed.TypedColumn` (numpy
+  values + validity bitmap — see that module), the compiled closures run
+  *numpy kernels*: comparisons and arithmetic evaluate on whole arrays with
+  SQL NULL propagation through the masks, AND/OR combine boolean masks,
+  ``IN`` lists become ``np.isin``, dictionary-encoded string equality
+  compares int32 codes, filters gather with ``np.flatnonzero`` + fancy
+  indexing, and grouped aggregates reduce with ``np.unique``/``np.bincount``
+  instead of a per-row Python loop;
+* any operator, expression, or column representation the kernels do not
+  cover falls back to the original per-element implementation, which keeps
+  the executor total over future plan nodes and over object-path columns.
 
 Semantics match the row executor except in degenerate corners where the row
 executor itself is underspecified (rows with ragged key sets are padded with
@@ -25,7 +34,11 @@ executor itself is underspecified (rows with ragged key sets are padded with
 
 from __future__ import annotations
 
+import math
+
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..errors import ExecutionError, ExpressionError
 from .batch import Batch
@@ -67,6 +80,7 @@ from .operators import (
     _AggState,
 )
 from .plan import PlanNode
+from .typed import TypedColumn, pylist
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import Database
@@ -76,7 +90,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 # Vectorized expression compilation
 # ---------------------------------------------------------------------------
 
-ColumnFn = Callable[[Batch], List[Any]]
+#: A compiled column evaluator returns either a plain value list or a
+#: :class:`TypedColumn`; consumers accept both (``pylist`` is the bridge).
+ColumnVector = Any
+ColumnFn = Callable[[Batch], ColumnVector]
+
+_SCALAR_KINDS = (bool, int, float)
 
 
 def compile_expression(expr: Expression) -> ColumnFn:
@@ -94,11 +113,23 @@ def compile_expression(expr: Expression) -> ColumnFn:
     return fn
 
 
+def _scalar_operand(expr: Expression) -> Optional[Callable[[], Any]]:
+    """A per-execution scalar getter for constant-like operands, else None."""
+
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda: value
+    if isinstance(expr, Parameter):
+        name = expr.name
+        return lambda: resolve_parameter(name)
+    return None
+
+
 def _build(expr: Expression) -> ColumnFn:
     if isinstance(expr, ColumnRef):
         name = expr.name
 
-        def _column(batch: Batch) -> List[Any]:
+        def _column(batch: Batch) -> ColumnVector:
             try:
                 return batch.data[name]
             except KeyError:
@@ -120,9 +151,9 @@ def _build(expr: Expression) -> ColumnFn:
         base = compile_expression(expr.base)
         field_name = expr.field
 
-        def _field(batch: Batch) -> List[Any]:
+        def _field(batch: Batch) -> ColumnVector:
             out = []
-            for value in base(batch):
+            for value in pylist(base(batch)):
                 if value is None:
                     out.append(None)
                 elif not isinstance(value, dict):
@@ -141,24 +172,53 @@ def _build(expr: Expression) -> ColumnFn:
         if expr.op not in _BINARY_OPS:
             raise ExpressionError(f"unknown binary operator {expr.op!r}")
         op = _BINARY_OPS[expr.op]
-        left = compile_expression(expr.left)
-        right = compile_expression(expr.right)
-        return lambda batch: [op(l, r) for l, r in zip(left(batch), right(batch))]
+        op_name = expr.op
+        left_scalar = _scalar_operand(expr.left)
+        right_scalar = _scalar_operand(expr.right)
+        left = None if left_scalar is not None else compile_expression(expr.left)
+        right = None if right_scalar is not None else compile_expression(expr.right)
+
+        def _binop(batch: Batch) -> ColumnVector:
+            lv = left_scalar() if left_scalar is not None else left(batch)
+            rv = right_scalar() if right_scalar is not None else right(batch)
+            l_is_scalar = left_scalar is not None
+            r_is_scalar = right_scalar is not None
+            kernel = _numeric_binop(op_name, lv, rv, l_is_scalar, r_is_scalar, batch.length)
+            if kernel is not None:
+                return kernel
+            la = [lv] * batch.length if l_is_scalar else pylist(lv)
+            ra = [rv] * batch.length if r_is_scalar else pylist(rv)
+            return [op(l, r) for l, r in zip(la, ra)]
+
+        return _binop
 
     if isinstance(expr, And):
         operands = [compile_expression(o) for o in expr.operands]
         if len(operands) == 1:
             only = operands[0]
-            return lambda batch: [bool(v) for v in only(batch)]
 
-        def _and(batch: Batch) -> List[Any]:
+            def _single(batch: Batch) -> ColumnVector:
+                values = only(batch)
+                if isinstance(values, TypedColumn):
+                    return TypedColumn("bool", values.truth_mask())
+                return [bool(v) for v in values]
+
+            return _single
+
+        def _and(batch: Batch) -> ColumnVector:
             # Eager column evaluation loses the row executor's short-circuit;
             # if a later operand raises on a row an earlier operand would have
             # masked, fall back to row-wise (short-circuiting) evaluation.
             try:
                 columns = [o(batch) for o in operands]
-            except ExpressionError:
+            except (ExpressionError, TypeError):
                 return [expr.evaluate(row) for row in batch.iter_rows()]
+            if all(isinstance(c, TypedColumn) for c in columns):
+                mask = columns[0].truth_mask()
+                for column in columns[1:]:
+                    mask = mask & column.truth_mask()
+                return TypedColumn("bool", mask)
+            columns = [pylist(c) for c in columns]
             if len(columns) == 2:
                 return [bool(a and b) for a, b in zip(columns[0], columns[1])]
             return [all(c[i] for c in columns) for i in range(batch.length)]
@@ -169,13 +229,26 @@ def _build(expr: Expression) -> ColumnFn:
         operands = [compile_expression(o) for o in expr.operands]
         if len(operands) == 1:
             only = operands[0]
-            return lambda batch: [bool(v) for v in only(batch)]
 
-        def _or(batch: Batch) -> List[Any]:
+            def _single_or(batch: Batch) -> ColumnVector:
+                values = only(batch)
+                if isinstance(values, TypedColumn):
+                    return TypedColumn("bool", values.truth_mask())
+                return [bool(v) for v in values]
+
+            return _single_or
+
+        def _or(batch: Batch) -> ColumnVector:
             try:
                 columns = [o(batch) for o in operands]
-            except ExpressionError:
+            except (ExpressionError, TypeError):
                 return [expr.evaluate(row) for row in batch.iter_rows()]
+            if all(isinstance(c, TypedColumn) for c in columns):
+                mask = columns[0].truth_mask()
+                for column in columns[1:]:
+                    mask = mask | column.truth_mask()
+                return TypedColumn("bool", mask)
+            columns = [pylist(c) for c in columns]
             if len(columns) == 2:
                 return [bool(a or b) for a, b in zip(columns[0], columns[1])]
             return [any(c[i] for c in columns) for i in range(batch.length)]
@@ -187,22 +260,58 @@ def _build(expr: Expression) -> ColumnFn:
             # NOT (x IS [NOT] NULL) fuses into one pass; IS NULL never
             # yields NULL itself, so the NOT cannot propagate one.
             inner = compile_expression(expr.operand.operand)
-            if expr.operand.negate:
-                return lambda batch: [v is None for v in inner(batch)]
-            return lambda batch: [v is not None for v in inner(batch)]
+            # NOT (x IS NULL) is true where valid; NOT (x IS NOT NULL) where NULL.
+            want_null = expr.operand.negate
+
+            def _fused(batch: Batch) -> ColumnVector:
+                values = inner(batch)
+                if isinstance(values, TypedColumn):
+                    mask = values.valid_mask()
+                    return TypedColumn("bool", ~mask if want_null else mask.copy())
+                if want_null:
+                    return [v is None for v in values]
+                return [v is not None for v in values]
+
+            return _fused
         operand = compile_expression(expr.operand)
-        return lambda batch: [None if v is None else not v for v in operand(batch)]
+
+        def _not(batch: Batch) -> ColumnVector:
+            values = operand(batch)
+            if isinstance(values, TypedColumn):
+                return TypedColumn("bool", ~values.truth_mask(), values.validity)
+            return [None if v is None else not v for v in values]
+
+        return _not
 
     if isinstance(expr, IsNull):
         operand = compile_expression(expr.operand)
-        if expr.negate:
-            return lambda batch: [v is not None for v in operand(batch)]
-        return lambda batch: [v is None for v in operand(batch)]
+        negate = expr.negate
+
+        def _is_null(batch: Batch) -> ColumnVector:
+            values = operand(batch)
+            if isinstance(values, TypedColumn):
+                mask = values.valid_mask()
+                return TypedColumn("bool", mask.copy() if negate else ~mask)
+            if negate:
+                return [v is not None for v in values]
+            return [v is None for v in values]
+
+        return _is_null
 
     if isinstance(expr, InList):
         operand = compile_expression(expr.operand)
         members = expr._set
-        return lambda batch: [None if v is None else v in members for v in operand(batch)]
+
+        def _in_list(batch: Batch) -> ColumnVector:
+            values = operand(batch)
+            if isinstance(values, TypedColumn):
+                kernel = _isin_kernel(values, members)
+                if kernel is not None:
+                    return kernel
+                values = pylist(values)
+            return [None if v is None else v in members for v in values]
+
+        return _in_list
 
     if isinstance(expr, FunctionCall):
         key = expr.name.lower()
@@ -211,8 +320,8 @@ def _build(expr: Expression) -> ColumnFn:
         fn = _SCALAR_FUNCTIONS[key]
         args = [compile_expression(a) for a in expr.args]
 
-        def _call(batch: Batch) -> List[Any]:
-            columns = [a(batch) for a in args]
+        def _call(batch: Batch) -> ColumnVector:
+            columns = [pylist(a(batch)) for a in args]
             return [fn([c[i] for c in columns]) for i in range(batch.length)]
 
         return _call
@@ -220,8 +329,8 @@ def _build(expr: Expression) -> ColumnFn:
     if isinstance(expr, StructBuild):
         fields = [(name, compile_expression(value)) for name, value in expr.fields.items()]
 
-        def _struct(batch: Batch) -> List[Any]:
-            columns = [(name, fn(batch)) for name, fn in fields]
+        def _struct(batch: Batch) -> ColumnVector:
+            columns = [(name, pylist(fn(batch))) for name, fn in fields]
             return [{name: col[i] for name, col in columns} for i in range(batch.length)]
 
         return _struct
@@ -230,10 +339,240 @@ def _build(expr: Expression) -> ColumnFn:
     return lambda batch: [expr.evaluate(row) for row in batch.iter_rows()]
 
 
+# ---------------------------------------------------------------------------
+# Numpy kernels for binary operators and IN lists
+# ---------------------------------------------------------------------------
+
+_ARITH_OPS = {"+", "-", "*", "/", "%"}
+_COMPARE_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_NUMPY_COMPARE = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def _and_validity(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a & b
+
+
+def _result_kind(values: np.ndarray) -> Optional[str]:
+    if values.dtype == np.bool_:
+        return "bool"
+    if values.dtype == np.int64:
+        return "int64"
+    if values.dtype == np.float64:
+        return "float64"
+    return None
+
+
+def _numeric_binop(
+    op_name: str,
+    lv: Any,
+    rv: Any,
+    l_is_scalar: bool,
+    r_is_scalar: bool,
+    length: int,
+) -> Optional[ColumnVector]:
+    """Whole-column numpy evaluation of one binary op, or None for fallback.
+
+    Engages when at least one side is a TypedColumn and the other is a
+    TypedColumn or a bool/int/float scalar (a ``None`` scalar short-circuits
+    to an all-NULL column, matching SQL NULL propagation).  Dictionary-encoded
+    string columns support ``=`` / ``!=`` against string scalars by comparing
+    int32 codes.  Anything else returns None and the caller falls back to the
+    per-element loop.
+    """
+
+    l_typed = isinstance(lv, TypedColumn)
+    r_typed = isinstance(rv, TypedColumn)
+    if not l_typed and not r_typed:
+        return None
+    if (l_is_scalar and lv is None) or (r_is_scalar and rv is None):
+        return [None] * length
+
+    # Dictionary-encoded string equality against a string scalar.
+    if op_name in ("=", "!="):
+        if l_typed and lv.kind == "str" and r_is_scalar and isinstance(rv, str):
+            return _str_equals(lv, rv, op_name == "!=")
+        if r_typed and rv.kind == "str" and l_is_scalar and isinstance(lv, str):
+            return _str_equals(rv, lv, op_name == "!=")
+
+    def _numeric_side(value: Any, is_scalar: bool):
+        if isinstance(value, TypedColumn):
+            if not value.is_numeric:
+                return None
+            return value.values, value.validity
+        if is_scalar and isinstance(value, _SCALAR_KINDS):
+            return value, None
+        return None
+
+    lside = _numeric_side(lv, l_is_scalar)
+    rside = _numeric_side(rv, r_is_scalar)
+    if lside is None or rside is None:
+        return None
+    a, a_valid = lside
+    b, b_valid = rside
+    validity = _and_validity(a_valid, b_valid)
+
+    try:
+        if op_name in _COMPARE_OPS:
+            values = _NUMPY_COMPARE[op_name](a, b)
+            if not isinstance(values, np.ndarray) or values.dtype != np.bool_:
+                return None
+            return TypedColumn("bool", values, validity)
+        if op_name in _ARITH_OPS:
+            # numpy refuses +/-/* on bool arrays where Python would upcast;
+            # the object fallback covers that corner faithfully.
+            for side in (a, b):
+                if isinstance(side, np.ndarray) and side.dtype == np.bool_:
+                    return None
+                if isinstance(side, bool):
+                    return None
+            if op_name == "/":
+                zero = b == 0
+                divisor = np.where(zero, 1, b) if isinstance(b, np.ndarray) else b
+                if isinstance(b, np.ndarray):
+                    values = np.true_divide(a, divisor)
+                    if zero.any():
+                        validity = _and_validity(validity, ~zero)
+                elif b == 0:
+                    return [None] * length
+                else:
+                    values = np.true_divide(a, b)
+            elif op_name == "%":
+                zero = b == 0
+                if isinstance(b, np.ndarray):
+                    divisor = np.where(zero, 1, b)
+                    values = np.mod(a, divisor)
+                    if zero.any():
+                        validity = _and_validity(validity, ~zero)
+                elif b == 0:
+                    return [None] * length
+                else:
+                    values = np.mod(a, b)
+            elif op_name == "+":
+                values = a + b
+            elif op_name == "-":
+                values = a - b
+            else:
+                values = a * b
+            if not isinstance(values, np.ndarray):
+                return None
+            kind = _result_kind(values)
+            if kind is None:
+                # Unexpected promotion (e.g. int64 op uint): normalize or bail.
+                if np.issubdtype(values.dtype, np.integer):
+                    values = values.astype(np.int64)
+                    kind = "int64"
+                elif np.issubdtype(values.dtype, np.floating):
+                    values = values.astype(np.float64)
+                    kind = "float64"
+                else:
+                    return None
+            return TypedColumn(kind, values, validity)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    return None
+
+
+def _str_equals(column: TypedColumn, scalar: str, negate: bool) -> TypedColumn:
+    code = column.code_of(scalar)
+    if code is None:
+        values = (
+            np.ones(len(column), dtype=bool)
+            if negate
+            else np.zeros(len(column), dtype=bool)
+        )
+    else:
+        values = (column.values != code) if negate else (column.values == code)
+    return TypedColumn("bool", values, column.validity)
+
+
+def _isin_kernel(column: TypedColumn, members: set) -> Optional[TypedColumn]:
+    if column.kind == "str":
+        codes = [
+            column.code_of(m) for m in members if isinstance(m, str)
+        ]
+        codes = [c for c in codes if c is not None]
+        values = np.isin(column.values, np.asarray(codes, dtype=np.int32))
+        return TypedColumn("bool", values, column.validity)
+    if column.is_numeric:
+        if not all(isinstance(m, _SCALAR_KINDS) for m in members):
+            return None
+        try:
+            needles = np.asarray(sorted(float(m) for m in members), dtype=np.float64)
+        except (TypeError, ValueError, OverflowError):
+            return None
+        values = np.isin(column.values, needles)
+        return TypedColumn("bool", values, column.validity)
+    return None
+
+
 def _group_marker(value: Any) -> Any:
     """Hashable stand-in for group/distinct keys (mirrors the row operators)."""
 
     return repr(value) if isinstance(value, (dict, list)) else value
+
+
+# ---------------------------------------------------------------------------
+# Factorization (shared by the aggregate and distinct fast paths)
+# ---------------------------------------------------------------------------
+
+
+def _factorize(column: TypedColumn) -> Optional[np.ndarray]:
+    """Dense int codes per row where equal values share a code; NULL is a code.
+
+    Returns None when the column cannot be factorized with value semantics
+    identical to the row executor's dict keys (floats containing NaN: the
+    row path keeps each NaN row distinct, ``np.unique`` would collapse them).
+    """
+
+    if column.kind == "str":
+        codes = column.values.astype(np.int64, copy=False)
+        return codes + 1  # shift −1 (NULL) to 0
+    values = column.values
+    if column.kind == "float64" and np.isnan(values).any():
+        return None
+    _, inverse = np.unique(values, return_inverse=True)
+    inverse = inverse.astype(np.int64, copy=False) + 1
+    if column.validity is not None:
+        inverse = np.where(column.validity, inverse, 0)
+    return inverse
+
+
+def _combine_codes(code_columns: List[np.ndarray]) -> Optional[np.ndarray]:
+    """Mix per-column codes into one code per row (row-major radix)."""
+
+    combined = code_columns[0]
+    for codes in code_columns[1:]:
+        radix = int(codes.max()) + 1 if len(codes) else 1
+        if int(combined.max() if len(combined) else 0) > (2**62) // max(radix, 1):
+            return None  # overflow guard; practically unreachable
+        combined = combined * radix + codes
+    return combined
+
+
+def _first_seen_groups(combined: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Group ids in first-seen order.
+
+    Returns ``(gids, first_rows)``: per-row dense group ids numbered by first
+    appearance (matching the row executor's emission order) and, per group,
+    the row index of its first member.
+    """
+
+    _, first_idx, inverse = np.unique(combined, return_index=True, return_inverse=True)
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(first_idx), dtype=np.int64)
+    rank[order] = np.arange(len(first_idx), dtype=np.int64)
+    return rank[inverse], first_idx[order]
 
 
 # ---------------------------------------------------------------------------
@@ -394,6 +733,11 @@ class BatchExecutor:
 
     def _filter_truthy(self, batch: Batch, predicate: Expression) -> Batch:
         values = compile_expression(predicate)(batch)
+        if isinstance(values, TypedColumn):
+            mask = values.truth_mask()
+            if mask.all():
+                return batch
+            return batch.take(np.flatnonzero(mask))
         indices = [i for i, v in enumerate(values) if v]
         if len(indices) == batch.length:
             return batch
@@ -442,7 +786,7 @@ class BatchExecutor:
     def _project(self, node: Project) -> Batch:
         batch = self.run(node.child)
         columns: List[str] = []
-        data: Dict[str, List[Any]] = {}
+        data: Dict[str, Any] = {}
         for name, expression in node.outputs:
             if name not in data:
                 columns.append(name)
@@ -457,6 +801,8 @@ class BatchExecutor:
         arrays = batch.data.get(node.array_column)
         if arrays is None:
             arrays = [None] * batch.length
+        else:
+            arrays = pylist(arrays)
         indices: List[int] = []
         elements: List[Any] = []
         for i, array in enumerate(arrays):
@@ -495,7 +841,7 @@ class BatchExecutor:
 
         build: Dict[Tuple[Any, ...], List[int]] = {}
         right_key_columns = [
-            right.data.get(k, [None] * right.length) for k in node.right_keys
+            pylist(right.data.get(k, [None] * right.length)) for k in node.right_keys
         ]
         for i in range(right.length):
             key = tuple(column[i] for column in right_key_columns)
@@ -503,7 +849,9 @@ class BatchExecutor:
                 continue
             build.setdefault(key, []).append(i)
 
-        left_key_columns = [left.data.get(k, [None] * left.length) for k in node.left_keys]
+        left_key_columns = [
+            pylist(left.data.get(k, [None] * left.length)) for k in node.left_keys
+        ]
         left_indices: List[int] = []
         right_indices: List[int] = []  # -1 marks a left-join NULL pad
         if node.residual is None:
@@ -528,7 +876,7 @@ class BatchExecutor:
                     cand_left.append(i)
                     cand_right.append(j)
             combined = self._combine(left, right, cand_left, cand_right)
-            keep = compile_expression(node.residual)(combined)
+            keep = pylist(compile_expression(node.residual)(combined))
             emitted = set()
             for i, j, ok in zip(cand_left, cand_right, keep):
                 if ok:
@@ -561,7 +909,7 @@ class BatchExecutor:
                 cand_left.extend([i] * right.length)
                 cand_right.extend(range(right.length))
             combined = self._combine(left, right, cand_left, cand_right)
-            keep = compile_expression(node.predicate)(combined)
+            keep = pylist(compile_expression(node.predicate)(combined))
             emitted = set()
             for i, j, ok in zip(cand_left, cand_right, keep):
                 if ok:
@@ -588,17 +936,29 @@ class BatchExecutor:
 
         columns = list(left.columns) + [c for c in right.columns if c not in left.data]
         pad_clobbers = right.length > 0
-        data: Dict[str, List[Any]] = {}
+        left_idx: Optional[np.ndarray] = None
+        right_idx: Optional[np.ndarray] = None
+        data: Dict[str, Any] = {}
         for name in left.columns:
             if name in right.data and pad_clobbers:
                 continue
             source = left.data[name]
-            data[name] = [source[i] for i in left_indices]
+            if isinstance(source, TypedColumn):
+                if left_idx is None:
+                    left_idx = np.asarray(left_indices, dtype=np.intp)
+                data[name] = source.take(left_idx)
+            else:
+                data[name] = [source[i] for i in left_indices]
         for name in right.columns:
             if name in data:
                 continue
             source = right.data[name]
-            data[name] = [source[j] if j >= 0 else None for j in right_indices]
+            if isinstance(source, TypedColumn):
+                if right_idx is None:
+                    right_idx = np.asarray(right_indices, dtype=np.intp)
+                data[name] = source.gather_padded(right_idx)
+            else:
+                data[name] = [source[j] if j >= 0 else None for j in right_indices]
         return Batch(columns, data, len(left_indices))
 
     def _index_nested_loop_join(self, node: IndexNestedLoopJoin) -> Batch:
@@ -608,7 +968,9 @@ class BatchExecutor:
         inner_names = table.schema.column_names()
         inner_columns = [prefix + c for c in inner_names]
 
-        key_columns = [outer.data.get(k, [None] * outer.length) for k in node.outer_keys]
+        key_columns = [
+            pylist(outer.data.get(k, [None] * outer.length)) for k in node.outer_keys
+        ]
         outer_indices: List[int] = []
         inner_rows: List[Optional[Dict[str, Any]]] = []
         for i in range(outer.length):
@@ -638,16 +1000,24 @@ class BatchExecutor:
 
     def _hash_aggregate(self, node: HashAggregate) -> Batch:
         batch = self.run(node.child)
-        group_columns = [
+        group_vectors = [
             (name, compile_expression(expression)(batch)) for name, expression in node.group_by
         ]
-        argument_columns: List[Optional[List[Any]]] = []
+        argument_vectors: List[Optional[ColumnVector]] = []
         for spec in node.aggregates:
             if spec.function == "count_star" or spec.argument is None:
-                argument_columns.append(None)
+                argument_vectors.append(None)
             else:
-                argument_columns.append(compile_expression(spec.argument)(batch))
+                argument_vectors.append(compile_expression(spec.argument)(batch))
 
+        fast = _aggregate_fast(node, batch, group_vectors, argument_vectors)
+        if fast is not None:
+            return fast
+
+        group_columns = [(name, pylist(vec)) for name, vec in group_vectors]
+        argument_columns = [
+            pylist(vec) if vec is not None else None for vec in argument_vectors
+        ]
         groups: Dict[Any, Tuple[Dict[str, Any], List[_AggState]]] = {}
         order: List[Any] = []
         for i in range(batch.length):
@@ -685,12 +1055,25 @@ class BatchExecutor:
     def _distinct(self, node: Distinct) -> Batch:
         batch = self.run(node.child)
         subset = node.columns if node.columns is not None else batch.columns
-        key_columns = [batch.data.get(c, [None] * batch.length) for c in subset]
+        key_vectors = [batch.data.get(c, [None] * batch.length) for c in subset]
+
+        if key_vectors and all(isinstance(v, TypedColumn) for v in key_vectors):
+            codes = [_factorize(v) for v in key_vectors]
+            if all(c is not None for c in codes):
+                combined = _combine_codes(codes)  # type: ignore[arg-type]
+                if combined is not None:
+                    _, first_idx = np.unique(combined, return_index=True)
+                    if len(first_idx) == batch.length:
+                        return batch
+                    first_idx.sort()
+                    return batch.take(first_idx)
+
+        key_columns = [pylist(v) for v in key_vectors]
         seen = set()
         indices: List[int] = []
         if len(key_columns) == 1:
             for i, value in enumerate(key_columns[0]):
-                key = repr(value) if isinstance(value, (dict, list)) else value
+                key = _group_marker(value)
                 if key in seen:
                     continue
                 seen.add(key)
@@ -710,7 +1093,7 @@ class BatchExecutor:
         batch = self.run(node.child)
         order = list(range(batch.length))
         for column, ascending in reversed(node.keys):
-            values = batch.data.get(column, [None] * batch.length)
+            values = pylist(batch.data.get(column, [None] * batch.length))
             order.sort(
                 key=lambda i: (values[i] is None, values[i]),
                 reverse=not ascending,
@@ -727,6 +1110,124 @@ class BatchExecutor:
             cached = self.run(node.child)
             self._materialized[id(node)] = cached
         return cached
+
+
+# ---------------------------------------------------------------------------
+# Vectorized grouped aggregation
+# ---------------------------------------------------------------------------
+
+#: Aggregate functions the numpy reduction path can compute.
+_FAST_AGG_FUNCTIONS = {"count", "count_star", "sum", "avg", "min", "max"}
+
+
+def _aggregate_fast(
+    node: HashAggregate,
+    batch: Batch,
+    group_vectors: List[Tuple[str, ColumnVector]],
+    argument_vectors: List[Optional[ColumnVector]],
+) -> Optional[Batch]:
+    """Grouped aggregation via ``np.unique`` + ``np.bincount``, or None.
+
+    Parity notes: groups are emitted in first-seen order (like the row
+    executor's insertion-ordered dict); SUM accumulates in float64 *in row
+    order within each group* — ``np.bincount`` adds weights sequentially —
+    which reproduces the row executor's ``total += value`` float results
+    bit-for-bit; MIN/MAX return the stored values.  Falls back (returns
+    None) for DISTINCT aggregates, array_agg/collect, object-path columns,
+    and float group keys containing NaN.
+    """
+
+    for spec in node.aggregates:
+        if spec.distinct or spec.function not in _FAST_AGG_FUNCTIONS:
+            return None
+    for vec in argument_vectors:
+        if vec is None:
+            continue
+        if not isinstance(vec, TypedColumn) or not vec.is_numeric:
+            return None
+    code_columns: List[np.ndarray] = []
+    for _, vec in group_vectors:
+        if not isinstance(vec, TypedColumn):
+            return None
+        codes = _factorize(vec)
+        if codes is None:
+            return None
+        code_columns.append(codes)
+
+    length = batch.length
+    if code_columns:
+        combined = _combine_codes(code_columns)
+        if combined is None:
+            return None
+        gids, first_rows = _first_seen_groups(combined)
+        ngroups = len(first_rows)
+    else:
+        gids = np.zeros(length, dtype=np.int64)
+        first_rows = np.zeros(1 if length else 0, dtype=np.int64)
+        ngroups = 1  # global aggregation: one row even over empty input
+
+    columns = [name for name, _ in node.group_by] + [a.output for a in node.aggregates]
+    data: Dict[str, List[Any]] = {}
+    first_list = first_rows.tolist()
+    for name, vec in group_vectors:
+        assert isinstance(vec, TypedColumn)
+        data[name] = [vec[i] for i in first_list]
+
+    for spec, vec in zip(node.aggregates, argument_vectors):
+        data[spec.output] = _reduce_aggregate(spec.function, vec, gids, ngroups, length)
+    return Batch(columns, data, ngroups if not node.group_by else len(first_rows))
+
+
+def _reduce_aggregate(
+    function: str,
+    vec: Optional[TypedColumn],
+    gids: np.ndarray,
+    ngroups: int,
+    length: int,
+) -> List[Any]:
+    if function == "count_star":
+        return np.bincount(gids, minlength=ngroups).tolist()
+    assert vec is not None
+    validity = vec.validity
+    if validity is None:
+        valid_gids, valid_values = gids, vec.values
+    else:
+        valid_gids, valid_values = gids[validity], vec.values[validity]
+    counts = np.bincount(valid_gids, minlength=ngroups)
+    if function == "count":
+        return counts.tolist()
+    if function in ("sum", "avg"):
+        totals = np.bincount(
+            valid_gids, weights=valid_values.astype(np.float64, copy=False),
+            minlength=ngroups,
+        )
+        if function == "avg":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                totals = totals / counts
+        out = totals.tolist()
+        return [v if c else None for v, c in zip(out, counts.tolist())]
+    # min / max: scatter-reduce into sentinel-initialized buffers, then mask
+    # empty groups back to None.
+    values = valid_values
+    if values.dtype == np.bool_:
+        values = values.astype(np.int64)
+    if function == "min":
+        if np.issubdtype(values.dtype, np.integer):
+            out_array = np.full(ngroups, np.iinfo(np.int64).max, dtype=np.int64)
+        else:
+            out_array = np.full(ngroups, math.inf, dtype=np.float64)
+        np.minimum.at(out_array, valid_gids, values)
+    else:
+        if np.issubdtype(values.dtype, np.integer):
+            out_array = np.full(ngroups, np.iinfo(np.int64).min, dtype=np.int64)
+        else:
+            out_array = np.full(ngroups, -math.inf, dtype=np.float64)
+        np.maximum.at(out_array, valid_gids, values)
+    out = out_array.tolist()
+    result = [v if c else None for v, c in zip(out, counts.tolist())]
+    if vec.kind == "bool":
+        result = [bool(v) if v is not None else None for v in result]
+    return result
 
 
 _DISPATCH: Dict[type, Callable[[BatchExecutor, Any], Batch]] = {

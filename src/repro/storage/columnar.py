@@ -1,11 +1,12 @@
 """A simple column-oriented store.
 
-Columns are Python lists (numpy arrays for numeric columns when possible),
-which makes full-column scans and selective projections cheaper than reading
-row dicts — the same effect that makes Parquet/DataFusion attractive for the
-read-only workloads discussed in the paper.  The store intentionally supports
-only append + scan + filter-by-column; updates go through rebuilds, mirroring
-the "updates are typically harder" caveat in Section 4.
+Columns are Python lists (typed numpy columns for numeric access when
+possible), which makes full-column scans and selective projections cheaper
+than reading row dicts — the same effect that makes Parquet/DataFusion
+attractive for the read-only workloads discussed in the paper.  The store
+intentionally supports only append + scan + filter-by-column; updates go
+through rebuilds, mirroring the "updates are typically harder" caveat in
+Section 4.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 import numpy as np
 
 from ..errors import CatalogError, ExecutionError
+from ..relational.typed import TypedColumn
 
 
 class ColumnStore:
@@ -48,14 +50,25 @@ class ColumnStore:
             raise CatalogError(f"column store {self.name!r} has no column {name!r}")
         return self._data[name]
 
-    def numeric_column(self, name: str) -> np.ndarray:
-        """Column as a numpy array (raises if the column holds non-numerics)."""
+    def numeric_column(self, name: str) -> TypedColumn:
+        """Column as a typed numpy column (raises for non-numeric contents).
+
+        NULLs are legal — they land in the column's validity bitmap rather
+        than poisoning the dtype — and integer columns stay int64 end to end
+        (no float round-trip, so values above 2**53 survive exactly).
+        Reductions (``sum``/``min``/``max``) skip NULL slots; ``to_numpy()``
+        exposes the raw values array.
+        """
 
         values = self.column(name)
-        try:
-            return np.asarray(values, dtype=float)
-        except (TypeError, ValueError) as exc:
-            raise ExecutionError(f"column {name!r} is not numeric") from exc
+        typed = TypedColumn.from_values(values)
+        if typed is None or not typed.is_numeric:
+            if typed is None and all(v is None for v in values):
+                # All-NULL with no declared type: numeric by vacuity.
+                filler = np.zeros(len(values), dtype=np.int64)
+                return TypedColumn("int64", filler, np.zeros(len(values), dtype=bool))
+            raise ExecutionError(f"column {name!r} is not numeric")
+        return typed
 
     def project(self, columns: Sequence[str]) -> Iterator[Dict[str, Any]]:
         """Yield row dicts restricted to ``columns`` (a cheap projection)."""
