@@ -8,8 +8,10 @@ surface added by the session layer:
    the instrumentation counters);
 2. sessions — one transaction spanning CRUD calls and ERQL queries, with
    commit on success and rollback on failure;
-3. Result cursors — streaming iteration and ``fetchmany``;
-4. the REST surface — ``POST /query`` with server-side parameter binding,
+3. ``Session.run`` — re-running a closure that loses a snapshot-isolation
+   first-committer-wins race, with bounded backoff;
+4. Result cursors — streaming iteration and ``fetchmany``;
+5. the REST surface — ``POST /query`` with server-side parameter binding,
    cursor-paginated listings, and an atomic ``POST /batch``.
 """
 
@@ -83,14 +85,35 @@ def main() -> None:
         pass
     print("after rollback, phantom exists:", system.get("person", 101) is not None)
 
-    # --- 3. Result cursors --------------------------------------------------
+    # --- 3. Session.run: retry lost first-committer-wins races -------------
+    # A snapshot transaction that tries to overwrite a row some rival
+    # committed after its snapshot was pinned raises SerializationError.
+    # Session.run re-executes the closure against a fresh snapshot with the
+    # reliability layer's exponential backoff — the standard OCC loop,
+    # packaged.  The closure must be safe to re-run from scratch.
+    writer = system.session(isolation="snapshot")
+    raced = {"done": False}
+
+    def give_course_credit(s):
+        course = s.get("course", 1)
+        if not raced["done"]:
+            # simulate a rival winning the race while our snapshot is pinned
+            raced["done"] = True
+            system.update("course", 1, {"credits": course["credits"] + 10})
+        s.update("course", 1, {"credits": course["credits"] + 1})
+        return s.get("course", 1)["credits"]
+
+    final = writer.run(give_course_credit, retries=3, backoff=0.01)
+    print("Session.run after one lost race -> credits =", final)
+
+    # --- 4. Result cursors --------------------------------------------------
     cursor = system.session().query("select person_id, city from person order by person_id asc")
     print("cursor columns:", cursor.keys())
     first_three = cursor.fetchmany(3)
     print("first three:", [row["person_id"] for row in first_three])
     print("remaining rows:", sum(1 for _ in cursor))
 
-    # --- 4. REST: parameterized query, pagination, atomic batch ------------
+    # --- 5. REST: parameterized query, pagination, atomic batch ------------
     service = ApiService(system)
     response = service.post(
         "/query",

@@ -184,6 +184,28 @@ _HANDLER_DOCS: Dict[str, Dict[str, Any]] = {
         },
         "responses": {"201": {"description": "Number of instances inserted."}},
     },
+    "health": {
+        "responses": {
+            "200": {
+                "description": "Current health: {status: healthy|degraded|"
+                "read_only, durability: {...}|null}.  Always 200 — clients "
+                "poll this to decide when a read-only system has recovered."
+            }
+        },
+    },
+    "admin_probe": {
+        "responses": {
+            "200": {
+                "description": "Post-probe health: {status, durability}.  "
+                "Attempts to heal the write-ahead log and re-publish a "
+                "checkpoint; idempotent and safe to call repeatedly."
+            },
+            "409": {
+                "description": "Durability is not enabled for this database "
+                "(error code 'durability_disabled')."
+            },
+        },
+    },
     "batch": {
         "requestBody": {
             "required": ["operations"],
@@ -228,7 +250,11 @@ _ERROR_SCHEMA = {
                     "a first-committer-wins race — another transaction "
                     "committed a write to the same row after this "
                     "transaction's snapshot was pinned; the request may be "
-                    "retried against fresh state.",
+                    "retried against fresh state.  'read_only' (HTTP 503, "
+                    "with a Retry-After header) means the write-ahead log "
+                    "has failed and the database only serves reads until a "
+                    "health probe restores it; retry writes after the "
+                    "indicated delay or poll GET /health.",
                 },
                 "message": {"type": "string"},
             },

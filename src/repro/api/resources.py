@@ -99,6 +99,8 @@ def default_router() -> Router:
     router.add(Route("POST", "/query", "query", "Run an ERQL query with optional $name parameters"))
     router.add(Route("POST", "/batch", "batch", "Run several write operations in one transaction"))
     router.add(Route("POST", "/admin/checkpoint", "admin_checkpoint", "Write a durable checkpoint now (requires durability)"))
+    router.add(Route("GET", "/health", "health", "Durability health state (healthy / degraded / read_only)"))
+    router.add(Route("POST", "/admin/probe", "admin_probe", "Probe a degraded/read-only system back toward healthy"))
     router.add(Route("GET", "/openapi", "openapi", "Generated API documentation"))
     return router
 

@@ -25,7 +25,7 @@ The surface is built on the session layer of :mod:`repro.session`:
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qsl
 
@@ -40,6 +40,7 @@ from ..errors import (
     LexerError,
     ParseError,
     PlanningError,
+    ReadOnlyError,
     SerializationError,
     TypeMismatchError,
 )
@@ -70,6 +71,7 @@ _STATUS_CODES = {
     409: "conflict",
     422: "validation",
     500: "internal",
+    503: "unavailable",
 }
 
 #: Write operations accepted by ``POST /batch``.
@@ -84,10 +86,15 @@ def error_body(code: str, message: str) -> Dict[str, Any]:
 
 @dataclass
 class Response:
-    """An API response: status plus payload (already JSON-serializable)."""
+    """An API response: status plus payload (already JSON-serializable).
+
+    ``headers`` carries the few response headers this in-process surface
+    models — currently ``Retry-After`` on 503 read-only rejections.
+    """
 
     status: int
     body: Any = None
+    headers: Dict[str, str] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -108,8 +115,10 @@ class ApiService:
         max_page_size: int = MAX_PAGE_SIZE,
     ) -> None:
         self.system = system
-        self.access = access
-        self.audit = audit
+        # default to the governance objects registered on the system (which
+        # recovery restores from checkpoints) when the caller passes none
+        self.access = access if access is not None else getattr(system, "access", None)
+        self.audit = audit if audit is not None else getattr(system, "audit", None)
         self.max_page_size = max_page_size
         self.router: Router = default_router()
         # per-entity sorted key lists, invalidated by any table data change
@@ -178,10 +187,25 @@ class ApiService:
             return response
         except ApiError as exc:
             code = exc.code or _STATUS_CODES.get(exc.status, "error")
-            return Response(exc.status, error_body(code, exc.message))
+            return self._error_response(exc.status, code, exc.message)
         except ErbiumError as exc:
             status, code = self._classify_error(exc)
-            return Response(status, error_body(code, str(exc)))
+            return self._error_response(status, code, str(exc))
+
+    def _error_response(self, status: int, code: str, message: str) -> Response:
+        response = Response(status, error_body(code, message))
+        if status == 503:
+            # tell well-behaved clients when the background probe will next
+            # try to restore the write path
+            response.headers["Retry-After"] = self._retry_after_seconds()
+        return response
+
+    def _retry_after_seconds(self) -> str:
+        manager = self.system.durability
+        interval = getattr(manager, "probe_interval", None) if manager else None
+        if not interval:
+            return "1"
+        return str(max(1, int(round(interval))))
 
     @staticmethod
     def _split_query_string(path: str) -> Tuple[str, Dict[str, str]]:
@@ -203,6 +227,10 @@ class ApiService:
             return 400, "invalid_query"
         if isinstance(exc, BindError):
             return 400, "invalid_parameters"
+        if isinstance(exc, ReadOnlyError):
+            # the WAL cannot persist writes; reads still work, so clients
+            # should retry writes after the probe interval (Retry-After)
+            return 503, "read_only"
         if isinstance(exc, SerializationError):
             # first-committer-wins loser: the transaction raced a concurrent
             # writer and must be retried against a fresh snapshot
@@ -602,6 +630,44 @@ class ApiService:
             removed = session.unlink(operation["relationship"], endpoints)
             return {"op": op, "relationship": operation["relationship"], "removed": removed}
         raise ApiError(422, f"unknown op {op!r}")  # unreachable; _validate caught it
+
+    def _handle_health(self, params, body, principal) -> Response:
+        """``GET /health``: durability health state, always 200.
+
+        ``status`` is ``healthy`` / ``degraded`` / ``read_only``; the probe
+        endpoint (and the background prober) move an unhealthy system back.
+        A system without durability is trivially healthy.
+        """
+
+        manager = self.system.durability
+        return Response(
+            200,
+            {
+                "status": self.system.health.value,
+                "durability": manager.describe() if manager is not None else None,
+            },
+        )
+
+    def _handle_admin_probe(self, params, body, principal) -> Response:
+        """``POST /admin/probe``: attempt recovery toward HEALTHY now.
+
+        Runs the durability manager's health probe synchronously (heal the
+        WAL, prove a sentinel append, retry the checkpoint) and reports the
+        resulting state.  409 with code ``durability_disabled`` when the
+        system was not opened durably.
+        """
+
+        if self.system.durability is None:
+            raise ApiError(
+                409,
+                "durability is not enabled for this database; there is no "
+                "health to probe",
+                code="durability_disabled",
+            )
+        info = self.system.probe()
+        return Response(
+            200, {"status": self.system.health.value, "durability": info}
+        )
 
     def _handle_admin_checkpoint(self, params, body, principal) -> Response:
         """``POST /admin/checkpoint``: force a durable checkpoint now.

@@ -13,30 +13,71 @@ The manager is the single durability hook the rest of the system sees:
 An engine without a manager attached (``Database.durability is None`` — the
 default) never builds a redo record, so durability=off preserves the
 in-memory write path byte for byte.
+
+Failure discipline
+------------------
+
+Storage failures are classified by the :mod:`~repro.reliability` taxonomy:
+transient errnos are retried with bounded exponential backoff, everything
+else degrades the health state instead of being retried blindly:
+
+* a checkpoint that exhausts its retries moves the system to **DEGRADED** —
+  the WAL still orders and persists commits, recovery just replays a longer
+  log, and a background probe keeps retrying the checkpoint;
+* a WAL append/sync that exhausts its retries moves the system to
+  **READ_ONLY** — acknowledging a write the log cannot persist would be a
+  lie, so writes raise :class:`~repro.errors.ReadOnlyError` while MVCC
+  snapshots keep serving reads;
+* a successful :meth:`probe` (WAL heals, a sentinel record reaches disk,
+  a checkpoint publishes) walks the state back to **HEALTHY**.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, TYPE_CHECKING
+import threading
+from typing import Any, Dict, Iterable, List, Optional, TYPE_CHECKING
 
-from ..errors import DurabilityError
+from ..errors import DurabilityError, ReadOnlyError
+from ..reliability.faults import REAL_FS, Filesystem
+from ..reliability.health import HealthMonitor
+from ..reliability.retry import RetryPolicy, is_transient
 from .snapshot import CheckpointStore, capture_state
 from .wal import WriteAheadLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..system import ErbiumDB
 
+#: Seconds between automatic recovery probes while unhealthy.
+DEFAULT_PROBE_INTERVAL = 1.0
+
 
 class DurabilityManager:
     """Owns the write-ahead log and checkpoint store of one database dir."""
 
-    def __init__(self, path: str, fsync: str = "commit", base_lsn: int = 0) -> None:
+    def __init__(
+        self,
+        path: str,
+        fsync: str = "commit",
+        base_lsn: int = 0,
+        fs: Optional[Filesystem] = None,
+        retry: Optional[RetryPolicy] = None,
+        probe_interval: Optional[float] = DEFAULT_PROBE_INTERVAL,
+    ) -> None:
         self.path = path
-        self.store = CheckpointStore(path)
-        self.wal = WriteAheadLog(path, fsync=fsync, base_lsn=base_lsn)
+        self.fs = fs if fs is not None else REAL_FS
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.health = HealthMonitor()
+        self.probe_interval = probe_interval
+        self.store = CheckpointStore(path, fs=self.fs, retry=self.retry)
+        self.wal = WriteAheadLog(path, fsync=fsync, base_lsn=base_lsn, fs=self.fs)
         self.system: Optional["ErbiumDB"] = None
         self.commits = 0
         self.checkpoints = 0
+        self.retried_ops = 0
+        self._probe_lock = threading.Lock()
+        self._timer_lock = threading.Lock()
+        self._probe_timer: Optional[threading.Timer] = None
+        self._closed = False
 
     # -- binding ---------------------------------------------------------------
 
@@ -50,23 +91,98 @@ class DurabilityManager:
             raise DurabilityError("durability manager is not bound to a system")
         return self.system
 
+    # -- failure plumbing ------------------------------------------------------
+
+    def _retryable(self, exc: BaseException) -> bool:
+        # Never retry once the WAL has marked itself failed: its tail is
+        # suspect and must be healed before anything else touches it.
+        return is_transient(exc) and not self.wal.failed
+
+    def _count_retry(self, _exc: BaseException, _attempt: int) -> None:
+        self.retried_ops += 1
+
+    def _wal_down(self, reason: str) -> None:
+        self.health.wal_failed(reason)
+        self._schedule_probe()
+
+    def _checkpoint_down(self, reason: str) -> None:
+        if self.wal.failed:
+            self.health.wal_failed(self.wal.failure_reason or reason)
+        else:
+            self.health.checkpoint_failed(reason)
+        self._schedule_probe()
+
     # -- transaction hooks -----------------------------------------------------
 
     def log_commit(self, records: Iterable[Dict[str, Any]]) -> int:
-        """Append one committed transaction's redo records; returns commit LSN."""
+        """Append one committed transaction's redo records; returns commit LSN.
 
+        Transient storage errors are retried with backoff; a failure that
+        survives the retries forces READ_ONLY and surfaces as
+        :class:`ReadOnlyError` — the transaction layer rolls the in-memory
+        mutation back, so memory and log never diverge.
+        """
+
+        if self.health.read_only:
+            raise ReadOnlyError(
+                f"database is read-only: {self.health.reason or 'WAL unavailable'}"
+            )
+        batch: List[Dict[str, Any]] = list(records)  # retries re-iterate
+        try:
+            lsn = self.retry.call(
+                lambda: self.wal.append_transaction(batch),
+                retry_on=self._retryable,
+                on_retry=self._count_retry,
+            )
+        except OSError as exc:
+            self._wal_down(f"WAL append failed: {exc}")
+            raise ReadOnlyError(
+                f"commit not durable, entering read-only mode: {exc}"
+            ) from exc
+        except DurabilityError:
+            if self.wal.failed:
+                self._wal_down(self.wal.failure_reason or "WAL failed")
+            raise
         self.commits += 1
-        return self.wal.append_transaction(records)
+        return lsn
 
     def log_abort(self, reason: str = "") -> None:
-        """Append an abort marker for a rolled-back transaction (replay skips it)."""
+        """Append an abort marker for a rolled-back transaction (replay skips it).
 
-        self.wal.append_abort(reason)
+        Purely informational, so it must never block a rollback: when the
+        log is already down the marker is skipped, and a fresh failure
+        degrades health but is swallowed.
+        """
+
+        if self.health.read_only or self.wal.failed:
+            return
+        try:
+            self.retry.call(
+                lambda: self.wal.append_abort(reason),
+                retry_on=self._retryable,
+                on_retry=self._count_retry,
+            )
+        except OSError as exc:
+            self._wal_down(f"WAL abort-marker append failed: {exc}")
+        except DurabilityError:
+            pass
 
     def sync(self) -> None:
         """Force the log to disk now, regardless of fsync policy."""
 
-        self.wal.sync()
+        if self.health.read_only:
+            raise ReadOnlyError(
+                f"database is read-only: {self.health.reason or 'WAL unavailable'}"
+            )
+        try:
+            self.retry.call(
+                self.wal.sync, retry_on=self._retryable, on_retry=self._count_retry
+            )
+        except OSError as exc:
+            self._wal_down(f"WAL sync failed: {exc}")
+            raise ReadOnlyError(
+                f"sync not durable, entering read-only mode: {exc}"
+            ) from exc
 
     # -- checkpointing ---------------------------------------------------------
 
@@ -77,6 +193,9 @@ class DurabilityManager:
         commits keep flowing into a fresh segment while a background writer
         encodes; sealed segments are deleted only after the checkpoint file
         and the ``CURRENT`` pointer are durably on disk.
+
+        API-misuse errors (open transaction, no mapping installed) raise
+        without touching health; storage errors degrade it.
         """
 
         system = self._require_system()
@@ -89,22 +208,110 @@ class DurabilityManager:
                 "cannot checkpoint while a transaction is open; commit or "
                 "roll back first"
             )
-        self.wal.sync()
+        try:
+            self.retry.call(
+                self.wal.sync, retry_on=self._retryable, on_retry=self._count_retry
+            )
+        except OSError as exc:
+            self._wal_down(f"WAL sync failed at checkpoint: {exc}")
+            raise DurabilityError(f"checkpoint failed: {exc}") from exc
         lsn = self.wal.last_lsn
-        state = capture_state(system, lsn)
-        self.wal.rotate()
-        info = self.store.write(
-            state,
-            background=background,
-            on_complete=lambda _info: self.wal.prune(lsn),
-        )
+        state = capture_state(system, lsn)  # misuse errors propagate untouched
+
+        def completed(_info: Dict[str, Any]) -> None:
+            # runs only once the checkpoint + CURRENT pointer are durable
+            self.wal.prune(lsn)
+            self.health.checkpoint_succeeded()
+
+        try:
+            self.retry.call(
+                self.wal.rotate, retry_on=self._retryable, on_retry=self._count_retry
+            )
+            info = self.store.write(state, background=background, on_complete=completed)
+        except OSError as exc:
+            self._checkpoint_down(f"checkpoint publication failed: {exc}")
+            raise DurabilityError(f"checkpoint failed: {exc}") from exc
+        except DurabilityError as exc:
+            # a previous background write's failure surfacing via wait()
+            self._checkpoint_down(str(exc))
+            raise
         self.checkpoints += 1
         return info
 
     def wait(self) -> None:
         """Join a pending background checkpoint (re-raising its failure)."""
 
-        self.store.wait()
+        try:
+            self.store.wait()
+        except DurabilityError as exc:
+            self._checkpoint_down(str(exc))
+            raise
+
+    # -- health probing --------------------------------------------------------
+
+    def probe(self) -> Dict[str, Any]:
+        """Attempt to walk the health state back toward HEALTHY.
+
+        Heals the WAL if it marked itself failed, proves write availability
+        with a sentinel record + fsync (READ_ONLY → DEGRADED), then retries
+        the checkpoint (DEGRADED → HEALTHY).  Safe to call in any state and
+        from any thread; failures leave the current state in place.  Returns
+        :meth:`describe` so callers (the REST ``/admin/probe`` endpoint) see
+        the outcome.
+        """
+
+        with self._probe_lock:
+            if self.health.read_only or self.wal.failed:
+                try:
+                    self.wal.heal()
+                    self.wal.append_abort("health probe")
+                    self.wal.sync()
+                except (OSError, DurabilityError):
+                    self._schedule_probe()
+                    return self.describe()
+                self.health.wal_restored()
+            system = self.system
+            if not self.health.healthy and system is not None:
+                with system.db.write_lock:
+                    can_checkpoint = (
+                        system.mapping is not None
+                        and not system.db.transactions.in_transaction()
+                    )
+                    if can_checkpoint:
+                        try:
+                            self.checkpoint()
+                        except (OSError, DurabilityError):
+                            pass  # health already updated; probe stays scheduled
+            return self.describe()
+
+    def _schedule_probe(self) -> None:
+        if self.probe_interval is None or self._closed:
+            return
+        with self._timer_lock:
+            if self._probe_timer is not None and self._probe_timer.is_alive():
+                return
+            timer = threading.Timer(self.probe_interval, self._background_probe)
+            timer.daemon = True
+            self._probe_timer = timer
+            timer.start()
+
+    def _background_probe(self) -> None:
+        with self._timer_lock:
+            self._probe_timer = None
+        if self._closed or self.health.healthy:
+            return
+        try:
+            self.probe()
+        except BaseException:  # pragma: no cover - probe must never kill the timer
+            pass
+        if not self._closed and not self.health.healthy:
+            self._schedule_probe()
+
+    def _cancel_probe(self) -> None:
+        with self._timer_lock:
+            if self._probe_timer is not None:
+                self._probe_timer.cancel()
+                self._probe_timer = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -116,13 +323,40 @@ class DurabilityManager:
         received its final sync.
         """
 
+        self._closed = True
+        self._cancel_probe()
         try:
             self.store.wait()  # may re-raise a background checkpoint failure
         finally:
-            self.wal.close()  # ... but the WAL always gets its final sync
+            try:
+                self.wal.close()  # ... but the WAL always gets its final sync
+            except OSError as exc:
+                # The final sync hit a dying disk.  Everything *acknowledged*
+                # under the configured fsync policy already reached the
+                # platter, so teardown swallows this — recovery truncates
+                # whatever tail did not make it.
+                self.health.wal_failed(f"final sync failed on close: {exc}")
+
+    def abandon(self) -> None:
+        """Drop everything without syncing — crash simulation for tests.
+
+        Closes the raw segment handle (losing any OS-unflushed tail exactly
+        as a process kill would), cancels probes, and leaves the directory
+        for recovery to sort out.
+        """
+
+        self._closed = True
+        self._cancel_probe()
+        handle = self.wal._file
+        if handle is not None:
+            try:
+                handle.close()
+            except Exception:
+                pass
+            self.wal._file = None
 
     def describe(self) -> Dict[str, Any]:
-        """Operator-facing status: path, fsync policy, LSNs, commit/checkpoint counts."""
+        """Operator-facing status: path, fsync policy, LSNs, health, counters."""
 
         info = self.store.latest_info() or {}
         return {
@@ -133,4 +367,10 @@ class DurabilityManager:
             "checkpoints": self.checkpoints,
             "checkpoint_version": info.get("version"),
             "checkpoint_lsn": info.get("lsn"),
+            "health": self.health.describe(),
+            "retry": self.retry.describe(),
+            "retried_ops": self.retried_ops,
+            "probe_interval": self.probe_interval,
+            "cleanup_errors": len(self.wal.cleanup_errors)
+            + len(self.store.cleanup_errors),
         }

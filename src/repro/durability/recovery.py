@@ -26,9 +26,12 @@ had already validated and committed before the crash.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, TYPE_CHECKING
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from ..errors import RecoveryError
+from ..reliability.faults import Filesystem
+from ..reliability.retry import RetryPolicy
+from .manager import DEFAULT_PROBE_INTERVAL
 from .snapshot import CheckpointStore, schema_from_dict, spec_from_dict
 from .wal import WalScan, scan_segments, truncate_torn_tail
 
@@ -105,18 +108,29 @@ def replay(db: "Database", scan: WalScan, watermarks: Dict[str, int]) -> int:
     return applied
 
 
-def recover_system(path: str, fsync: str = "commit") -> "ErbiumDB":
+def recover_system(
+    path: str,
+    fsync: str = "commit",
+    fs: Optional[Filesystem] = None,
+    retry: Optional[RetryPolicy] = None,
+    probe_interval: Optional[float] = DEFAULT_PROBE_INTERVAL,
+) -> "ErbiumDB":
     """Rebuild an :class:`ErbiumDB` from a database directory.
 
-    Restores the latest checkpoint, replays the WAL tail, truncates any torn
+    Restores the latest checkpoint (including governance state, when the
+    crashed process had any), replays the WAL tail, truncates any torn
     tail, then attaches a live :class:`DurabilityManager` and takes a fresh
     checkpoint so subsequent opens start from a snapshot again.
+
+    ``fs``/``retry``/``probe_interval`` configure the attached manager's
+    reliability machinery (and ``fs`` also carries recovery's own reads,
+    so fault-injection tests cover this path too).
     """
 
     from ..system import ErbiumDB  # local import: system imports this module
     from .manager import DurabilityManager
 
-    store = CheckpointStore(path)
+    store = CheckpointStore(path, fs=fs)
     state = store.load()
 
     schema = schema_from_dict(state["schema"])
@@ -138,15 +152,39 @@ def recover_system(path: str, fsync: str = "commit") -> "ErbiumDB":
     for key, value in state.get("metadata", {}).items():
         db.catalog.put_metadata(key, value)
 
+    governance = state.get("governance")
+    if governance:
+        from ..governance import AccessController, AuditLog, PIIRegistry
+
+        audit_state = governance.get("audit")
+        access_state = governance.get("access")
+        audit = AuditLog() if (audit_state is not None or access_state is not None) else None
+        if audit is not None and audit_state is not None:
+            audit.restore_state(audit_state)
+        access = None
+        if access_state is not None:
+            # the PII registry rebuilds from the schema's own pii flags
+            access = AccessController(schema, pii=PIIRegistry(schema), audit=audit)
+            access.restore_state(access_state)
+        system.attach_governance(access=access, audit=audit)
+
     watermarks: Dict[str, int] = {
         name: int(lsn) for name, lsn in state.get("table_lsns", {}).items()
     }
-    scan = scan_segments(path)
+    scan = scan_segments(path, fs=fs) if fs is not None else scan_segments(path)
     replay(db, scan, watermarks)
-    truncate_torn_tail(scan)
+    if fs is not None:
+        truncate_torn_tail(scan, fs=fs)
+    else:
+        truncate_torn_tail(scan)
 
     manager = DurabilityManager(
-        path, fsync=fsync, base_lsn=max(int(state.get("lsn", 0)), scan.last_lsn)
+        path,
+        fsync=fsync,
+        base_lsn=max(int(state.get("lsn", 0)), scan.last_lsn),
+        fs=fs,
+        retry=retry,
+        probe_interval=probe_interval,
     )
     system._attach_durability(manager)
     manager.checkpoint()  # fold the replayed tail into a fresh snapshot

@@ -47,6 +47,8 @@ from ..core import (
 )
 from ..errors import DurabilityError, RecoveryError
 from ..mapping import MappingSpec
+from ..reliability.faults import REAL_FS, Filesystem
+from ..reliability.retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..system import ErbiumDB
@@ -285,7 +287,7 @@ def capture_state(system: "ErbiumDB", lsn: int) -> Dict[str, Any]:
     metadata = {
         key: db.catalog.get_metadata(key) for key in db.catalog.metadata_keys()
     }
-    return {
+    state = {
         "format": CHECKPOINT_FORMAT,
         "name": system.name,
         "lsn": lsn,
@@ -296,6 +298,17 @@ def capture_state(system: "ErbiumDB", lsn: int) -> Dict[str, Any]:
         "table_lsns": table_lsns,
         "metadata": metadata,
     }
+    # Governance state (grants, role assignments, audit trail) rides in the
+    # checkpoint so recovery restores the same policy surface the crashed
+    # process enforced — closing the "governance not checkpointed" gap.
+    access = getattr(system, "access", None)
+    audit = getattr(system, "audit", None)
+    if access is not None or audit is not None:
+        state["governance"] = {
+            "access": access.export_state() if access is not None else None,
+            "audit": audit.export_state() if audit is not None else None,
+        }
+    return state
 
 
 # --------------------------------------------------------------------------
@@ -303,32 +316,68 @@ def capture_state(system: "ErbiumDB", lsn: int) -> Dict[str, Any]:
 # --------------------------------------------------------------------------
 
 
-def _write_atomic(path: str, data: bytes) -> None:
-    """Write bytes to ``path`` via temp file + fsync + atomic rename."""
+def _write_atomic(
+    path: str,
+    data: bytes,
+    fs: Filesystem = REAL_FS,
+    cleanup_errors: Optional[list] = None,
+) -> None:
+    """Write bytes to ``path`` via temp file + fsync + atomic rename.
+
+    On failure the half-written temp file is removed (best-effort: a temp
+    file that will not delete is a space leak, never a correctness hazard —
+    recovery only reads files the ``CURRENT`` pointer names).
+    """
 
     tmp = path + ".tmp"
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
-    # fsync the directory so the rename itself survives a power failure
-    fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
     try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+        handle = fs.open(tmp, "wb")
+        try:
+            fs.write(handle, data)
+            fs.flush(handle)
+            fs.fsync(handle)
+        finally:
+            handle.close()
+        fs.replace(tmp, path)
+    except BaseException:
+        try:
+            fs.remove(tmp)
+        except OSError as exc:
+            if cleanup_errors is not None:
+                cleanup_errors.append(f"temp cleanup {tmp}: {exc}")
+        raise
+    # fsync the directory so the rename itself survives a power failure
+    fs.fsync_dir(os.path.dirname(path) or ".")
 
 
 class CheckpointStore:
     """Versioned, checksummed checkpoint files under one database directory."""
 
-    def __init__(self, directory: str) -> None:
+    def __init__(
+        self,
+        directory: str,
+        fs: Optional[Filesystem] = None,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.directory = directory
         self.checkpoint_dir = os.path.join(directory, CHECKPOINT_DIR)
+        self.fs = fs if fs is not None else REAL_FS
+        self.retry = retry
+        self.cleanup_errors: list = []
         os.makedirs(self.checkpoint_dir, exist_ok=True)
         self._writer: Optional[threading.Thread] = None
         self._writer_error: Optional[BaseException] = None
+
+    def _write_file(self, path: str, data: bytes) -> None:
+        """One durable file publication, retried under the store's policy."""
+
+        def attempt() -> None:
+            _write_atomic(path, data, self.fs, self.cleanup_errors)
+
+        if self.retry is None:
+            attempt()
+        else:
+            self.retry.call(attempt)
 
     # -- introspection -------------------------------------------------------
 
@@ -348,8 +397,7 @@ class CheckpointStore:
 
         if not self.has_checkpoint():
             return None
-        with open(self.current_path, "rb") as handle:
-            return json.loads(handle.read().decode("utf-8"))
+        return json.loads(self.fs.read_bytes(self.current_path).decode("utf-8"))
 
     def _next_version(self) -> int:
         info = self.latest_info()
@@ -396,8 +444,8 @@ class CheckpointStore:
             written = dict(info)
             payload = json.dumps(state, separators=(",", ":")).encode("utf-8")
             written["crc"] = zlib.crc32(payload)
-            _write_atomic(path, payload)
-            _write_atomic(
+            self._write_file(path, payload)
+            self._write_file(
                 self.current_path, json.dumps(written, sort_keys=True).encode("utf-8")
             )
             self._prune(version)
@@ -440,9 +488,11 @@ class CheckpointStore:
             digits = name[len("ckpt-") : -len(".json")]
             if digits.isdigit() and int(digits) <= latest_version - KEEP_CHECKPOINTS:
                 try:
-                    os.remove(os.path.join(self.checkpoint_dir, name))
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
+                    self.fs.remove(os.path.join(self.checkpoint_dir, name))
+                except OSError as exc:
+                    # Best-effort: a stale checkpoint that will not delete
+                    # costs disk space only — CURRENT never points at it.
+                    self.cleanup_errors.append(f"prune checkpoint {name}: {exc}")
 
     # -- loading -------------------------------------------------------------
 
@@ -456,8 +506,7 @@ class CheckpointStore:
         path = os.path.join(self.directory, info["file"])
         if not os.path.exists(path):
             raise RecoveryError(f"checkpoint file {path!r} is missing")
-        with open(path, "rb") as handle:
-            payload = handle.read()
+        payload = self.fs.read_bytes(path)
         expected = info.get("crc")
         if expected is not None and zlib.crc32(payload) != expected:
             raise RecoveryError(

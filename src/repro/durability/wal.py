@@ -67,6 +67,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, IO, Iterable, List, Optional, Tuple
 
 from ..errors import DurabilityError
+from ..reliability.faults import REAL_FS, Filesystem
 
 #: Supported fsync policies.
 FSYNC_MODES = ("commit", "batch", "off")
@@ -128,6 +129,7 @@ class WriteAheadLog:
         fsync: str = "commit",
         base_lsn: int = 0,
         sync_interval_bytes: int = DEFAULT_SYNC_INTERVAL_BYTES,
+        fs: Optional[Filesystem] = None,
     ) -> None:
         if fsync not in FSYNC_MODES:
             raise DurabilityError(
@@ -135,12 +137,16 @@ class WriteAheadLog:
             )
         self.directory = directory
         self.fsync = fsync
+        self.fs = fs if fs is not None else REAL_FS
         self.sync_interval_bytes = sync_interval_bytes
         os.makedirs(directory, exist_ok=True)
         self._last_lsn = base_lsn
         self._next_txid = 1
         self._unsynced = 0
         self._file: Optional[IO[bytes]] = None
+        self._failed: Optional[str] = None
+        self._recover_offset: Optional[int] = None
+        self.cleanup_errors: List[str] = []
         self._open_segment(base_lsn)
 
     # -- lifecycle -----------------------------------------------------------
@@ -148,27 +154,74 @@ class WriteAheadLog:
     def _open_segment(self, base_lsn: int) -> None:
         self.segment_base_lsn = base_lsn
         self.segment_path = os.path.join(self.directory, segment_name(base_lsn))
-        self._file = open(self.segment_path, "ab")
+        self._file = self.fs.open(self.segment_path, "ab")
 
     def close(self) -> None:
-        """Sync and close the active segment (idempotent; safe to call twice)."""
+        """Sync and close the active segment (idempotent; safe to call twice).
+
+        A failed log skips the final sync — its segment tail is already
+        suspect and recovery will truncate to the last committed frame —
+        but the handle is always released.
+        """
 
         if self._file is not None:
-            self.sync()
-            self._file.close()
-            self._file = None
+            try:
+                if self._failed is None:
+                    self.sync()
+            finally:
+                self._file.close()
+                self._file = None
 
     @property
     def closed(self) -> bool:
         """Whether :meth:`close` has run (no active segment file)."""
 
-        return self._file is None
+        return self._file is None and self._failed is None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the log refuses appends until :meth:`heal` succeeds."""
+
+        return self._failed is not None
+
+    @property
+    def failure_reason(self) -> Optional[str]:
+        return self._failed
 
     @property
     def last_lsn(self) -> int:
         """The LSN of the most recently appended record."""
 
         return self._last_lsn
+
+    def _mark_failed(self, reason: str, recover_offset: Optional[int] = None) -> None:
+        self._failed = reason
+        if recover_offset is not None:
+            self._recover_offset = recover_offset
+
+    def heal(self) -> bool:
+        """Attempt to bring a failed log back into service.
+
+        Re-opens the active segment if its handle was lost, truncates back
+        to the last known-good offset (removing any half-appended frame a
+        failed truncate-back left behind), and fsyncs to prove the path is
+        writable again.  Returns True when the log accepted the repair;
+        raises the underlying ``OSError`` when the disk still refuses, in
+        which case the log stays failed.
+        """
+
+        if self._failed is None:
+            return not self.closed
+        if self._file is None:
+            self._file = self.fs.open(self.segment_path, "ab")
+        if self._recover_offset is not None:
+            self.fs.truncate(self._file, self._recover_offset)
+            self._file.seek(0, os.SEEK_END)
+        self.fs.fsync(self._file)
+        self._failed = None
+        self._recover_offset = None
+        self._unsynced = 0
+        return True
 
     # -- appending -----------------------------------------------------------
 
@@ -184,6 +237,8 @@ class WriteAheadLog:
         fsync policy.  Returns the commit LSN.
         """
 
+        if self._failed is not None:
+            raise DurabilityError(f"write-ahead log has failed: {self._failed}")
         if self._file is None:
             raise DurabilityError("write-ahead log is closed")
         txid = self._next_txid
@@ -198,26 +253,35 @@ class WriteAheadLog:
         blob = b"".join(chunks)
         offset = self._file.tell()
         try:
-            self._file.write(blob)
-            self._file.flush()
+            self.fs.write(self._file, blob)
+            self.fs.flush(self._file)
             if self.fsync == "commit":
-                os.fsync(self._file.fileno())
+                self.fs.fsync(self._file)
                 self._unsynced = 0
             elif self.fsync == "batch":
                 self._unsynced += len(blob)
                 if self._unsynced >= self.sync_interval_bytes:
-                    os.fsync(self._file.fileno())
+                    self.fs.fsync(self._file)
                     self._unsynced = 0
-        except BaseException:
+        except BaseException as exc:
             # The write/fsync failed after bytes may have reached the file.
             # The caller will treat this commit as failed (and may roll the
             # transaction back), so the log must not keep a commit frame for
-            # it: cut the segment back to the pre-append offset.  Best-effort
-            # under a cascading disk failure.
+            # it: cut the segment back to the pre-append offset.
             try:
-                self._file.truncate(offset)
-            except OSError:  # pragma: no cover - cascading disk failure
-                pass
+                self.fs.truncate(self._file, offset)
+                self._file.seek(0, os.SEEK_END)
+            except OSError:
+                # Cascading disk failure: the half-written frame could not
+                # be removed.  Appending anything more would risk a phantom
+                # record stitched onto the torn tail, so the log marks
+                # itself failed — the durability manager escalates this to
+                # READ_ONLY — and remembers the known-good offset so a
+                # successful heal() can cut the tail before resuming.
+                self._mark_failed(
+                    f"append failed and truncate-back failed: {exc}",
+                    recover_offset=offset,
+                )
             raise
         return commit_lsn
 
@@ -230,6 +294,8 @@ class WriteAheadLog:
         outcomes.  Never forces an fsync (abort durability is worthless).
         """
 
+        if self._failed is not None:
+            raise DurabilityError(f"write-ahead log has failed: {self._failed}")
         if self._file is None:
             raise DurabilityError("write-ahead log is closed")
         txid = self._next_txid
@@ -238,8 +304,8 @@ class WriteAheadLog:
         record: Dict[str, Any] = {"t": "abort", "x": txid, "lsn": lsn}
         if reason:
             record["reason"] = reason
-        self._file.write(encode_frame(record))
-        self._file.flush()
+        self.fs.write(self._file, encode_frame(record))
+        self.fs.flush(self._file)
         return lsn
 
     def sync(self) -> None:
@@ -251,10 +317,12 @@ class WriteAheadLog:
         an explicit sync must reach the platter even under ``"off"``.
         """
 
+        if self._failed is not None:
+            raise DurabilityError(f"write-ahead log has failed: {self._failed}")
         if self._file is None:
             return
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        self.fs.flush(self._file)
+        self.fs.fsync(self._file)
         self._unsynced = 0
 
     # -- rotation ------------------------------------------------------------
@@ -268,12 +336,29 @@ class WriteAheadLog:
         is durable).
         """
 
+        if self._failed is not None:
+            raise DurabilityError(f"write-ahead log has failed: {self._failed}")
         if self._file is None:
             raise DurabilityError("write-ahead log is closed")
         self.sync()
         self._file.close()
+        self._file = None
         sealed = self.segment_path
-        self._open_segment(self._last_lsn)
+        sealed_base = self.segment_base_lsn
+        try:
+            self._open_segment(self._last_lsn)
+        except OSError:
+            # Could not open the new segment.  Fall back to re-opening the
+            # sealed one so the log keeps an active, appendable segment; if
+            # even that fails the log is dead and must be healed before any
+            # further append.
+            self.segment_base_lsn = sealed_base
+            self.segment_path = sealed
+            try:
+                self._file = self.fs.open(sealed, "ab")
+            except OSError as reopen_exc:
+                self._mark_failed(f"segment rotation lost active segment: {reopen_exc}")
+            raise
         return sealed
 
     def prune(self, checkpoint_lsn: int) -> List[str]:
@@ -288,10 +373,14 @@ class WriteAheadLog:
         for base, path in list_segments(self.directory):
             if path != self.segment_path and base < checkpoint_lsn:
                 try:
-                    os.remove(path)
+                    self.fs.remove(path)
                     removed.append(path)
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
+                except OSError as exc:
+                    # Best-effort: a segment that will not delete wastes
+                    # disk but threatens nothing — recovery replays it
+                    # idempotently below the checkpoint LSN.  Recorded so
+                    # operators (and tests) can see the leak.
+                    self.cleanup_errors.append(f"prune {path}: {exc}")
         return removed
 
     def remove_sealed_segments(self) -> List[str]:
@@ -307,10 +396,13 @@ class WriteAheadLog:
         for _base, path in list_segments(self.directory):
             if path != self.segment_path:
                 try:
-                    os.remove(path)
+                    self.fs.remove(path)
                     removed.append(path)
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
+                except OSError as exc:
+                    # Best-effort, same contract as prune(): the fresh
+                    # post-recovery checkpoint supersedes these segments,
+                    # so a stuck file is a space leak, not a hazard.
+                    self.cleanup_errors.append(f"remove sealed {path}: {exc}")
         return removed
 
 
@@ -343,11 +435,10 @@ class WalScan:
         return self.valid_end < self.file_size
 
 
-def _scan_segment(path: str, scan: WalScan) -> bool:
+def _scan_segment(path: str, scan: WalScan, fs: Filesystem = REAL_FS) -> bool:
     """Scan one segment into ``scan``; returns True when it ended cleanly."""
 
-    with open(path, "rb") as handle:
-        data = handle.read()
+    data = fs.read_bytes(path)
     size = len(data)
     offset = 0
     valid_end = 0
@@ -388,7 +479,7 @@ def _scan_segment(path: str, scan: WalScan) -> bool:
     return valid_end == size and current is None
 
 
-def scan_segments(directory: str) -> WalScan:
+def scan_segments(directory: str, fs: Filesystem = REAL_FS) -> WalScan:
     """Read WAL segments in LSN order, stopping at the first invalid frame.
 
     A torn/corrupt frame ends the scan — later bytes *and later segments*
@@ -401,19 +492,19 @@ def scan_segments(directory: str) -> WalScan:
 
     scan = WalScan()
     for base, path in list_segments(directory):
-        if not _scan_segment(path, scan):
+        if not _scan_segment(path, scan, fs):
             break
     return scan
 
 
-def truncate_torn_tail(scan: WalScan) -> bool:
+def truncate_torn_tail(scan: WalScan, fs: Filesystem = REAL_FS) -> bool:
     """Physically truncate the final segment at the last committed frame."""
 
     if scan.last_segment is None or not scan.torn:
         return False
-    with open(scan.last_segment, "r+b") as handle:
-        handle.truncate(scan.valid_end)
-        handle.flush()
-        os.fsync(handle.fileno())
+    with fs.open(scan.last_segment, "r+b") as handle:
+        fs.truncate(handle, scan.valid_end)
+        fs.flush(handle)
+        fs.fsync(handle)
     scan.file_size = scan.valid_end
     return True

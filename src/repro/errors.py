@@ -173,6 +173,18 @@ class RecoveryError(DurabilityError):
     """Crash recovery failed (corrupt checkpoint, unreplayable log record)."""
 
 
+class ReadOnlyError(DurabilityError):
+    """The database has degraded to READ_ONLY after unrecoverable WAL failures.
+
+    Raised on any write attempt while the write-ahead log cannot accept
+    appends: accepting the write would acknowledge a commit the log cannot
+    make durable.  MVCC snapshots keep serving reads.  The REST layer
+    surfaces this as HTTP 503 with error code ``read_only`` and a
+    ``Retry-After`` header; a successful health probe (``POST /admin/probe``
+    or :meth:`DurabilityManager.probe`) restores write availability.
+    """
+
+
 # --------------------------------------------------------------------------
 # Evolution / governance / API errors
 # --------------------------------------------------------------------------

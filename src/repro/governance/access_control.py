@@ -78,6 +78,69 @@ class AccessController:
             p for p in self._policies if p.role in roles and p.entity in family
         ]
 
+    # -- checkpoint serialization --------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """JSON-ready image of grants and role assignments for checkpoints.
+
+        ``condition`` callables cannot be serialized; a policy that has one
+        is exported with ``has_condition`` so :meth:`restore_state` can
+        rebuild it fail-closed.
+        """
+
+        return {
+            "roles": {
+                principal: sorted(roles)
+                for principal, roles in sorted(self._roles.items())
+            },
+            "policies": [
+                {
+                    "role": policy.role,
+                    "entity": policy.entity,
+                    "actions": sorted(policy.actions),
+                    "attributes": (
+                        sorted(policy.attributes)
+                        if policy.attributes is not None
+                        else None
+                    ),
+                    "deny_pii": policy.deny_pii,
+                    "has_condition": policy.condition is not None,
+                }
+                for policy in self._policies
+            ],
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild grants/roles from :meth:`export_state` output.
+
+        Policies whose original per-instance ``condition`` was lost across
+        the checkpoint are restored *fail-closed*: the rebuilt predicate
+        denies every instance, so recovery can never widen access — the
+        operator re-grants the policy with its real predicate to restore it.
+        """
+
+        self._policies = []
+        self._roles = {}
+        for principal, roles in state.get("roles", {}).items():
+            for role in roles:
+                self.assign_role(principal, role)
+        for data in state.get("policies", []):
+            attributes = data.get("attributes")
+            self.grant(
+                Policy(
+                    role=data["role"],
+                    entity=data["entity"],
+                    actions=set(data.get("actions", ["read"])),
+                    attributes=set(attributes) if attributes is not None else None,
+                    condition=(
+                        (lambda _instance: False)
+                        if data.get("has_condition")
+                        else None
+                    ),
+                    deny_pii=data.get("deny_pii", False),
+                )
+            )
+
     # -- checks --------------------------------------------------------------------
 
     def check(self, principal: str, action: str, entity: str,

@@ -81,6 +81,27 @@ class AuditLog:
             out.append(entry)
         return out
 
+    def export_state(self) -> List[Dict[str, Any]]:
+        """JSON-ready image of every entry, for checkpoint serialization."""
+
+        return [entry.describe() for entry in self._entries]
+
+    def restore_state(self, entries: List[Dict[str, Any]]) -> None:
+        """Rebuild the log from :meth:`export_state` output (recovery path)."""
+
+        self._entries = [
+            AuditEntry(
+                sequence=int(data["sequence"]),
+                action=data["action"],
+                principal=data["principal"],
+                entity=data.get("entity"),
+                key=tuple(data["key"]) if data.get("key") is not None else None,
+                outcome=data.get("outcome", "ok"),
+                details=dict(data.get("details", {})),
+            )
+            for data in entries
+        ]
+
     def __len__(self) -> int:
         return len(self._entries)
 

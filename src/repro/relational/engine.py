@@ -18,6 +18,7 @@ from ..errors import (
     CatalogError,
     ConstraintViolation,
     ForeignKeyViolation,
+    ReadOnlyError,
     SerializationError,
     TransactionError,
 )
@@ -261,8 +262,14 @@ class Database:
         views mid-statement resolve mutated tables to their captured
         pre-images, so they neither wait for the statement nor observe its
         intermediate state.
+
+        When the attached durability manager has degraded to READ_ONLY, the
+        statement is rejected up front with
+        :class:`~repro.errors.ReadOnlyError` — mutating memory for a write
+        the log could never persist would let memory and log diverge.
         """
 
+        self._check_writable()
         with self.write_lock:
             try:
                 yield
@@ -270,6 +277,16 @@ class Database:
                 if not self.transactions.in_transaction() and self._txn_preimages:
                     with self.storage_latch:
                         self._release_preimages()
+
+    def _check_writable(self) -> None:
+        """Raise :class:`ReadOnlyError` when durability has degraded to READ_ONLY."""
+
+        durability = self.durability
+        if durability is not None and durability.health.read_only:
+            raise ReadOnlyError(
+                "database is read-only: "
+                f"{durability.health.reason or 'write-ahead log unavailable'}"
+            )
 
     def _check_write_conflict(self, table: Table, row_id: int) -> None:
         """First-committer-wins: refuse to overwrite a row newer than our snapshot.

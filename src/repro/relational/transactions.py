@@ -322,7 +322,16 @@ class transaction:
                     current.rollback_to(self._savepoint)
             return False
         if exc_type is None:
-            self._db.transactions.commit()
+            try:
+                self._db.transactions.commit()
+            except BaseException:
+                # the WAL append failed and commit left the transaction
+                # active for its owner to roll back — and for a one-shot
+                # scope that owner is this __exit__: undo the in-memory
+                # writes so the caller's error means "nothing happened"
+                if self._db.transactions.in_transaction():
+                    self._db.transactions.rollback()
+                raise
         else:
             self._db.transactions.rollback()
         return False

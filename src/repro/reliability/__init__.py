@@ -1,0 +1,35 @@
+"""Reliability toolkit: fault injection, retry policies, health states.
+
+This package gives the durability layer its failure discipline:
+
+* :mod:`~repro.reliability.faults` — the :class:`Filesystem` seam every WAL
+  and checkpoint I/O goes through, and the deterministic, seedable
+  :class:`FaultInjector` the chaos suite drives it with.
+* :mod:`~repro.reliability.retry` — the transient/fatal errno taxonomy and
+  the bounded exponential-backoff :class:`RetryPolicy`.
+* :mod:`~repro.reliability.health` — the HEALTHY → DEGRADED → READ_ONLY
+  :class:`HealthMonitor` state machine surfaced through
+  ``DurabilityManager.describe()``, ``Session`` and ``GET /health``.
+"""
+
+from repro.reliability.faults import REAL_FS, FaultInjector, FaultRule, Filesystem
+from repro.reliability.health import HealthMonitor, HealthState
+from repro.reliability.retry import (
+    FATAL_ERRNOS,
+    TRANSIENT_ERRNOS,
+    RetryPolicy,
+    is_transient,
+)
+
+__all__ = [
+    "FATAL_ERRNOS",
+    "FaultInjector",
+    "FaultRule",
+    "Filesystem",
+    "HealthMonitor",
+    "HealthState",
+    "REAL_FS",
+    "RetryPolicy",
+    "TRANSIENT_ERRNOS",
+    "is_transient",
+]

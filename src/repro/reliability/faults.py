@@ -1,0 +1,264 @@
+"""Filesystem seam and deterministic fault injection.
+
+Every filesystem primitive the durability layer touches — open, write,
+fsync, rename, truncate, read, remove — goes through a :class:`Filesystem`
+instance instead of calling ``os``/``open`` directly.  Production code uses
+the module-level :data:`REAL_FS` singleton, which delegates straight to the
+standard library with zero per-call overhead beyond one attribute lookup.
+
+Tests substitute a :class:`FaultInjector`: a ``Filesystem`` that counts
+every operation and raises scheduled or seeded-random ``OSError`` faults —
+ENOSPC, EIO, torn (partial) writes, failed fsyncs, transient EAGAIN — at
+deterministic points.  The same seed always produces the same fault
+schedule, so every chaos-suite failure is replayable.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from dataclasses import dataclass, field
+from typing import BinaryIO, Dict, List, Optional, Tuple
+
+__all__ = ["Filesystem", "FaultInjector", "FaultRule", "REAL_FS"]
+
+
+class Filesystem:
+    """Thin, stateless wrapper over the OS filesystem primitives.
+
+    The durability layer calls these methods instead of the builtins so a
+    test double can interpose.  Handles are ordinary binary file objects;
+    the wrapper adds no buffering or state of its own.
+    """
+
+    def open(self, path: str, mode: str = "ab") -> BinaryIO:
+        return open(path, mode)
+
+    def write(self, handle: BinaryIO, data: bytes) -> int:
+        return handle.write(data)
+
+    def flush(self, handle: BinaryIO) -> None:
+        handle.flush()
+
+    def fsync(self, handle: BinaryIO) -> None:
+        os.fsync(handle.fileno())
+
+    def fsync_dir(self, path: str) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def truncate(self, handle: BinaryIO, size: int) -> None:
+        handle.truncate(size)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def read_bytes(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+
+REAL_FS = Filesystem()
+"""Shared production filesystem; durability modules default to this."""
+
+
+@dataclass
+class FaultRule:
+    """One scheduled fault: fail operation ``op`` on its ``at``-th call.
+
+    ``op``
+        Operation name (``"write"``, ``"fsync"``, ``"open"``, ``"replace"``,
+        ``"truncate"``, ``"remove"``, ``"read_bytes"``, ``"fsync_dir"``).
+    ``at``
+        1-based call count of that operation at which the fault fires.
+    ``errno_code``
+        The ``errno`` carried by the raised ``OSError``.
+    ``times``
+        How many consecutive calls (from ``at``) fail.  ``None`` means the
+        fault is *sticky*: every call from ``at`` onwards fails until the
+        rule is removed with :meth:`FaultInjector.clear`.
+    ``torn``
+        For ``write`` faults only: write a deterministic prefix of the
+        payload before raising, modelling a torn page / partial write.
+    """
+
+    op: str
+    at: int
+    errno_code: int = errno.EIO
+    times: Optional[int] = 1
+    torn: bool = False
+
+    def fires(self, count: int) -> bool:
+        if count < self.at:
+            return False
+        if self.times is None:
+            return True
+        return count < self.at + self.times
+
+
+@dataclass
+class _ChaosConfig:
+    rate: float
+    ops: Tuple[str, ...]
+    errnos: Tuple[int, ...]
+    torn_fraction: float
+
+
+class FaultInjector(Filesystem):
+    """Deterministic fault-injecting filesystem.
+
+    Two modes, freely combined:
+
+    * **Scheduled** — :meth:`fail` registers :class:`FaultRule`\\ s pinned to
+      exact operation counts (``fail("fsync", at=3)`` fails the third fsync).
+    * **Chaos** — :meth:`chaos` arms a seeded RNG that fails a fraction of
+      all matching operations.  Same seed, same program, same faults.
+
+    ``real_fsync=False`` makes :meth:`fsync`/:meth:`fsync_dir` count and
+    possibly fault but skip the physical ``os.fsync`` — chaos suites run
+    hundreds of schedules and the durability property under test is
+    *ordering*, not platter behaviour.
+    """
+
+    def __init__(self, seed: int = 0, real_fsync: bool = True) -> None:
+        self._rng = random.Random(seed)
+        self.seed = seed
+        self.real_fsync = real_fsync
+        self.counts: Dict[str, int] = {}
+        self.faults_fired: List[Tuple[str, int, int]] = []
+        self._rules: List[FaultRule] = []
+        self._chaos: Optional[_ChaosConfig] = None
+
+    # -- configuration ----------------------------------------------------
+
+    def fail(
+        self,
+        op: str,
+        at: int = 1,
+        *,
+        errno_code: int = errno.EIO,
+        times: Optional[int] = 1,
+        torn: bool = False,
+    ) -> FaultRule:
+        """Schedule a fault; ``at`` counts from the *next* call of ``op``."""
+        rule = FaultRule(
+            op=op,
+            at=self.counts.get(op, 0) + at,
+            errno_code=errno_code,
+            times=times,
+            torn=torn,
+        )
+        self._rules.append(rule)
+        return rule
+
+    def clear(self, rule: Optional[FaultRule] = None) -> None:
+        """Remove one rule, or all rules and chaos config when ``None``."""
+        if rule is None:
+            self._rules.clear()
+            self._chaos = None
+        elif rule in self._rules:
+            self._rules.remove(rule)
+
+    def chaos(
+        self,
+        rate: float,
+        ops: Tuple[str, ...] = ("write", "fsync", "replace", "open"),
+        errnos: Tuple[int, ...] = (errno.EIO, errno.ENOSPC, errno.EAGAIN),
+        torn_fraction: float = 0.25,
+    ) -> None:
+        """Arm seeded-random faults on a ``rate`` fraction of matching ops."""
+        self._chaos = _ChaosConfig(rate, ops, errnos, torn_fraction)
+
+    # -- fault dispatch ---------------------------------------------------
+
+    def _check(self, op: str) -> Optional[Tuple[int, bool]]:
+        """Count one call of ``op``; return ``(errno, torn)`` if it faults."""
+        count = self.counts.get(op, 0) + 1
+        self.counts[op] = count
+        for rule in self._rules:
+            if rule.op == op and rule.fires(count):
+                self.faults_fired.append((op, count, rule.errno_code))
+                return rule.errno_code, rule.torn
+        chaos = self._chaos
+        if chaos is not None and op in chaos.ops:
+            if self._rng.random() < chaos.rate:
+                code = self._rng.choice(chaos.errnos)
+                torn = op == "write" and self._rng.random() < chaos.torn_fraction
+                self.faults_fired.append((op, count, code))
+                return code, torn
+        return None
+
+    def _raise(self, op: str, code: int) -> None:
+        raise OSError(code, f"injected fault: {op} [{os.strerror(code)}]")
+
+    # -- Filesystem interface ---------------------------------------------
+
+    def open(self, path: str, mode: str = "ab") -> BinaryIO:
+        fault = self._check("open")
+        if fault is not None:
+            self._raise("open", fault[0])
+        return super().open(path, mode)
+
+    def write(self, handle: BinaryIO, data: bytes) -> int:
+        fault = self._check("write")
+        if fault is not None:
+            code, torn = fault
+            if torn and data:
+                # Deterministic partial write: at least one byte, never all.
+                cut = 1 + self._rng.randrange(max(1, len(data) - 1))
+                handle.write(data[:cut])
+            self._raise("write", code)
+        return super().write(handle, data)
+
+    def flush(self, handle: BinaryIO) -> None:
+        fault = self._check("flush")
+        if fault is not None:
+            self._raise("flush", fault[0])
+        super().flush(handle)
+
+    def fsync(self, handle: BinaryIO) -> None:
+        fault = self._check("fsync")
+        if fault is not None:
+            self._raise("fsync", fault[0])
+        if self.real_fsync:
+            super().fsync(handle)
+        else:
+            handle.flush()
+
+    def fsync_dir(self, path: str) -> None:
+        fault = self._check("fsync_dir")
+        if fault is not None:
+            self._raise("fsync_dir", fault[0])
+        if self.real_fsync:
+            super().fsync_dir(path)
+
+    def truncate(self, handle: BinaryIO, size: int) -> None:
+        fault = self._check("truncate")
+        if fault is not None:
+            self._raise("truncate", fault[0])
+        super().truncate(handle, size)
+
+    def replace(self, src: str, dst: str) -> None:
+        fault = self._check("replace")
+        if fault is not None:
+            self._raise("replace", fault[0])
+        super().replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        fault = self._check("remove")
+        if fault is not None:
+            self._raise("remove", fault[0])
+        super().remove(path)
+
+    def read_bytes(self, path: str) -> bytes:
+        fault = self._check("read_bytes")
+        if fault is not None:
+            self._raise("read_bytes", fault[0])
+        return super().read_bytes(path)

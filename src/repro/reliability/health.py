@@ -1,0 +1,144 @@
+"""Durability health state machine: HEALTHY → DEGRADED → READ_ONLY.
+
+The monitor tracks how much of the durability pipeline is still working:
+
+``HEALTHY``
+    WAL appends and checkpoints both succeed.
+
+``DEGRADED``
+    Checkpoints are failing (their retries exhausted) but the WAL still
+    orders and persists commits — writes continue, recovery just replays a
+    longer log.  A background probe retries the checkpoint.
+
+``READ_ONLY``
+    The WAL itself cannot accept appends (retries exhausted on a fatal
+    error).  Accepting a write now would acknowledge a commit the log
+    cannot make durable, so writes raise :class:`~repro.errors.ReadOnlyError`
+    while MVCC snapshots keep serving reads.  A successful probe (the WAL
+    heals and a sentinel record fsyncs) moves the system back through
+    DEGRADED to HEALTHY.
+
+Transitions only ever escalate on failure and de-escalate on *proof* of
+recovery — a checkpoint success cannot clear READ_ONLY, because the WAL is
+still the broken piece.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["HealthState", "HealthMonitor"]
+
+
+class HealthState(str, Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    READ_ONLY = "read_only"
+
+
+class HealthMonitor:
+    """Thread-safe durability health tracker.
+
+    The durability manager reports outcomes (``wal_failed``,
+    ``checkpoint_failed``, ...) and the monitor decides the state.  A
+    ``listener`` callback — installed by :class:`DurabilityManager` to
+    schedule recovery probes — fires outside the lock on every transition.
+    """
+
+    def __init__(
+        self,
+        listener: Optional[Callable[[HealthState, HealthState], None]] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._state = HealthState.HEALTHY
+        self._reason: Optional[str] = None
+        self._since = time.time()
+        self._listener = listener
+        self.transitions: List[Tuple[str, str, Optional[str]]] = []
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def state(self) -> HealthState:
+        return self._state
+
+    @property
+    def read_only(self) -> bool:
+        return self._state is HealthState.READ_ONLY
+
+    @property
+    def healthy(self) -> bool:
+        return self._state is HealthState.HEALTHY
+
+    @property
+    def reason(self) -> Optional[str]:
+        return self._reason
+
+    def set_listener(
+        self, listener: Optional[Callable[[HealthState, HealthState], None]]
+    ) -> None:
+        self._listener = listener
+
+    # -- transitions ------------------------------------------------------
+
+    def _transition(self, new: HealthState, reason: Optional[str]) -> bool:
+        with self._lock:
+            old = self._state
+            if old is new:
+                if reason is not None:
+                    self._reason = reason
+                return False
+            self._state = new
+            self._reason = reason
+            self._since = time.time()
+            self.transitions.append((old.value, new.value, reason))
+            listener = self._listener
+        if listener is not None:
+            listener(old, new)
+        return True
+
+    def wal_failed(self, reason: str) -> bool:
+        """WAL append/fsync exhausted retries: reject writes from now on."""
+        return self._transition(HealthState.READ_ONLY, reason)
+
+    def checkpoint_failed(self, reason: str) -> bool:
+        """Checkpoints failing but WAL alive: degrade, never *downgrade*.
+
+        READ_ONLY already covers a broken checkpoint path, so this is a
+        no-op there — clearing READ_ONLY takes a WAL-level proof.
+        """
+        with self._lock:
+            if self._state is HealthState.READ_ONLY:
+                self._reason = self._reason or reason
+                return False
+        return self._transition(HealthState.DEGRADED, reason)
+
+    def wal_restored(self) -> bool:
+        """A probe proved the WAL accepts and fsyncs appends again.
+
+        Moves READ_ONLY to DEGRADED, not straight to HEALTHY — the probe
+        still owes a successful checkpoint before the pipeline is whole.
+        """
+        with self._lock:
+            if self._state is not HealthState.READ_ONLY:
+                return False
+        return self._transition(HealthState.DEGRADED, "wal restored by probe")
+
+    def checkpoint_succeeded(self) -> bool:
+        """A checkpoint published: clears DEGRADED (but never READ_ONLY)."""
+        with self._lock:
+            if self._state is not HealthState.DEGRADED:
+                return False
+        return self._transition(HealthState.HEALTHY, None)
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state.value,
+                "reason": self._reason,
+                "since": self._since,
+                "transitions": len(self.transitions),
+            }

@@ -1,0 +1,119 @@
+"""Transient/fatal error taxonomy and bounded exponential-backoff retries.
+
+Storage errors split into two classes.  *Transient* errors (interrupted
+syscall, resource briefly busy) are expected to clear on their own; the
+durability layer retries them with exponential backoff.  *Fatal* errors
+(disk full, I/O error, read-only filesystem) will not clear by retrying —
+the layer degrades instead: checkpoints stop (DEGRADED) or writes are
+rejected (READ_ONLY), but committed data is never put at risk.
+
+The classification is deliberately conservative: an ``OSError`` with an
+unknown errno is treated as fatal.  Retrying an unknown failure against a
+write-ahead log risks appending a record the caller already saw fail.
+"""
+
+from __future__ import annotations
+
+import errno
+import time
+from typing import Callable, Iterator, Optional, TypeVar
+
+__all__ = ["TRANSIENT_ERRNOS", "FATAL_ERRNOS", "is_transient", "RetryPolicy"]
+
+T = TypeVar("T")
+
+TRANSIENT_ERRNOS = frozenset(
+    {
+        errno.EINTR,  # interrupted syscall
+        errno.EAGAIN,  # resource temporarily unavailable
+        errno.EBUSY,  # device or resource busy
+        errno.ETIMEDOUT,  # network filesystem timeout
+    }
+)
+"""Errnos worth retrying: the condition is expected to clear on its own."""
+
+FATAL_ERRNOS = frozenset(
+    {
+        errno.ENOSPC,  # no space left on device
+        errno.EIO,  # low-level I/O error
+        errno.EROFS,  # read-only filesystem
+        errno.EBADF,  # handle gone; retrying the same fd cannot succeed
+    }
+)
+"""Errnos that retrying cannot fix; the caller must degrade instead."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when ``exc`` is an ``OSError`` whose errno is worth retrying."""
+    return isinstance(exc, OSError) and exc.errno in TRANSIENT_ERRNOS
+
+
+class RetryPolicy:
+    """Bounded exponential backoff: ``retries`` attempts after the first.
+
+    ``call(fn)`` runs ``fn`` up to ``1 + retries`` times, sleeping
+    ``backoff * multiplier**i`` (capped at ``max_delay``) between attempts.
+    Only exceptions matching ``retry_on`` (default: transient ``OSError``)
+    are retried; anything else — and the final failure — propagates to the
+    caller unchanged, so fatal errors reach the health machinery with their
+    original errno intact.
+
+    ``sleep`` is injectable so tests and the chaos suite run at full speed.
+    """
+
+    def __init__(
+        self,
+        retries: int = 4,
+        backoff: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 0 or max_delay < 0 or multiplier < 1.0:
+            raise ValueError("backoff/max_delay must be >= 0 and multiplier >= 1")
+        self.retries = retries
+        self.backoff = backoff
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.sleep = sleep
+
+    def delays(self) -> Iterator[float]:
+        """The backoff schedule: one delay per retry, exponentially growing."""
+        delay = self.backoff
+        for _ in range(self.retries):
+            yield min(delay, self.max_delay)
+            delay *= self.multiplier
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        retry_on: Callable[[BaseException], bool] = is_transient,
+        on_retry: Optional[Callable[[BaseException, int], None]] = None,
+    ) -> T:
+        """Run ``fn``, retrying matching failures with backoff.
+
+        ``on_retry(exc, attempt)`` is invoked before each sleep — used by
+        the durability manager to log degraded-mode progress.
+        """
+        attempt = 0
+        for delay in self.delays():
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 — filtered by retry_on
+                if not retry_on(exc):
+                    raise
+                attempt += 1
+                if on_retry is not None:
+                    on_retry(exc, attempt)
+                self.sleep(delay)
+        return fn()
+
+    def describe(self) -> dict:
+        return {
+            "retries": self.retries,
+            "backoff": self.backoff,
+            "multiplier": self.multiplier,
+            "max_delay": self.max_delay,
+        }

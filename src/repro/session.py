@@ -43,10 +43,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .core import EntityInstance, RelationshipInstance
-from .errors import BindError, TransactionError
+from .errors import BindError, SerializationError, TransactionError
 from .relational import QueryResult
 from .relational.mvcc import ReadView, read_view_scope
 from .relational.plan import PlanNode
+from .reliability.retry import RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .system import ErbiumDB
@@ -405,6 +406,79 @@ class Session:
         self._owns_transaction = False
         self._writing = False
 
+    @property
+    def health(self):
+        """The system's durability health state (HEALTHY without durability)."""
+
+        return self.system.health
+
+    def run(
+        self,
+        fn,
+        retries: int = 3,
+        backoff: float = 0.01,
+        multiplier: float = 2.0,
+        max_delay: float = 1.0,
+        sleep=None,
+    ):
+        """Execute ``fn(session)`` in a transaction, retrying lost conflicts.
+
+        Under snapshot isolation a transaction that loses a
+        first-committer-wins race raises
+        :class:`~repro.errors.SerializationError`; the standard response is
+        to roll back and re-run the closure against a fresh snapshot.  This
+        helper does exactly that, with the reliability layer's bounded
+        exponential backoff between attempts::
+
+            total = session.run(lambda s: transfer(s, src, dst, amount))
+
+        ``fn`` must be safe to re-execute from scratch (it sees a clean new
+        transaction each attempt).  Any other exception — including
+        :class:`~repro.errors.ReadOnlyError` — rolls back and propagates
+        immediately; after the final attempt the conflict itself propagates.
+        Requires a non-autocommit session.
+        """
+
+        policy_kwargs = dict(
+            retries=retries, backoff=backoff, multiplier=multiplier, max_delay=max_delay
+        )
+        if sleep is not None:
+            policy_kwargs["sleep"] = sleep
+        policy = RetryPolicy(**policy_kwargs)
+        schedule = list(policy.delays())
+        attempt = 0
+        while True:
+            self.begin()
+            try:
+                result = fn(self)
+            except SerializationError:
+                if self.in_transaction():
+                    self.rollback()
+                if attempt >= len(schedule):
+                    raise
+                policy.sleep(schedule[attempt])
+                attempt += 1
+                continue
+            except BaseException:
+                if self.in_transaction():
+                    self.rollback()
+                raise
+            try:
+                self.commit()
+            except SerializationError:
+                if self.in_transaction():
+                    self.rollback()
+                if attempt >= len(schedule):
+                    raise
+                policy.sleep(schedule[attempt])
+                attempt += 1
+                continue
+            except BaseException:
+                if self.in_transaction():
+                    self.rollback()
+                raise
+            return result
+
     # -- read scope ----------------------------------------------------------
 
     @contextmanager
@@ -483,7 +557,16 @@ class Session:
         if not self._owns_transaction:
             return False
         if exc_type is None:
-            self.commit()
+            try:
+                self.commit()
+            except BaseException:
+                # a failed commit (e.g. the WAL refusing the append) leaves
+                # the transaction open for its owner — which, with the scope
+                # ending, is nobody: roll back so the writer lock is
+                # released and memory matches the log
+                if self.in_transaction():
+                    self.rollback()
+                raise
         else:
             self.rollback()
         return False

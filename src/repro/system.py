@@ -52,8 +52,12 @@ from .mapping import (
     compile_mapping,
     fully_normalized_spec,
 )
+from .durability.manager import DEFAULT_PROBE_INTERVAL
 from .relational import Database, QueryResult
 from .relational.mvcc import ReadView, read_view_scope
+from .reliability.faults import Filesystem
+from .reliability.health import HealthState
+from .reliability.retry import RetryPolicy
 from .session import CompiledQuery, PreparedStatement, Result, Session, check_bindings
 
 
@@ -114,6 +118,8 @@ class ErbiumDB:
         self.crud: Optional[CrudTemplates] = None
         self.metrics = QueryMetrics()
         self.durability = None  # a DurabilityManager once enable_durability ran
+        self.access = None  # an AccessController once attach_governance ran
+        self.audit = None  # an AuditLog once attach_governance ran
         self._mapping_spec: Optional[MappingSpec] = None
         self._planner: Optional[Planner] = None
         self._plan_cache: "OrderedDict[Tuple[str, int], CompiledQuery]" = OrderedDict()
@@ -213,6 +219,9 @@ class ErbiumDB:
         name: str = "erbium",
         schema: Optional[ERSchema] = None,
         fsync: str = "commit",
+        fs: Optional[Filesystem] = None,
+        retry: Optional[RetryPolicy] = None,
+        probe_interval: Optional[float] = DEFAULT_PROBE_INTERVAL,
     ) -> "ErbiumDB":
         """Open (or create) a durable database rooted at ``path``.
 
@@ -231,13 +240,21 @@ class ErbiumDB:
 
         ``fsync`` is the WAL policy: ``"commit"`` (default, fsync every
         commit), ``"batch"`` (group-commit fsync) or ``"off"``.
+
+        ``fs``, ``retry`` and ``probe_interval`` configure the reliability
+        machinery: the filesystem seam (tests pass a
+        :class:`~repro.reliability.FaultInjector`), the transient-error
+        retry policy, and how often an unhealthy system probes for
+        recovery (``None`` disables background probing).
         """
 
         from .durability import has_database, recover_system
         from .durability.snapshot import schema_to_dict
 
         if has_database(path):
-            system = recover_system(path, fsync=fsync)
+            system = recover_system(
+                path, fsync=fsync, fs=fs, retry=retry, probe_interval=probe_interval
+            )
             if schema is not None and schema_to_dict(schema) != schema_to_dict(
                 system.schema
             ):
@@ -250,10 +267,19 @@ class ErbiumDB:
                 )
             return system
         system = cls(name, schema=schema)
-        system.enable_durability(path, fsync=fsync)
+        system.enable_durability(
+            path, fsync=fsync, fs=fs, retry=retry, probe_interval=probe_interval
+        )
         return system
 
-    def enable_durability(self, path: str, fsync: str = "commit"):
+    def enable_durability(
+        self,
+        path: str,
+        fsync: str = "commit",
+        fs: Optional[Filesystem] = None,
+        retry: Optional[RetryPolicy] = None,
+        probe_interval: Optional[float] = DEFAULT_PROBE_INTERVAL,
+    ):
         """Attach a write-ahead log + checkpoint store rooted at ``path``.
 
         ``path`` must be fresh (or a directory this database already logs
@@ -291,7 +317,9 @@ class ErbiumDB:
                 )
             for _base, segment in list_segments(path):
                 os.remove(segment)
-        manager = DurabilityManager(path, fsync=fsync)
+        manager = DurabilityManager(
+            path, fsync=fsync, fs=fs, retry=retry, probe_interval=probe_interval
+        )
         self._attach_durability(manager)
         if self.mapping is not None:
             manager.checkpoint()
@@ -329,11 +357,49 @@ class ErbiumDB:
 
         if self.durability is None:
             return
-        if checkpoint and self.mapping is not None:
+        if checkpoint and self.mapping is not None and self.durability.health.healthy:
+            # an unhealthy system skips the farewell checkpoint: the log (or
+            # checkpoint path) is already refusing writes, and recovery will
+            # rebuild from the last durable checkpoint + WAL anyway
             self.durability.checkpoint()
         self.durability.close()
         self.db.durability = None
         self.durability = None
+
+    @property
+    def health(self) -> HealthState:
+        """The durability health state (always HEALTHY without durability)."""
+
+        if self.durability is None:
+            return HealthState.HEALTHY
+        return self.durability.health.state
+
+    def probe(self) -> Dict[str, Any]:
+        """Attempt to restore durability health now; returns manager status."""
+
+        if self.durability is None:
+            raise DurabilityError(
+                "durability is not enabled; there is no health to probe"
+            )
+        return self.durability.probe()
+
+    # ----------------------------------------------------------- governance
+
+    def attach_governance(self, access=None, audit=None) -> None:
+        """Register governance objects so checkpoints capture their state.
+
+        ``access`` (an :class:`~repro.governance.AccessController`) and
+        ``audit`` (an :class:`~repro.governance.AuditLog`) attached here are
+        serialized into every checkpoint and restored by recovery; the REST
+        service defaults to them when not given its own.
+        """
+
+        if access is not None:
+            self.access = access
+            if audit is None and access.audit is not None:
+                audit = access.audit
+        if audit is not None:
+            self.audit = audit
 
     # -------------------------------------------------------------- sessions
 
@@ -601,6 +667,7 @@ class ErbiumDB:
             "name": self.name,
             "schema": self.schema.describe(),
             "backend": self.db.describe(),
+            "health": self.health.value,
         }
         if self.mapping is not None:
             out["mapping"] = self.mapping.describe()

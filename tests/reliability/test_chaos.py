@@ -1,0 +1,270 @@
+"""Seeded chaos schedules: random faults over commit/checkpoint/reopen cycles.
+
+Each schedule drives one durable system through a random mix of autocommit
+writes, multi-statement transactions, checkpoints, probes, repairs and
+mid-run crash/reopen cycles while a seeded :class:`FaultInjector` fails a
+fraction of all filesystem operations.  Three invariants hold at every
+step, for every seed:
+
+* **memory never diverges from the log** — after any operation, acked or
+  failed, the queryable state equals a shadow dict tracking exactly the
+  acknowledged commits;
+* **no acked commit is lost** — crash (abandon without sync) and reopen
+  recovers precisely the shadow;
+* **recovery replays the exact committed prefix** — never a partial
+  transaction, never an unacked write.
+
+The schedule count comes from ``ERBIUM_CHAOS_SCHEDULES`` (default 200);
+every assertion message carries the seed, so any failure replays with
+``FaultInjector(seed=<seed>)``.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+
+import pytest
+
+from repro import ErbiumDB
+from repro.core import Attribute, EntitySet, ERSchema
+from repro.errors import DurabilityError, ReadOnlyError, SerializationError
+from repro.reliability import FaultInjector, HealthState, RetryPolicy
+
+N_SCHEDULES = int(os.environ.get("ERBIUM_CHAOS_SCHEDULES", "200"))
+
+#: Ops the chaos injector may fail; read_bytes is exercised on reopen.
+CHAOS_OPS = ("write", "fsync", "fsync_dir", "replace", "open", "truncate", "remove")
+CHAOS_ERRNOS = (errno.EIO, errno.ENOSPC, errno.EAGAIN, errno.EINTR, errno.EACCES)
+
+pytestmark = pytest.mark.chaos
+
+
+def _schema() -> ERSchema:
+    schema = ERSchema("chaos")
+    schema.add_entity(
+        EntitySet(
+            "item",
+            attributes=[Attribute("id", "int", required=True), Attribute("val", "varchar")],
+            key=["id"],
+        )
+    )
+    return schema
+
+
+def _fast_retry() -> RetryPolicy:
+    return RetryPolicy(sleep=lambda _d: None)
+
+
+
+
+def _state(system: ErbiumDB) -> dict:
+    return dict(system.query("select i.id, i.val from item i").to_tuples())
+
+
+def _open(path: str, fs: FaultInjector, fsync: str, schema=None) -> ErbiumDB:
+    kwargs = dict(fs=fs, retry=_fast_retry(), probe_interval=None, fsync=fsync)
+    if schema is not None:
+        return ErbiumDB.open(path, name="chaos", schema=schema, **kwargs)
+    return ErbiumDB.open(path, **kwargs)
+
+
+class _Schedule:
+    """One seeded chaos run over a single database directory."""
+
+    def __init__(self, base: str, seed: int) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.rate = self.rng.choice([0.01, 0.03, 0.08, 0.15])
+        self.fsync = self.rng.choice(["commit", "commit", "batch", "off"])
+        self.path = os.path.join(base, f"seed-{seed}")
+        self.fs = FaultInjector(seed=seed, real_fsync=False)
+        self.shadow: dict = {}
+        self.next_id = 0
+        self.system = _open(self.path, self.fs, self.fsync, schema=_schema())
+        self.system.set_mapping()  # writes checkpoint #1 on a clean disk
+        self._arm()
+
+    def _arm(self) -> None:
+        self.fs.chaos(self.rate, ops=CHAOS_OPS, errnos=CHAOS_ERRNOS, torn_fraction=0.3)
+
+    # -- steps -------------------------------------------------------------
+
+    def _rows(self, n: int):
+        rows = [
+            {"id": self.next_id + i, "val": f"v{self.next_id + i}"} for i in range(n)
+        ]
+        self.next_id += n
+        return rows
+
+    def autocommit_write(self) -> None:
+        choice = self.rng.random()
+        try:
+            if choice < 0.5 or not self.shadow:
+                [row] = self._rows(1)
+                self.system.insert("item", row)
+                self.shadow[row["id"]] = row["val"]
+            elif choice < 0.75:
+                key = self.rng.choice(sorted(self.shadow))
+                self.system.update("item", key, {"val": f"u{key}"})
+                self.shadow[key] = f"u{key}"
+            else:
+                key = self.rng.choice(sorted(self.shadow))
+                self.system.delete("item", (key,))
+                del self.shadow[key]
+        except (ReadOnlyError, DurabilityError, OSError):
+            pass  # not acked: shadow untouched
+
+    def transaction(self) -> None:
+        staged = dict(self.shadow)
+        session = self.system.session()
+        try:
+            session.begin()
+            for _ in range(self.rng.randint(1, 4)):
+                roll = self.rng.random()
+                if roll < 0.6 or not staged:
+                    [row] = self._rows(1)
+                    session.insert("item", row)
+                    staged[row["id"]] = row["val"]
+                elif roll < 0.8:
+                    key = self.rng.choice(sorted(staged))
+                    session.update("item", key, {"val": f"t{key}"})
+                    staged[key] = f"t{key}"
+                else:
+                    key = self.rng.choice(sorted(staged))
+                    session.delete("item", key)
+                    del staged[key]
+            if self.rng.random() < 0.15:
+                session.rollback()  # deliberate abort: shadow untouched
+            else:
+                session.commit()
+                self.shadow = staged
+        except (ReadOnlyError, DurabilityError, OSError):
+            if session.in_transaction():
+                session.rollback()
+
+    def checkpoint(self) -> None:
+        try:
+            self.system.checkpoint(background=self.rng.random() < 0.3)
+            self.system.durability.wait()
+        except (ReadOnlyError, DurabilityError, OSError):
+            pass
+
+    def probe(self) -> None:
+        try:
+            self.system.probe()
+        except (DurabilityError, OSError):
+            pass
+
+    def repair(self) -> None:
+        """The disk 'recovers': drop all faults, probe back to HEALTHY."""
+
+        self.fs.clear()
+        self.system.probe()
+        assert self.system.health is HealthState.HEALTHY, f"seed={self.seed}"
+        self._arm()
+
+    def crash_and_reopen(self) -> None:
+        """Abandon mid-run and recover on a clean disk: shadow must survive."""
+
+        self.system.durability.abandon()
+        self.fs.clear()
+        self.system = _open(self.path, self.fs, self.fsync)
+        assert _state(self.system) == self.shadow, f"seed={self.seed} (mid-run reopen)"
+        self._arm()
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> None:
+        steps = self.rng.randint(6, 14)
+        for _ in range(steps):
+            roll = self.rng.random()
+            if roll < 0.45:
+                self.autocommit_write()
+            elif roll < 0.70:
+                self.transaction()
+            elif roll < 0.82:
+                self.checkpoint()
+            elif roll < 0.88:
+                self.probe()
+            elif roll < 0.94:
+                self.repair()
+            else:
+                self.crash_and_reopen()
+            # memory never diverges from the acked log
+            assert _state(self.system) == self.shadow, f"seed={self.seed}"
+
+        # final crash: recovery must replay the exact acked prefix
+        self.system.durability.abandon()
+        self.fs.clear()
+        recovered = _open(self.path, self.fs, self.fsync)
+        assert _state(recovered) == self.shadow, f"seed={self.seed} (final recovery)"
+        recovered.close(checkpoint=False)
+
+
+def test_chaos_schedules(tmp_path):
+    """Run N seeded fault schedules; every invariant holds for every seed."""
+
+    failures = []
+    for seed in range(N_SCHEDULES):
+        try:
+            _Schedule(str(tmp_path), seed).run()
+        except AssertionError:
+            raise
+        except BaseException as exc:  # unexpected crash: report the seed
+            failures.append((seed, repr(exc)))
+    assert not failures, f"unhandled exceptions: {failures[:5]}"
+
+
+def test_chaos_smoke_fixed_seed(tmp_path):
+    """One deterministic schedule — the CI smoke entry point."""
+
+    _Schedule(str(tmp_path), 20260808).run()
+
+
+# --------------------------------------------------------------------------
+# MVCC under failure: snapshot readers never see torn or rolled-back state
+# --------------------------------------------------------------------------
+
+
+def test_snapshot_readers_never_see_failed_commits(tmp_path):
+    """A pinned read view is immune to concurrent failed and healed writes."""
+
+    fs = FaultInjector(seed=1, real_fsync=False)
+    system = _open(str(tmp_path / "db"), fs, "commit", schema=_schema())
+    system.set_mapping()
+    for i in range(5):
+        system.insert("item", {"id": i, "val": f"v{i}"})
+
+    reader = system.session(isolation="snapshot").begin()
+    before = dict(reader.query("select i.id, i.val from item i").to_tuples())
+    assert len(before) == 5
+
+    # a write fails mid-append: nothing may leak into any reader
+    fs.fail("write", times=None, errno_code=errno.EIO)
+    with pytest.raises(ReadOnlyError):
+        system.insert("item", {"id": 99, "val": "phantom"})
+    assert dict(reader.query("select i.id, i.val from item i").to_tuples()) == before
+
+    # the disk heals and a new write commits: the pinned view still reads
+    # its own snapshot (repeatable reads), while fresh statements see it
+    fs.clear()
+    system.probe()
+    system.insert("item", {"id": 6, "val": "new"})
+    assert dict(reader.query("select i.id, i.val from item i").to_tuples()) == before
+    reader.commit()
+    after = dict(system.query("select i.id, i.val from item i").to_tuples())
+    assert after == {**before, 6: "new"}
+    assert 99 not in after
+    system.close()
+
+
+def test_chaos_marker_registered():
+    """The 'chaos' marker must be declared in pytest.ini (no warnings)."""
+
+    import configparser
+
+    config = configparser.ConfigParser()
+    config.read(os.path.join(os.path.dirname(__file__), "..", "..", "pytest.ini"))
+    assert "chaos" in config.get("pytest", "markers")

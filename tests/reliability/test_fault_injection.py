@@ -1,0 +1,342 @@
+"""Unit tests for the reliability primitives and the failure cleanup paths.
+
+Covers the :class:`FaultInjector` itself (determinism, scheduled rules,
+chaos mode, torn writes), the retry taxonomy/policy, the health state
+machine's legal transitions, and — via injected faults — the cleanup code
+that used to hide behind ``pragma: no cover``: failed segment prune, failed
+checkpoint prune, crash-during-rename temp-file cleanup, and the
+truncate-back-failure path that forces READ_ONLY.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import pytest
+
+from repro.durability.snapshot import CheckpointStore, _write_atomic
+from repro.durability.wal import WriteAheadLog, scan_segments
+from repro.errors import DurabilityError
+from repro.reliability import (
+    FATAL_ERRNOS,
+    FaultInjector,
+    HealthMonitor,
+    HealthState,
+    RetryPolicy,
+    TRANSIENT_ERRNOS,
+    is_transient,
+)
+
+
+# --------------------------------------------------------------------------
+# FaultInjector
+# --------------------------------------------------------------------------
+
+
+def test_scheduled_fault_fires_at_exact_count(tmp_path):
+    fs = FaultInjector()
+    fs.fail("write", at=2, errno_code=errno.ENOSPC)
+    handle = fs.open(str(tmp_path / "f"), "wb")
+    fs.write(handle, b"first")  # count 1: fine
+    with pytest.raises(OSError) as info:
+        fs.write(handle, b"second")  # count 2: boom
+    assert info.value.errno == errno.ENOSPC
+    fs.write(handle, b"third")  # count 3: rule was times=1
+    handle.close()
+    assert fs.faults_fired == [("write", 2, errno.ENOSPC)]
+
+
+def test_sticky_fault_persists_until_cleared(tmp_path):
+    fs = FaultInjector()
+    rule = fs.fail("fsync", times=None, errno_code=errno.EIO)
+    handle = fs.open(str(tmp_path / "f"), "wb")
+    for _ in range(3):
+        with pytest.raises(OSError):
+            fs.fsync(handle)
+    fs.clear(rule)
+    fs.fsync(handle)  # healed
+    handle.close()
+
+
+def test_fail_at_counts_from_next_call(tmp_path):
+    fs = FaultInjector()
+    handle = fs.open(str(tmp_path / "f"), "wb")
+    fs.write(handle, b"a")
+    fs.write(handle, b"b")
+    fs.fail("write", at=1)  # the *next* write, not the first ever
+    with pytest.raises(OSError):
+        fs.write(handle, b"c")
+    handle.close()
+
+
+def test_torn_write_leaves_partial_prefix(tmp_path):
+    fs = FaultInjector(seed=7)
+    fs.fail("write", torn=True, errno_code=errno.EIO)
+    path = str(tmp_path / "f")
+    handle = fs.open(path, "wb")
+    payload = b"x" * 100
+    with pytest.raises(OSError):
+        fs.write(handle, payload)
+    handle.close()
+    written = os.path.getsize(path)
+    assert 0 < written < len(payload)
+
+
+def test_chaos_is_deterministic_per_seed(tmp_path):
+    def schedule(seed):
+        fs = FaultInjector(seed=seed)
+        fs.chaos(rate=0.3, ops=("write",), torn_fraction=0.0)
+        handle = open(os.devnull, "wb")
+        fired = []
+        for i in range(50):
+            try:
+                fs.write(handle, b"x")
+                fired.append(None)
+            except OSError as exc:
+                fired.append(exc.errno)
+        handle.close()
+        return fired
+
+    assert schedule(42) == schedule(42)
+    assert schedule(42) != schedule(43)
+    assert any(e is not None for e in schedule(42))
+
+
+def test_clear_all_disarms_chaos_and_rules(tmp_path):
+    fs = FaultInjector()
+    fs.fail("write", times=None)
+    fs.chaos(rate=1.0, ops=("fsync",))
+    fs.clear()
+    handle = fs.open(str(tmp_path / "f"), "wb")
+    fs.write(handle, b"ok")
+    fs.fsync(handle)
+    handle.close()
+
+
+def test_real_fsync_false_skips_physical_sync(tmp_path):
+    fs = FaultInjector(real_fsync=False)
+    handle = fs.open(str(tmp_path / "f"), "wb")
+    fs.write(handle, b"x")
+    fs.fsync(handle)  # must not raise, must count
+    handle.close()
+    assert fs.counts["fsync"] == 1
+
+
+# --------------------------------------------------------------------------
+# Taxonomy and RetryPolicy
+# --------------------------------------------------------------------------
+
+
+def test_taxonomy_classification():
+    assert TRANSIENT_ERRNOS.isdisjoint(FATAL_ERRNOS)
+    assert is_transient(OSError(errno.EAGAIN, "busy"))
+    assert not is_transient(OSError(errno.ENOSPC, "full"))
+    # unknown errno: conservative — fatal
+    assert not is_transient(OSError(99999, "???"))
+    assert not is_transient(ValueError("not even an OSError"))
+
+
+def test_retry_recovers_from_transient_then_succeeds():
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise OSError(errno.EINTR, "interrupted")
+        return "ok"
+
+    slept = []
+    policy = RetryPolicy(retries=4, backoff=0.5, multiplier=2.0, sleep=slept.append)
+    assert policy.call(flaky) == "ok"
+    assert len(attempts) == 3
+    assert slept == [0.5, 1.0]  # exponential
+
+
+def test_retry_raises_fatal_immediately():
+    attempts = []
+
+    def fatal():
+        attempts.append(1)
+        raise OSError(errno.EIO, "dead disk")
+
+    policy = RetryPolicy(retries=4, sleep=lambda _d: None)
+    with pytest.raises(OSError):
+        policy.call(fatal)
+    assert len(attempts) == 1
+
+
+def test_retry_exhaustion_raises_last_transient():
+    policy = RetryPolicy(retries=2, sleep=lambda _d: None)
+    with pytest.raises(OSError) as info:
+        policy.call(lambda: (_ for _ in ()).throw(OSError(errno.EAGAIN, "still busy")))
+    assert info.value.errno == errno.EAGAIN
+
+
+def test_retry_delay_schedule_is_capped():
+    policy = RetryPolicy(retries=5, backoff=0.1, multiplier=10.0, max_delay=1.0)
+    assert list(policy.delays()) == [0.1, 1.0, 1.0, 1.0, 1.0]
+
+
+def test_retry_validates_parameters():
+    with pytest.raises(ValueError):
+        RetryPolicy(retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+
+
+# --------------------------------------------------------------------------
+# Health state machine
+# --------------------------------------------------------------------------
+
+
+def test_health_degrades_and_recovers():
+    monitor = HealthMonitor()
+    assert monitor.state is HealthState.HEALTHY
+    assert monitor.checkpoint_failed("disk hiccup")
+    assert monitor.state is HealthState.DEGRADED
+    assert monitor.checkpoint_succeeded()
+    assert monitor.state is HealthState.HEALTHY
+    assert [t[:2] for t in monitor.transitions] == [
+        ("healthy", "degraded"),
+        ("degraded", "healthy"),
+    ]
+
+
+def test_health_read_only_needs_wal_proof_to_clear():
+    monitor = HealthMonitor()
+    monitor.wal_failed("append failed")
+    assert monitor.read_only
+    # checkpoint outcomes cannot move READ_ONLY either way
+    assert not monitor.checkpoint_failed("also failing")
+    assert not monitor.checkpoint_succeeded()
+    assert monitor.read_only
+    # only WAL-level proof de-escalates, and only to DEGRADED
+    assert monitor.wal_restored()
+    assert monitor.state is HealthState.DEGRADED
+    assert not monitor.wal_restored()  # idempotent outside READ_ONLY
+    assert monitor.checkpoint_succeeded()
+    assert monitor.healthy
+
+
+def test_health_listener_fires_on_transition():
+    seen = []
+    monitor = HealthMonitor(listener=lambda old, new: seen.append((old, new)))
+    monitor.wal_failed("x")
+    monitor.wal_failed("x again")  # same state: no event, reason refreshed
+    assert seen == [(HealthState.HEALTHY, HealthState.READ_ONLY)]
+    assert monitor.reason == "x again"
+
+
+# --------------------------------------------------------------------------
+# Cleanup paths (formerly pragma: no cover)
+# --------------------------------------------------------------------------
+
+
+def test_failed_segment_prune_is_recorded_not_raised(tmp_path):
+    fs = FaultInjector()
+    wal = WriteAheadLog(str(tmp_path), fsync="off", fs=fs)
+    wal.append_transaction([{"t": "truncate", "table": "t"}])
+    sealed = wal.rotate()
+    fs.fail("remove", times=None, errno_code=errno.EACCES)
+    assert wal.prune(wal.last_lsn) == []
+    assert wal.cleanup_errors and "prune" in wal.cleanup_errors[0]
+    assert os.path.exists(sealed)  # leaked, not lost
+    fs.clear()
+    assert wal.prune(wal.last_lsn) == [sealed]
+    wal.close()
+
+
+def test_failed_checkpoint_prune_is_recorded(tmp_path):
+    fs = FaultInjector()
+    store = CheckpointStore(str(tmp_path), fs=fs)
+    store.write({"format": 1, "version": 0, "lsn": 0})
+    store.write({"format": 1, "version": 0, "lsn": 1})
+    fs.fail("remove", errno_code=errno.EACCES)
+    store.write({"format": 1, "version": 0, "lsn": 2})  # prune of v1 fails
+    assert any("prune checkpoint" in e for e in store.cleanup_errors)
+    assert store.latest_info()["version"] == 3  # publication unaffected
+
+
+def test_crash_during_rename_cleans_temp_file(tmp_path):
+    fs = FaultInjector()
+    target = str(tmp_path / "ckpt.json")
+    fs.fail("replace", errno_code=errno.EIO)
+    with pytest.raises(OSError):
+        _write_atomic(target, b"payload", fs)
+    assert not os.path.exists(target)
+    assert not os.path.exists(target + ".tmp")  # best-effort cleanup ran
+
+
+def test_rename_crash_with_stuck_temp_records_cleanup_error(tmp_path):
+    fs = FaultInjector()
+    target = str(tmp_path / "ckpt.json")
+    fs.fail("replace", errno_code=errno.EIO)
+    fs.fail("remove", errno_code=errno.EACCES)
+    errors: list = []
+    with pytest.raises(OSError):
+        _write_atomic(target, b"payload", fs, errors)
+    assert os.path.exists(target + ".tmp")  # could not be removed...
+    assert errors and "temp cleanup" in errors[0]  # ...but it is on the books
+
+
+def test_truncate_back_failure_marks_log_failed_then_heals(tmp_path):
+    """The wal.py satellite fix: a failed truncate-back must not be silent."""
+
+    fs = FaultInjector()
+    wal = WriteAheadLog(str(tmp_path), fsync="commit", fs=fs)
+    wal.append_transaction([{"t": "truncate", "table": "t"}])
+    good_size = os.path.getsize(wal.segment_path)
+
+    # the append tears mid-write AND the truncate-back fails: the segment is
+    # left with a half frame and the log must refuse service
+    fs.fail("write", errno_code=errno.ENOSPC, torn=True)
+    fs.fail("truncate", errno_code=errno.EIO)
+    with pytest.raises(OSError):
+        wal.append_transaction([{"t": "truncate", "table": "t"}])
+    assert wal.failed
+    assert "truncate-back failed" in wal.failure_reason
+    assert wal._recover_offset == good_size  # knows where the good prefix ends
+    with pytest.raises(DurabilityError):
+        wal.append_transaction([{"t": "truncate", "table": "t"}])
+    with pytest.raises(DurabilityError):
+        wal.sync()
+    with pytest.raises(DurabilityError):
+        wal.rotate()
+
+    # heal: cuts the suspect tail at the recorded offset and resumes
+    assert wal.heal()
+    assert not wal.failed
+    assert os.path.getsize(wal.segment_path) == good_size
+    wal.append_transaction([{"t": "truncate", "table": "t"}])
+    wal.close()
+    scan = scan_segments(str(tmp_path))
+    assert len(scan.transactions) == 2 and not scan.torn
+
+
+def test_heal_reopens_after_rotation_lost_the_segment(tmp_path):
+    fs = FaultInjector()
+    wal = WriteAheadLog(str(tmp_path), fsync="off", fs=fs)
+    wal.append_transaction([{"t": "truncate", "table": "t"}])
+    # both the fresh segment and the sealed-reopen fallback fail
+    fs.fail("open", times=2, errno_code=errno.EMFILE)
+    with pytest.raises(OSError):
+        wal.rotate()
+    assert wal.failed and not wal.closed
+    assert wal.heal()
+    wal.append_transaction([{"t": "truncate", "table": "t"}])
+    wal.close()
+    assert len(scan_segments(str(tmp_path)).transactions) == 2
+
+
+def test_failed_log_close_releases_handle_without_sync(tmp_path):
+    fs = FaultInjector()
+    wal = WriteAheadLog(str(tmp_path), fsync="commit", fs=fs)
+    fs.fail("write", torn=True)
+    fs.fail("truncate")
+    with pytest.raises(OSError):
+        wal.append_transaction([{"t": "truncate", "table": "t"}])
+    syncs_before = fs.counts.get("fsync", 0)
+    wal.close()  # must not raise and must not fsync the suspect tail
+    assert fs.counts.get("fsync", 0) == syncs_before
+    assert wal._file is None
