@@ -1,0 +1,187 @@
+"""Observability overhead gate: instrumented prepared point reads.
+
+The observability subsystem is always on by default — every query ticks the
+``QueryMetrics`` counters, the trace sampler, and the slow-query clock — so
+its cost rides on the hottest path the engine has: re-executing a prepared
+point read (~20µs end to end).  This benchmark measures that cost directly
+as an A/B over ``Observability.enable()`` / ``disable()`` and gates the
+regression at ``ERBIUM_OBS_OVERHEAD_MAX`` (default 5%).
+
+Methodology
+-----------
+
+Wall-clock noise on shared runners is *larger* than the effect being
+measured (±1µs scheduling/frequency jitter against a few-hundred-ns true
+cost), so naive before/after timing is useless here.  Instead:
+
+* the two modes are measured in **interleaved bursts** (disabled, enabled,
+  disabled, ...) so slow drift — CPU frequency scaling, a neighbour tenant —
+  hits both modes equally;
+* each mode's cost is the **minimum** over all its bursts: interruptions
+  only ever add time, so the minimum is the best estimate of the
+  uninterrupted cost;
+* the whole measurement retries up to ``ERBIUM_OBS_ATTEMPTS`` times and the
+  gate applies to the best attempt — a single noisy attempt does not fail
+  the build, a real regression fails every attempt.
+
+``ERBIUM_WRITE_BENCH8=1`` persists the measurement as ``BENCH_8.json`` in
+the repo root (opt-in, so CI never dirties the tree).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+from pathlib import Path
+from typing import Tuple
+
+import pytest
+
+from repro import ErbiumDB
+from repro.workloads.synthetic import (
+    build_synthetic_schema,
+    generate_synthetic_data,
+    synthetic_mappings,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH8_PATH = REPO_ROOT / "BENCH_8.json"
+
+#: Dataset scale (rows in R ~ scale); small on purpose — the gate measures
+#: per-call overhead, so the query itself should be as cheap as possible.
+SCALE = int(os.environ.get("ERBIUM_OBS_SCALE", "20"))
+#: Prepared executions per timed burst.
+CALLS = int(os.environ.get("ERBIUM_OBS_CALLS", "2000"))
+#: Interleaved (disabled, enabled) burst rounds per attempt.
+ROUNDS = int(os.environ.get("ERBIUM_OBS_ROUNDS", "8"))
+#: Whole-measurement retries before the gate fails.
+ATTEMPTS = int(os.environ.get("ERBIUM_OBS_ATTEMPTS", "3"))
+#: The acceptance gate: enabled-over-disabled regression on prepared point
+#: reads must stay at or under this fraction (default 5%).
+OVERHEAD_MAX = float(os.environ.get("ERBIUM_OBS_OVERHEAD_MAX", "0.05"))
+
+POINT_QUERY = "select r_id, r_y from R where r_id = $k"
+
+
+def _build_system() -> ErbiumDB:
+    schema = build_synthetic_schema()
+    specs = synthetic_mappings(schema)
+    data = generate_synthetic_data(scale=SCALE, seed=42)
+    system = ErbiumDB("obs-overhead", schema.clone("obs-overhead"))
+    system.set_mapping(specs["M1"])
+    system.load(data.entities, data.relationships)
+    return system
+
+
+def _measure_overhead(system: ErbiumDB) -> Tuple[float, float, float]:
+    """(disabled_seconds, enabled_seconds, overhead_fraction) per call."""
+
+    statement = system.prepare(POINT_QUERY)
+    obs = system.observability
+    for i in range(200):  # warm plan, operator caches, branch predictors
+        statement.execute(k=i % SCALE)
+
+    def burst() -> float:
+        start = time.perf_counter()
+        for i in range(CALLS):
+            statement.execute(k=i % SCALE)
+        return (time.perf_counter() - start) / CALLS
+
+    disabled = enabled = float("inf")
+    for _ in range(ROUNDS):
+        gc.collect()
+        obs.disable()
+        disabled = min(disabled, burst())
+        obs.enable()
+        enabled = min(enabled, burst())
+    obs.enable()
+    # noise floor: the enabled minimum can land under the disabled one
+    overhead = max(0.0, (enabled - disabled) / disabled)
+    return disabled, enabled, overhead
+
+
+@pytest.fixture(scope="module")
+def measurement():
+    """Best-of-``ATTEMPTS`` overhead measurement.
+
+    Stops early only once the estimate has comfortable margin (60% of the
+    gate), so a barely-passing noisy attempt still gets re-measured.
+    """
+
+    system = _build_system()
+    best = None
+    for _ in range(max(1, ATTEMPTS)):
+        result = _measure_overhead(system)
+        if best is None or result[2] < best[2]:
+            best = result
+        if best[2] <= OVERHEAD_MAX * 0.6:
+            break
+    return best
+
+
+def test_instrumentation_default_on_and_sampled():
+    """The config under test: observability enabled, tracing sampled."""
+
+    system = _build_system()
+    described = system.observability.describe()
+    assert described["enabled"] is True
+    assert described["sample_every"] >= 1
+
+
+def test_observability_overhead_gate(measurement):
+    """Acceptance gate: enabled-vs-disabled regression <= OVERHEAD_MAX."""
+
+    disabled, enabled, overhead = measurement
+    print(
+        f"\nprepared point read: disabled {disabled * 1e6:.2f}us/call, "
+        f"enabled {enabled * 1e6:.2f}us/call, overhead {overhead * 100:.2f}% "
+        f"(gate {OVERHEAD_MAX * 100:.0f}%)"
+    )
+    assert overhead <= OVERHEAD_MAX, (
+        f"observability overhead {overhead * 100:.2f}% exceeds the "
+        f"{OVERHEAD_MAX * 100:.0f}% gate on prepared point reads: "
+        f"disabled {disabled * 1e6:.2f}us/call vs enabled "
+        f"{enabled * 1e6:.2f}us/call over {CALLS} calls x {ROUNDS} rounds"
+    )
+
+
+def test_counters_stay_exact_while_sampled(measurement):
+    """Sampling shaves traces, never counter accuracy."""
+
+    del measurement  # ordering only: reuse the module-scoped system warmup
+    system = _build_system()
+    statement = system.prepare(POINT_QUERY)
+    statement.execute(k=1)
+    before = system.metrics.snapshot()
+    for i in range(100):
+        statement.execute(k=i % SCALE)
+    after = system.metrics.snapshot()
+    assert after["executions"] - before["executions"] == 100
+    for counter in ("parses", "analyses", "plans"):
+        assert after[counter] == before[counter], counter
+
+
+def test_write_bench8_snapshot(measurement):
+    """Persist the perf trajectory (opt-in, so CI never dirties the tree)."""
+
+    if os.environ.get("ERBIUM_WRITE_BENCH8") != "1":
+        pytest.skip("set ERBIUM_WRITE_BENCH8=1 to refresh BENCH_8.json")
+    disabled, enabled, overhead = measurement
+    system = _build_system()
+    payload = {
+        "pr": 8,
+        "scale": SCALE,
+        "calls": CALLS,
+        "rounds": ROUNDS,
+        "overhead_gate": OVERHEAD_MAX,
+        "sample_every": system.observability.tracer.sample_every,
+        "prepared_point_read": {
+            "disabled_us_per_call": round(disabled * 1e6, 3),
+            "enabled_us_per_call": round(enabled * 1e6, 3),
+            "overhead_fraction": round(overhead, 4),
+        },
+    }
+    BENCH8_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {BENCH8_PATH}")

@@ -1,0 +1,106 @@
+"""Observability tour: metrics, tracing, the slow-query log, diagnostics.
+
+Boots a small system, runs mixed traffic through the session and API
+layers, then answers the three operational questions the subsystem exists
+for: latency percentiles from ``GET /metrics``, slow-statement shapes from
+the slow-query log, and a one-shot diagnostic bundle an incident responder
+could attach to a ticket.
+
+Run with ``PYTHONPATH=src python examples/observability.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro import ErbiumDB
+from repro.api import ApiService
+from repro.core import Attribute, EntitySet, ERSchema
+
+
+def build_system() -> ErbiumDB:
+    schema = ERSchema("shop")
+    schema.add_entity(
+        EntitySet(
+            "product",
+            attributes=[
+                Attribute("id", "int", required=True),
+                Attribute("name", "varchar"),
+                Attribute("price", "float"),
+            ],
+            key=["id"],
+        )
+    )
+    system = ErbiumDB("shop", schema)
+    system.set_mapping()
+    system.insert_many(
+        "product",
+        [{"id": i, "name": f"sku-{i}", "price": float(i) * 1.5} for i in range(200)],
+    )
+    return system
+
+
+def main() -> None:
+    system = build_system()
+    obs = system.observability
+
+    # trace every query for the demo (production samples 1-in-N; see
+    # docs/observability.md) and call anything over 0ms "slow" so the
+    # slow-query log has something to show
+    obs.set_sampling(1)
+    obs.slowlog.set_threshold(0.0)
+
+    # -- traffic: prepared hot loop + ad-hoc queries + API requests --------
+    statement = system.prepare("select p.name, p.price from product p where p.id = $id")
+    for i in range(300):
+        statement.execute(id=i % 200)
+    system.query("select count(*) as n from product p where p.price > $floor", params={"floor": 100.0})
+
+    service = ApiService(system, max_in_flight=8)
+    for i in range(20):
+        service.get(f"/entities/product/{i}")
+    service.post("/query", {"query": "select max(p.price) as top from product p"})
+
+    # -- question 1: what is latency doing?  (GET /metrics) ----------------
+    metrics = service.get("/metrics")
+    assert metrics.status == 200
+    counters = metrics.body["metrics"]["counters"]
+    query_hist = metrics.body["metrics"]["histograms"]["query.seconds"]
+    print(f"executions: {metrics.body['query_metrics']['executions']}")
+    print(f"api requests: {counters['api.requests']} (shed: {counters['api.shed']})")
+    print(
+        "query latency: "
+        f"p50 {query_hist['p50'] * 1e6:.1f}us  "
+        f"p95 {query_hist['p95'] * 1e6:.1f}us  "
+        f"p99 {query_hist['p99'] * 1e6:.1f}us  "
+        f"over {query_hist['count']} traces"
+    )
+
+    # -- question 2: which statements are slow?  (slow-query log) ----------
+    print("\nslow-query shapes (worst total first):")
+    for shape in obs.slowlog.by_shape()[:3]:
+        print(f"  {shape['count']:4d}x  {shape['max_seconds'] * 1e6:8.1f}us worst  {shape['query'][:60]}")
+    newest = obs.slowlog.entries(limit=1)[0]
+    assert newest["params"] is not None  # names only — values are redacted
+
+    # -- question 3: what state is the system in?  (diagnostic bundle) -----
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bundle.json")
+        response = service.post("/admin/diagnostics", {"write": True, "path": path})
+        assert response.status == 200
+        with open(path, encoding="utf-8") as handle:
+            bundle = json.load(handle)  # must parse back — the CI smoke check
+    assert bundle["kind"] == "erbium-diagnostic-bundle"
+    print(
+        f"\ndiagnostic bundle: health={bundle['health']['state']} "
+        f"plan_cache={bundle['plan_cache']['size']} entries, "
+        f"{len(bundle['slow_queries']['recent'])} recent slow queries, "
+        f"{sum(1 for _ in bundle['metrics']['counters'])} counters"
+    )
+    print("\nobservability config:", json.dumps(obs.describe()))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,11 +11,14 @@ subpackages (documented in DESIGN.md):
 * :mod:`repro.mapping` — graph-cover physical mappings, CRUD templates, optimizer;
 * :mod:`repro.evolution` — schema evolution, migration, versioning;
 * :mod:`repro.governance` — PII tagging, access control, right-to-erasure;
+* :mod:`repro.observability` — metrics registry, phase tracing, slow-query
+  log, diagnostic bundles;
 * :mod:`repro.api` — in-process REST-like API layer;
 * :mod:`repro.workloads` — Figure 1 / Figure 4 schemas and data generators;
 * :mod:`repro.bench` — the Section 6 experiment harness.
 """
 
+from .observability import Observability
 from .session import PreparedStatement, Result, Session
 from .system import ErbiumDB, QueryMetrics
 
@@ -23,6 +26,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "ErbiumDB",
+    "Observability",
     "Session",
     "PreparedStatement",
     "Result",

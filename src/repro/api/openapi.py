@@ -206,6 +206,48 @@ _HANDLER_DOCS: Dict[str, Dict[str, Any]] = {
             },
         },
     },
+    "metrics": {
+        "responses": {
+            "200": {
+                "description": "Metrics snapshot: {health, metrics: {counters, "
+                "gauges, histograms (count/sum/min/max/mean/p50/p95/p99)}, "
+                "query_metrics, run_summary (per-operation and per-phase "
+                "timings), slow_queries (log counters), in_flight, "
+                "max_in_flight}.  Counters are monotonic; designed for "
+                "periodic scraping.  Always 200."
+            }
+        },
+    },
+    "admin_diagnostics": {
+        "requestBody": {
+            "required": [],
+            "schema": {
+                "type": "object",
+                "properties": {
+                    "write": {
+                        "type": "boolean",
+                        "description": "Also persist the bundle as JSON "
+                        "(into the database directory for a durable system) "
+                        "and report 'written_to'.",
+                    },
+                    "path": {
+                        "type": "string",
+                        "description": "Explicit file path for the persisted "
+                        "bundle (only with write=true).",
+                    },
+                },
+            },
+        },
+        "responses": {
+            "200": {
+                "description": "A one-shot diagnostic bundle: config, health "
+                "state with full transition history, plan-cache and "
+                "WAL/checkpoint state, metrics snapshot, run summary and "
+                "recent slow queries.  Slow-log entries carry parameter "
+                "names only — binding values are redacted by construction."
+            }
+        },
+    },
     "batch": {
         "requestBody": {
             "required": ["operations"],
@@ -254,7 +296,11 @@ _ERROR_SCHEMA = {
                     "with a Retry-After header) means the write-ahead log "
                     "has failed and the database only serves reads until a "
                     "health probe restores it; retry writes after the "
-                    "indicated delay or poll GET /health.",
+                    "indicated delay or poll GET /health.  'overloaded' "
+                    "(HTTP 429, with a Retry-After header) means admission "
+                    "control shed the request because the configured "
+                    "max_in_flight requests were already executing; retry "
+                    "after the indicated delay.",
                 },
                 "message": {"type": "string"},
             },

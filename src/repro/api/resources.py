@@ -100,7 +100,9 @@ def default_router() -> Router:
     router.add(Route("POST", "/batch", "batch", "Run several write operations in one transaction"))
     router.add(Route("POST", "/admin/checkpoint", "admin_checkpoint", "Write a durable checkpoint now (requires durability)"))
     router.add(Route("GET", "/health", "health", "Durability health state (healthy / degraded / read_only)"))
+    router.add(Route("GET", "/metrics", "metrics", "Metrics snapshot: counters, gauges, latency histograms, run summary"))
     router.add(Route("POST", "/admin/probe", "admin_probe", "Probe a degraded/read-only system back toward healthy"))
+    router.add(Route("POST", "/admin/diagnostics", "admin_diagnostics", "Capture a diagnostic bundle (optionally persisted to disk)"))
     router.add(Route("GET", "/openapi", "openapi", "Generated API documentation"))
     return router
 

@@ -25,6 +25,8 @@ The surface is built on the session layer of :mod:`repro.session`:
 from __future__ import annotations
 
 import json
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qsl
@@ -45,6 +47,7 @@ from ..errors import (
     TypeMismatchError,
 )
 from ..governance import AccessController, AuditLog
+from ..observability.bundle import build_bundle, write_bundle
 from ..session import Session
 from ..system import ErbiumDB
 from .openapi import generate_openapi
@@ -70,6 +73,7 @@ _STATUS_CODES = {
     405: "method_not_allowed",
     409: "conflict",
     422: "validation",
+    429: "overloaded",
     500: "internal",
     503: "unavailable",
 }
@@ -113,6 +117,7 @@ class ApiService:
         access: Optional[AccessController] = None,
         audit: Optional[AuditLog] = None,
         max_page_size: int = MAX_PAGE_SIZE,
+        max_in_flight: Optional[int] = None,
     ) -> None:
         self.system = system
         # default to the governance objects registered on the system (which
@@ -121,6 +126,20 @@ class ApiService:
         self.audit = audit if audit is not None else getattr(system, "audit", None)
         self.max_page_size = max_page_size
         self.router: Router = default_router()
+        # Admission control: with ``max_in_flight`` set, requests beyond that
+        # many concurrently-executing ones are shed with 429 + Retry-After
+        # instead of queueing behind the engine.  ``None`` (default) admits
+        # everything — the pre-PR-8 behavior.
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1 (or None to disable)")
+        self.max_in_flight = max_in_flight
+        self._admission_lock = threading.Lock()
+        self._in_flight = 0
+        registry = system.observability.registry
+        self._request_hist = registry.histogram("api.request_seconds")
+        self._request_counter = registry.counter("api.requests")
+        self._shed_counter = registry.counter("api.shed")
+        self._in_flight_gauge = registry.gauge("api.in_flight")
         # per-entity sorted key lists, invalidated by any table data change
         self._sorted_keys_cache: Dict[str, Tuple[Any, List[Any]]] = {}
         # Read endpoints execute under statement-level snapshot views pinned
@@ -155,6 +174,13 @@ class ApiService:
         immediately — it indicates a caller bug (most likely a positional
         ``principal`` from the pre-session signature), not a client request
         that deserves an error response.
+
+        Admission control happens here: with ``max_in_flight`` configured,
+        a request arriving while that many are already executing is shed
+        with **429 + Retry-After** before it touches the engine — shedding
+        early keeps the latency of admitted requests bounded instead of
+        letting everything queue and time out together.  Every admitted
+        request is timed into the ``api.request_seconds`` histogram.
         """
 
         if body is not None and not isinstance(body, dict):
@@ -164,6 +190,44 @@ class ApiService:
                 f"request body must be a dict or None, got {type(body).__name__}; "
                 "pass principal as a keyword argument"
             )
+        self._request_counter.inc()
+        if not self._admit():
+            self._shed_counter.inc()
+            return self._error_response(
+                429,
+                "overloaded",
+                f"too many in-flight requests (max {self.max_in_flight}); "
+                "retry after the indicated delay",
+            )
+        started = time.perf_counter()
+        try:
+            return self._dispatch(method, path, body, principal)
+        finally:
+            self._release()
+            self._request_hist.record(time.perf_counter() - started)
+
+    def _admit(self) -> bool:
+        with self._admission_lock:
+            if self.max_in_flight is not None and self._in_flight >= self.max_in_flight:
+                return False
+            self._in_flight += 1
+            count = self._in_flight
+        self._in_flight_gauge.set(count)
+        return True
+
+    def _release(self) -> None:
+        with self._admission_lock:
+            self._in_flight -= 1
+            count = self._in_flight
+        self._in_flight_gauge.set(count)
+
+    def _dispatch(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]],
+        principal: Optional[str],
+    ) -> Response:
         path, query_params = self._split_query_string(path)
         if query_params and method.upper() == "GET":
             # query-string values (the HTTP-expressible spelling for GET
@@ -176,7 +240,18 @@ class ApiService:
             handler = getattr(self, f"_handle_{route.handler}", None)
             if handler is None:
                 raise ApiError(500, f"handler {route.handler!r} is not implemented")
-            response = handler(params, body or {}, principal)
+            obs = self.system.observability
+            if obs.enabled:
+                obs.registry.counter(f"api.handler.{route.handler}").inc()
+                handler_started = time.perf_counter()
+                try:
+                    response = handler(params, body or {}, principal)
+                finally:
+                    obs.registry.histogram(f"api.{route.handler}_seconds").record(
+                        time.perf_counter() - handler_started
+                    )
+            else:
+                response = handler(params, body or {}, principal)
             if self.audit is not None:
                 self.audit.record(
                     action=f"api.{route.handler}",
@@ -197,15 +272,27 @@ class ApiService:
         if status == 503:
             # tell well-behaved clients when the background probe will next
             # try to restore the write path
-            response.headers["Retry-After"] = self._retry_after_seconds()
+            response.headers.update(self._retry_after_header())
+        elif status == 429:
+            # overload shedding: capacity frees as soon as any in-flight
+            # request completes, so the shortest expressible delay applies
+            response.headers.update(self._retry_after_header(1))
         return response
 
-    def _retry_after_seconds(self) -> str:
-        manager = self.system.durability
-        interval = getattr(manager, "probe_interval", None) if manager else None
-        if not interval:
-            return "1"
-        return str(max(1, int(round(interval))))
+    def _retry_after_header(self, seconds: Optional[float] = None) -> Dict[str, str]:
+        """The one ``Retry-After`` construction, shared by 503 and 429.
+
+        With no explicit ``seconds`` the delay is the durability manager's
+        probe interval (the next chance for the write path to heal); the
+        header value is always a whole number of seconds, at least 1.
+        """
+
+        if seconds is None:
+            manager = self.system.durability
+            seconds = getattr(manager, "probe_interval", None) if manager else None
+        if not seconds:
+            seconds = 1
+        return {"Retry-After": str(max(1, int(round(seconds))))}
 
     @staticmethod
     def _split_query_string(path: str) -> Tuple[str, Dict[str, str]]:
@@ -495,14 +582,41 @@ class ApiService:
             bindings = {}
         if not isinstance(bindings, dict):
             raise ApiError(422, "'params' must be an object of name -> value")
-        compiled = self.system._compile(text)
-        for entity in compiled.entities:
-            self._check(principal, "read", entity)
-        self._check_attribute_visibility(principal, compiled.attribute_refs)
-        # statement-level snapshot: the query reads one consistent version of
-        # the store and runs in parallel with any committing writer
-        with self._reader.read_scope():
-            result = self.system._execute_compiled(compiled, bindings)
+        obs = self.system.observability
+        tracer = obs.tracer if obs.enabled else None
+        trace = tracer.start_query() if tracer is not None else None
+        if trace is not None:
+            trace.detail = text
+        started = time.perf_counter() if tracer is not None and trace is None else 0.0
+        try:
+            compiled = self.system._compile(text)
+            if trace is not None:
+                trace.detail = compiled.normalized_text
+                trace.param_names = tuple(sorted(compiled.parameters))
+            for entity in compiled.entities:
+                self._check(principal, "read", entity)
+            self._check_attribute_visibility(principal, compiled.attribute_refs)
+            # statement-level snapshot: the query reads one consistent version
+            # of the store and runs in parallel with any committing writer
+            with self._reader.read_scope():
+                result = self.system._execute_compiled(compiled, bindings, trace=trace)
+        except BaseException as exc:
+            if trace is not None:
+                tracer.finish(trace, error=exc)
+            raise
+        if trace is not None:
+            trace.rows = len(result)
+            tracer.finish(trace)
+        elif tracer is not None:
+            # unsampled: slow outliers still reach the slow log
+            elapsed = time.perf_counter() - started
+            if elapsed >= obs.slowlog.threshold_seconds:
+                tracer.record_slow(
+                    compiled.normalized_text,
+                    tuple(sorted(compiled.parameters)),
+                    elapsed,
+                    rows=len(result),
+                )
         return Response(
             200,
             {"columns": result.columns, "rows": [dict(r) for r in result.rows], "count": len(result)},
@@ -689,6 +803,51 @@ class ApiService:
             raise ApiError(400, "'background' must be a boolean", code="validation")
         info = self.system.checkpoint(background=background)
         return Response(200, {"checkpoint": info, "durability": self.system.durability.describe()})
+
+    def _handle_metrics(self, params, body, principal) -> Response:
+        """``GET /metrics``: the full metrics snapshot, always 200.
+
+        ``metrics`` is the registry snapshot (counters, gauges, histograms
+        with p50/p95/p99); ``query_metrics`` the compile-pipeline counters;
+        ``run_summary`` the per-operation / per-phase rollup; ``slow_queries``
+        the slow-log's own counters (entries come from the diagnostics
+        bundle, not this endpoint — scrapes should stay small and cheap).
+        """
+
+        obs = self.system.observability
+        return Response(
+            200,
+            {
+                "health": self.system.health.value,
+                "metrics": obs.registry.snapshot(),
+                "query_metrics": self.system.metrics.snapshot(),
+                "run_summary": obs.tracer.summary.snapshot(),
+                "slow_queries": obs.slowlog.describe(),
+                "in_flight": self._in_flight,
+                "max_in_flight": self.max_in_flight,
+            },
+        )
+
+    def _handle_admin_diagnostics(self, params, body, principal) -> Response:
+        """``POST /admin/diagnostics``: capture a diagnostic bundle now.
+
+        Returns the bundle inline.  ``{"write": true}`` additionally
+        persists it as JSON — into the database directory for a durable
+        system (``"path"`` overrides) — and reports ``written_to``, so an
+        operator can capture state for an incident ticket in one call.
+        """
+
+        write = body.get("write", False)
+        if not isinstance(write, bool):
+            raise ApiError(400, "'write' must be a boolean", code="validation")
+        path = body.get("path")
+        if path is not None and not isinstance(path, str):
+            raise ApiError(400, "'path' must be a string", code="validation")
+        bundle = build_bundle(self.system)
+        if write:
+            written_to = write_bundle(self.system, path=path, bundle=bundle)
+            return Response(200, {"written_to": written_to, "bundle": bundle})
+        return Response(200, {"bundle": bundle})
 
     def _handle_openapi(self, params, body, principal) -> Response:
         return Response(

@@ -35,11 +35,13 @@ else degrades the health state instead of being retried blindly:
 from __future__ import annotations
 
 import threading
+from contextlib import nullcontext
 from typing import Any, Dict, Iterable, List, Optional, TYPE_CHECKING
 
 from ..errors import DurabilityError, ReadOnlyError
+from ..observability.tracing import phase_timer
 from ..reliability.faults import REAL_FS, Filesystem
-from ..reliability.health import HealthMonitor
+from ..reliability.health import HealthMonitor, HealthState
 from ..reliability.retry import RetryPolicy, is_transient
 from .snapshot import CheckpointStore, capture_state
 from .wal import WriteAheadLog
@@ -81,10 +83,36 @@ class DurabilityManager:
 
     # -- binding ---------------------------------------------------------------
 
+    #: Numeric encoding of health states for the ``health.state`` gauge
+    #: (0 = healthy, 1 = degraded, 2 = read_only) — gauges are numbers.
+    _HEALTH_LEVELS = {
+        HealthState.HEALTHY: 0,
+        HealthState.DEGRADED: 1,
+        HealthState.READ_ONLY: 2,
+    }
+
     def bind(self, system: "ErbiumDB") -> None:
-        """Attach the manager to the system whose state it checkpoints."""
+        """Attach the manager to the system whose state it checkpoints.
+
+        Also wires the health monitor into the system's metrics registry:
+        every transition bumps ``health.transitions`` (plus a per-target
+        ``health.to_<state>`` counter) and moves the ``health.state`` gauge,
+        so dashboards scraping ``GET /metrics`` see state changes without
+        polling ``/health``.
+        """
 
         self.system = system
+        registry = system.observability.registry
+        transitions = registry.counter("health.transitions")
+        state_gauge = registry.gauge("health.state")
+        state_gauge.set(self._HEALTH_LEVELS[self.health.state])
+
+        def record_transition(old: HealthState, new: HealthState) -> None:
+            transitions.inc()
+            registry.counter(f"health.to_{new.value}").inc()
+            state_gauge.set(self._HEALTH_LEVELS[new])
+
+        self.health.set_listener(record_transition)
 
     def _require_system(self) -> "ErbiumDB":
         if self.system is None:
@@ -129,11 +157,14 @@ class DurabilityManager:
             )
         batch: List[Dict[str, Any]] = list(records)  # retries re-iterate
         try:
-            lsn = self.retry.call(
-                lambda: self.wal.append_transaction(batch),
-                retry_on=self._retryable,
-                on_retry=self._count_retry,
-            )
+            # the span covers retries and the policy fsync: "how long did
+            # the commit wait on the log" is the operator-facing number
+            with phase_timer("wal_append"):
+                lsn = self.retry.call(
+                    lambda: self.wal.append_transaction(batch),
+                    retry_on=self._retryable,
+                    on_retry=self._count_retry,
+                )
         except OSError as exc:
             self._wal_down(f"WAL append failed: {exc}")
             raise ReadOnlyError(
@@ -175,9 +206,10 @@ class DurabilityManager:
                 f"database is read-only: {self.health.reason or 'WAL unavailable'}"
             )
         try:
-            self.retry.call(
-                self.wal.sync, retry_on=self._retryable, on_retry=self._count_retry
-            )
+            with phase_timer("fsync"):
+                self.retry.call(
+                    self.wal.sync, retry_on=self._retryable, on_retry=self._count_retry
+                )
         except OSError as exc:
             self._wal_down(f"WAL sync failed: {exc}")
             raise ReadOnlyError(
@@ -208,6 +240,17 @@ class DurabilityManager:
                 "cannot checkpoint while a transaction is open; commit or "
                 "roll back first"
             )
+        obs = system.observability
+        tracer = obs.tracer if obs.enabled else None
+        with (
+            tracer.trace("checkpoint", self.path)
+            if tracer is not None
+            else nullcontext()
+        ):
+            with phase_timer("checkpoint"):
+                return self._checkpoint_inner(system, background)
+
+    def _checkpoint_inner(self, system: "ErbiumDB", background: bool) -> Dict[str, Any]:
         try:
             self.retry.call(
                 self.wal.sync, retry_on=self._retryable, on_retry=self._count_retry

@@ -1,0 +1,236 @@
+"""Thread-safe metric instruments: counters, gauges, reservoir histograms.
+
+The registry is deliberately small and dependency-free — a flat namespace of
+named instruments, each guarding its own state with one lock, snapshotted as
+plain JSON-ready dicts.  Naming follows the dotted ``subsystem.metric``
+convention (``query.executions``, ``api.request_seconds.query``,
+``durability.wal_append_seconds``); the full catalogue lives in
+``docs/observability.md``.
+
+Design notes
+------------
+
+* **Counters are monotonic.**  ``inc`` refuses negative deltas, so a
+  scraper can rely on ``rate()``-style math; anything that can go down is
+  a :class:`Gauge`.
+* **Histograms keep a bounded reservoir of the most recent N samples**
+  (a ring, not uniform sampling): percentile snapshots answer "what is
+  p99 *now*", which is the operational question, and recording stays O(1)
+  with no random-number cost on the hot path.  Exact ``count``/``sum``/
+  ``min``/``max`` cover the full lifetime.
+* **Snapshot under the instrument lock**, so a scrape never observes a
+  half-updated reservoir.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default reservoir capacity (most recent samples kept per histogram).
+DEFAULT_RESERVOIR = 512
+
+#: Percentiles reported by histogram snapshots.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+class Counter:
+    """A monotonically increasing counter (lock-protected)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, delta: int = 1) -> int:
+        """Add ``delta`` (>= 0); returns the new value."""
+
+        if delta < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (delta={delta})")
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A settable instantaneous value (lock-protected)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, delta: float = 1) -> float:
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def dec(self, delta: float = 1) -> float:
+        return self.inc(-delta)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Latency/size distribution with a bounded reservoir of recent samples.
+
+    ``count``/``sum``/``min``/``max`` are exact over the histogram's
+    lifetime; percentiles are computed over the **most recent**
+    ``reservoir`` samples (a ring buffer), which is both O(1) to maintain
+    and the operationally useful definition — "p99 over the last N
+    queries", not "p99 since boot".
+    """
+
+    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max", "_samples", "_cap")
+
+    def __init__(self, name: str, reservoir: int = DEFAULT_RESERVOIR) -> None:
+        if reservoir < 1:
+            raise ValueError("histogram reservoir must hold at least one sample")
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: List[float] = []
+        self._cap = reservoir
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            if self._count < self._cap:
+                self._samples.append(value)
+            else:
+                self._samples[self._count % self._cap] = value
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Exact totals plus reservoir percentiles, JSON-ready.
+
+        ``{"count", "sum", "min", "max", "mean", "p50", "p95", "p99",
+        "reservoir"}`` — percentiles are ``None`` until the first sample.
+        """
+
+        with self._lock:
+            count = self._count
+            total = self._sum
+            lo, hi = self._min, self._max
+            samples = sorted(self._samples)
+        out: Dict[str, Any] = {
+            "count": count,
+            "sum": total,
+            "min": lo,
+            "max": hi,
+            "mean": (total / count) if count else None,
+            "reservoir": len(samples),
+        }
+        for pct in PERCENTILES:
+            out[f"p{pct:g}"] = _percentile(samples, pct)
+        return out
+
+
+def _percentile(sorted_samples: List[float], pct: float) -> Optional[float]:
+    """Nearest-rank percentile over a pre-sorted sample list."""
+
+    if not sorted_samples:
+        return None
+    rank = max(0, min(len(sorted_samples) - 1, round(pct / 100.0 * len(sorted_samples)) - 1))
+    return sorted_samples[rank]
+
+
+class MetricsRegistry:
+    """A flat, thread-safe namespace of named instruments.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create (idempotent per
+    name); asking for an existing name with a different instrument kind is
+    a programming error and raises.  :meth:`snapshot` returns the whole
+    registry as one JSON-ready dict — the payload of ``GET /metrics``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, kind: type, **kwargs: Any) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = kind(name, **kwargs)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} is a {type(instrument).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, reservoir: int = DEFAULT_RESERVOIR) -> Histogram:
+        return self._get_or_create(name, Histogram, reservoir=reservoir)
+
+    def get(self, name: str) -> Optional[Any]:
+        with self._lock:
+            return self._instruments.get(name)
+
+    def instrument_count(self) -> int:
+        with self._lock:
+            return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``{"counters": {...}, "gauges": {...}, "histograms": {...}}``.
+
+        Instrument snapshots are taken outside the registry lock (each
+        instrument locks itself), so a slow histogram sort never blocks
+        concurrent instrument creation.
+        """
+
+        with self._lock:
+            instruments = list(self._instruments.items())
+        out: Dict[str, Dict[str, Any]] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, instrument in sorted(instruments):
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.snapshot()
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.snapshot()
+            else:
+                out["histograms"][name] = instrument.snapshot()
+        return out

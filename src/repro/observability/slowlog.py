@@ -1,0 +1,141 @@
+"""The slow-query log: a bounded ring of the recent slow statements.
+
+Two structures behind one lock:
+
+* a **ring buffer** (``deque(maxlen=capacity)``) of individual slow-query
+  entries — normalized text, total seconds, per-phase breakdown, row count,
+  redacted parameter names, wall-clock timestamp.  When the ring is full
+  the oldest entry is evicted;
+* a **per-shape aggregate** keyed on the *normalized* statement text (the
+  plan-cache key), so every binding of one prepared statement — and every
+  whitespace/case variant of one query — rolls up into a single row:
+  occurrence count, total and worst seconds, last-seen timestamp.  Bounded
+  too: when more than ``max_shapes`` distinct shapes have been slow, the
+  least-recently-seen shape is dropped.
+
+Parameter redaction is by construction: entries carry the ``$name``
+binding *names* only — binding values never reach the log, so a slow
+``where ssn = $ssn`` query cannot leak PII into diagnostics.  (Literals
+inlined into non-parameterized query text are the caller's responsibility;
+the session layer exists so clients do not do that.)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Any, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .tracing import TraceRecord
+
+__all__ = ["SlowQueryLog"]
+
+#: Default bound on distinct slow statement shapes tracked.
+DEFAULT_MAX_SHAPES = 256
+
+
+class SlowQueryLog:
+    """Thread-safe ring buffer + per-shape rollup of slow queries."""
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        threshold_seconds: float = 0.25,
+        max_shapes: int = DEFAULT_MAX_SHAPES,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be at least 1")
+        self.capacity = capacity
+        self.threshold_seconds = threshold_seconds
+        self.max_shapes = max_shapes
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self._shapes: Dict[str, Dict[str, Any]] = {}  # insertion order = LRU order
+        self._recorded = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def recorded(self) -> int:
+        """Total slow queries ever recorded (monotonic, survives eviction)."""
+
+        with self._lock:
+            return self._recorded
+
+    def set_threshold(self, seconds: float) -> None:
+        """Change the slow threshold (applies to subsequent queries)."""
+
+        self.threshold_seconds = float(seconds)
+
+    def observe(self, trace: "TraceRecord") -> bool:
+        """Record the trace if it crossed the threshold; returns whether.
+
+        The fast path — a query under the threshold — is one float compare,
+        no lock.
+        """
+
+        if trace.duration < self.threshold_seconds:
+            return False
+        entry = {
+            "query": trace.detail,
+            "seconds": round(trace.duration, 9),
+            "phases": {k: round(v, 9) for k, v in trace.phases.items()},
+            "params": list(trace.param_names),
+            "rows": trace.rows,
+            "error": trace.error,
+            "at": trace.started_at,
+        }
+        with self._lock:
+            self._ring.append(entry)
+            self._recorded += 1
+            shape = self._shapes.pop(trace.detail, None)
+            if shape is None:
+                shape = {"count": 0, "seconds": 0.0, "max_seconds": 0.0}
+            shape["count"] += 1
+            shape["seconds"] += trace.duration
+            if trace.duration > shape["max_seconds"]:
+                shape["max_seconds"] = trace.duration
+            shape["last_at"] = trace.started_at
+            self._shapes[trace.detail] = shape  # re-insert: most recently seen
+            while len(self._shapes) > self.max_shapes:
+                # oldest insertion = least recently seen shape
+                self._shapes.pop(next(iter(self._shapes)))
+        return True
+
+    def entries(self, limit: int = None) -> List[Dict[str, Any]]:
+        """Recent slow queries, newest first (up to ``limit``)."""
+
+        with self._lock:
+            out = list(self._ring)
+        out.reverse()
+        return out[:limit] if limit is not None else out
+
+    def by_shape(self) -> List[Dict[str, Any]]:
+        """Per-statement-shape rollup, worst total time first."""
+
+        with self._lock:
+            shapes = [
+                dict(agg, query=text, seconds=round(agg["seconds"], 9),
+                     max_seconds=round(agg["max_seconds"], 9))
+                for text, agg in self._shapes.items()
+            ]
+        shapes.sort(key=lambda s: s["seconds"], reverse=True)
+        return shapes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._shapes.clear()
+
+    def describe(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "threshold_seconds": self.threshold_seconds,
+                "capacity": self.capacity,
+                "entries": len(self._ring),
+                "shapes": len(self._shapes),
+                "recorded": self._recorded,
+            }

@@ -101,6 +101,10 @@ class Database:
         #: ``None`` — the default — means no redo record is ever built: the
         #: in-memory write path pays one attribute check and nothing else.
         self.durability: Optional[Any] = None
+        #: Observability hook (an :class:`~repro.observability.Observability`
+        #: hub, installed by :class:`~repro.system.ErbiumDB`).  ``None`` on a
+        #: bare engine: execution stays uninstrumented.
+        self.observability: Optional[Any] = None
 
     # ------------------------------------------------------------------ DDL
 
@@ -726,6 +730,7 @@ class Database:
         plan: PlanNode,
         executor: Optional[str] = None,
         params: Optional[Dict[str, Any]] = None,
+        trace: Optional[Any] = None,
     ) -> QueryResult:
         """Execute a physical plan and return the result.
 
@@ -733,14 +738,21 @@ class Database:
         or ``"row"``).  ``params`` supplies values for any
         :class:`~repro.relational.expressions.Parameter` placeholders in the
         plan, bound for the duration of this execution only — the same
-        (cached) plan can be re-executed with different bindings.  The batch
-        path returns a columnar-backed result whose row dicts materialize
-        lazily.
+        (cached) plan can be re-executed with different bindings.  ``trace``
+        is an observability :class:`~repro.observability.tracing.TraceRecord`
+        threaded in by sampled query paths — passed explicitly rather than
+        read from the tracing thread-local so untraced executions pay
+        nothing.  The batch path returns a columnar-backed result whose row
+        dicts materialize lazily.
         """
 
         mode = executor if executor is not None else self.executor
         if mode == "auto":
             mode = self.choose_executor(plan)
+        if trace is not None:
+            # tag the resolved executor; the tracer turns it into the
+            # ``executor.row`` / ``executor.batch`` counters at finish
+            trace.executor = mode
         with parameter_scope(params):
             if mode == "batch":
                 from .vectorized import execute_batch

@@ -214,24 +214,34 @@ class TransactionManager:
         if not self.in_transaction():
             raise TransactionError("no active transaction to commit")
         assert self._current is not None
-        durability = self._db.durability
-        if durability is not None:
-            records = self._current.redo_records()
-            if records:
-                # WAL append (and fsync, per policy) happens *before* the
-                # in-memory commit point; if the disk write raises, the
-                # transaction stays active (still holding the writer lock)
-                # and the caller can roll back.
-                durability.log_commit(records)
-        with self._db.storage_latch:
-            # the commit point and the pre-image release publish atomically
-            # with respect to reader pins: a view sees the whole transaction
-            # or none of it
-            self._current.commit()
-            self._current = None
-            self._owner = None
-            self._db._release_preimages()
-        self._db.write_lock.release()
+        obs = self._db.observability
+        tracer = obs.tracer if obs is not None and obs.enabled else None
+        trace = tracer.start("commit", "transaction.commit") if tracer is not None else None
+        try:
+            durability = self._db.durability
+            if durability is not None:
+                records = self._current.redo_records()
+                if records:
+                    # WAL append (and fsync, per policy) happens *before* the
+                    # in-memory commit point; if the disk write raises, the
+                    # transaction stays active (still holding the writer lock)
+                    # and the caller can roll back.
+                    durability.log_commit(records)
+            with self._db.storage_latch:
+                # the commit point and the pre-image release publish atomically
+                # with respect to reader pins: a view sees the whole transaction
+                # or none of it
+                self._current.commit()
+                self._current = None
+                self._owner = None
+                self._db._release_preimages()
+            self._db.write_lock.release()
+        except BaseException as exc:
+            if trace is not None:
+                tracer.finish(trace, error=exc)
+            raise
+        if trace is not None:
+            tracer.finish(trace)
 
     def rollback(self) -> None:
         if not self.in_transaction():

@@ -57,7 +57,10 @@ class HealthMonitor:
         self._reason: Optional[str] = None
         self._since = time.time()
         self._listener = listener
-        self.transitions: List[Tuple[str, str, Optional[str]]] = []
+        #: Transition history: ``(old, new, reason, unix_timestamp)`` tuples
+        #: in occurrence order (the timestamp was appended in PR 8; older
+        #: consumers slice ``t[:2]`` / ``t[:3]`` and keep working).
+        self.transitions: List[Tuple[str, str, Optional[str], float]] = []
 
     # -- accessors --------------------------------------------------------
 
@@ -94,7 +97,7 @@ class HealthMonitor:
             self._state = new
             self._reason = reason
             self._since = time.time()
-            self.transitions.append((old.value, new.value, reason))
+            self.transitions.append((old.value, new.value, reason, self._since))
             listener = self._listener
         if listener is not None:
             listener(old, new)
@@ -133,6 +136,20 @@ class HealthMonitor:
             if self._state is not HealthState.DEGRADED:
                 return False
         return self._transition(HealthState.HEALTHY, None)
+
+    def history(self) -> List[Dict[str, object]]:
+        """The full transition history as JSON-ready dicts (oldest first).
+
+        The sink diagnostic bundles and ``GET /metrics`` consume: every
+        escalation/de-escalation with its reason and wall-clock timestamp,
+        not just the current state.
+        """
+
+        with self._lock:
+            return [
+                {"from": old, "to": new, "reason": reason, "at": at}
+                for old, new, reason, at in self.transitions
+            ]
 
     def describe(self) -> Dict[str, object]:
         with self._lock:

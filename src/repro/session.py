@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import threading
 
+from time import perf_counter as _perf_counter  # bound once: hot-path clock
+
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -227,10 +229,43 @@ class PreparedStatement:
             )
         merged.update(bindings)
         compiled = self._current()
-        with self._session.read_scope():
-            return Result(
-                self._session.system._execute_compiled(compiled, merged, executor=executor)
-            )
+        system = self._session.system
+        obs = system.observability
+        if not obs.enabled:
+            with self._session.read_scope():
+                return Result(
+                    system._execute_compiled(compiled, merged, executor=executor)
+                )
+        tracer = obs.tracer
+        trace = tracer.start_query()
+        if trace is None:
+            # unsampled fast path: the sampling tick above is the *only*
+            # instrumentation cost — no clock reads.  Prepared hot loops are
+            # exactly where per-call timing is unaffordable; a recurring
+            # slow prepared statement is caught by the 1-in-N sampler, and
+            # ad-hoc slow queries come through Session.query / the API
+            # (which wall-clock every call).
+            with self._session.read_scope():
+                return Result(
+                    system._execute_compiled(compiled, merged, executor=executor)
+                )
+        # sampled path: explicit start/finish (no generator context manager),
+        # traced under the normalized text with bindings redacted to names
+        trace.detail = compiled.normalized_text
+        trace.param_names = tuple(sorted(compiled.parameters))
+        try:
+            with self._session.read_scope():
+                result = Result(
+                    system._execute_compiled(
+                        compiled, merged, executor=executor, trace=trace
+                    )
+                )
+        except BaseException as exc:
+            tracer.finish(trace, error=exc)
+            raise
+        trace.rows = len(result)
+        tracer.finish(trace)
+        return result
 
     def explain(self) -> str:
         compiled = self._current()
@@ -591,11 +626,49 @@ class Session:
         parallel.
         """
 
-        compiled = self.system._compile(text)
-        with self.read_scope():
-            return Result(
-                self.system._execute_compiled(compiled, params, executor=executor)
-            )
+        system = self.system
+        obs = system.observability
+        if not obs.enabled:
+            compiled = system._compile(text)
+            with self.read_scope():
+                return Result(
+                    system._execute_compiled(compiled, params, executor=executor)
+                )
+        tracer = obs.tracer
+        trace = tracer.start_query()
+        if trace is None:
+            started = _perf_counter()
+            compiled = system._compile(text)
+            with self.read_scope():
+                result = Result(
+                    system._execute_compiled(compiled, params, executor=executor)
+                )
+            elapsed = _perf_counter() - started
+            if elapsed >= obs.slowlog.threshold_seconds:
+                tracer.record_slow(
+                    compiled.normalized_text,
+                    tuple(sorted(compiled.parameters)),
+                    elapsed,
+                    rows=len(result),
+                )
+            return result
+        trace.detail = text
+        try:
+            compiled = system._compile(text)
+            trace.detail = compiled.normalized_text
+            trace.param_names = tuple(sorted(compiled.parameters))
+            with self.read_scope():
+                result = Result(
+                    system._execute_compiled(
+                        compiled, params, executor=executor, trace=trace
+                    )
+                )
+        except BaseException as exc:
+            tracer.finish(trace, error=exc)
+            raise
+        trace.rows = len(result)
+        tracer.finish(trace)
+        return result
 
     def execute(
         self,

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .core import (
@@ -53,6 +53,7 @@ from .mapping import (
     fully_normalized_spec,
 )
 from .durability.manager import DEFAULT_PROBE_INTERVAL
+from .observability import MetricsRegistry, Observability, TraceRecord, phase_timer
 from .relational import Database, QueryResult
 from .relational.mvcc import ReadView, read_view_scope
 from .reliability.faults import Filesystem
@@ -65,7 +66,6 @@ from .session import CompiledQuery, PreparedStatement, Result, Session, check_bi
 PLAN_CACHE_SIZE = 128
 
 
-@dataclass
 class QueryMetrics:
     """Instrumentation counters for the compile pipeline and plan cache.
 
@@ -75,14 +75,71 @@ class QueryMetrics:
     statement re-executed N times contributes N executions and *zero*
     additional parses/analyses/plans — the acceptance property of the
     prepared-statement layer.
+
+    A facade over lock-protected :class:`~repro.observability.Counter`
+    instruments in the system's metrics registry: the attribute reads and
+    :meth:`snapshot` shape predate the registry and stay stable, while the
+    same counts surface in ``GET /metrics`` and diagnostic bundles under
+    the ``query.*`` / ``plan_cache.*`` names.  Every increment goes through
+    a counter's own lock, so the counts are exact under concurrency —
+    including ``executions``, which used to be a racy bare ``+=``.
     """
 
-    parses: int = 0
-    analyses: int = 0
-    plans: int = 0
-    cache_hits: int = 0
-    executions: int = 0
-    evictions: int = 0
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._parses = self.registry.counter("query.parses")
+        self._analyses = self.registry.counter("query.analyses")
+        self._plans = self.registry.counter("query.plans")
+        self._cache_hits = self.registry.counter("plan_cache.hits")
+        self._executions = self.registry.counter("query.executions")
+        self._evictions = self.registry.counter("plan_cache.evictions")
+
+    # -- recording (each increment is lock-protected by its counter) --------
+
+    def record_parse(self) -> None:
+        self._parses.inc()
+
+    def record_analysis(self) -> None:
+        self._analyses.inc()
+
+    def record_plan(self) -> None:
+        self._plans.inc()
+
+    def record_cache_hit(self) -> None:
+        self._cache_hits.inc()
+
+    def record_execution(self) -> None:
+        self._executions.inc()
+
+    def record_evictions(self, count: int = 1) -> None:
+        if count:
+            self._evictions.inc(count)
+
+    # -- reads (the pre-registry attribute API, kept stable) ----------------
+
+    @property
+    def parses(self) -> int:
+        return self._parses.value
+
+    @property
+    def analyses(self) -> int:
+        return self._analyses.value
+
+    @property
+    def plans(self) -> int:
+        return self._plans.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits.value
+
+    @property
+    def executions(self) -> int:
+        return self._executions.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -110,13 +167,16 @@ class ErbiumDB:
         name: str = "erbium",
         schema: Optional[ERSchema] = None,
         plan_cache_size: int = PLAN_CACHE_SIZE,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.name = name
         self.schema = schema if schema is not None else ERSchema(name)
         self.db = Database(name)
         self.mapping: Optional[Mapping] = None
         self.crud: Optional[CrudTemplates] = None
-        self.metrics = QueryMetrics()
+        self.observability = observability if observability is not None else Observability()
+        self.db.observability = self.observability
+        self.metrics = QueryMetrics(self.observability.registry)
         self.durability = None  # a DurabilityManager once enable_durability ran
         self.access = None  # an AccessController once attach_governance ran
         self.audit = None  # an AuditLog once attach_governance ran
@@ -124,8 +184,9 @@ class ErbiumDB:
         self._planner: Optional[Planner] = None
         self._plan_cache: "OrderedDict[Tuple[str, int], CompiledQuery]" = OrderedDict()
         self._plan_cache_size = plan_cache_size
-        # Guards the plan cache and the metrics counters: concurrent reader
-        # sessions share both, and OrderedDict reordering is not atomic.
+        # Guards the plan cache: concurrent reader sessions share it, and
+        # OrderedDict reordering is not atomic.  (Metrics counters carry
+        # their own locks in the registry.)
         self._cache_lock = threading.Lock()
         self._mapping_version = 0
         self._implicit_session = Session(self, autocommit=True)
@@ -534,8 +595,41 @@ class ErbiumDB:
         :meth:`prepare`, which skips the plan-cache probe entirely.
         """
 
-        compiled = self._compile(text)
-        return self._execute_compiled(compiled, params, executor=executor)
+        obs = self.observability
+        if not obs.enabled:
+            compiled = self._compile(text)
+            return self._execute_compiled(compiled, params, executor=executor)
+        tracer = obs.tracer
+        trace = tracer.start_query()
+        if trace is None:
+            # unsampled fast path: still timed, so slow outliers always
+            # reach the slow log (without a phase breakdown)
+            started = time.perf_counter()
+            compiled = self._compile(text)
+            result = self._execute_compiled(compiled, params, executor=executor)
+            elapsed = time.perf_counter() - started
+            if elapsed >= obs.slowlog.threshold_seconds:
+                tracer.record_slow(
+                    compiled.normalized_text,
+                    tuple(sorted(compiled.parameters)),
+                    elapsed,
+                    rows=len(result),
+                )
+            return result
+        trace.detail = text
+        try:
+            compiled = self._compile(text)
+            # re-key the trace on the normalized text (the plan-cache /
+            # slow-log shape key) and redact bindings to their names
+            trace.detail = compiled.normalized_text
+            trace.param_names = tuple(sorted(compiled.parameters))
+            result = self._execute_compiled(compiled, params, executor=executor, trace=trace)
+        except BaseException as exc:
+            tracer.finish(trace, error=exc)
+            raise
+        trace.rows = len(result)
+        tracer.finish(trace)
+        return result
 
     def invalidate_plans(self) -> None:
         """Evict plans compiled under stale mapping versions.
@@ -551,7 +645,7 @@ class ErbiumDB:
             self._mapping_version += 1
             # the bump makes every existing key stale (and _cache_put refuses
             # stale versions), so eviction is a counted clear
-            self.metrics.evictions += len(self._plan_cache)
+            self.metrics.record_evictions(len(self._plan_cache))
             self._plan_cache.clear()
 
     def plan(self, text: str):
@@ -584,20 +678,21 @@ class ErbiumDB:
         cached = self._cache_get((text, version))
         if cached is not None:
             return cached
-        statement = parse_query(text)
-        with self._cache_lock:
-            self.metrics.parses += 1
+        with phase_timer("parse"):
+            statement = parse_query(text)
+        self.metrics.record_parse()
         normalized = unparse_query(statement)
         cached = self._cache_get((normalized, version))
         if cached is not None:
             # remember the raw spelling so the next repeat skips the parse too
             self._cache_put((text, version), cached)
             return cached
-        bound = analyze_query(self.schema, statement)
-        plan = self._planner.plan(bound)
-        with self._cache_lock:
-            self.metrics.analyses += 1
-            self.metrics.plans += 1
+        with phase_timer("analyze"):
+            bound = analyze_query(self.schema, statement)
+        with phase_timer("plan"):
+            plan = self._planner.plan(bound)
+        self.metrics.record_analysis()
+        self.metrics.record_plan()
         attribute_refs = sorted(
             {
                 (bound.aliases[alias], attribute)
@@ -626,7 +721,7 @@ class ErbiumDB:
             if cached is None:
                 return None
             self._plan_cache.move_to_end(key)
-            self.metrics.cache_hits += 1
+            self.metrics.record_cache_hit()
             return cached
 
     def _cache_put(self, key: Tuple[str, int], compiled: CompiledQuery) -> None:
@@ -638,23 +733,36 @@ class ErbiumDB:
             self._plan_cache[key] = compiled
             while len(self._plan_cache) > self._plan_cache_size:
                 self._plan_cache.popitem(last=False)
-                self.metrics.evictions += 1
+                self.metrics.record_evictions(1)
 
     def _execute_compiled(
         self,
         compiled: CompiledQuery,
         params: Optional[Dict[str, Any]] = None,
         executor: Optional[str] = None,
+        trace: Optional["TraceRecord"] = None,
     ) -> QueryResult:
-        """Run a compiled plan with validated bindings (shared by all paths)."""
+        """Run a compiled plan with validated bindings (shared by all paths).
+
+        ``trace`` is the caller's *sampled* trace record, threaded through
+        explicitly (rather than read from the tracing thread-local) so the
+        unsampled hot path pays nothing here — see the tracing module
+        docstring.  When present, the engine time is attributed to the
+        ``execute`` phase and the engine tags the executor mode on it.
+        """
 
         bindings = check_bindings(compiled.parameters, params)
         compiled.plan.reset_caches()
-        # racy-but-benign increment: the hot path must not contend on the
-        # cache lock; concurrent runs may undercount, single-threaded runs
-        # (which is what the instrumentation tests assert on) stay exact
-        self.metrics.executions += 1
-        return self.db.execute(compiled.plan, executor=executor, params=bindings)
+        self.metrics.record_execution()
+        if trace is None:
+            return self.db.execute(compiled.plan, executor=executor, params=bindings)
+        started = time.perf_counter()
+        try:
+            return self.db.execute(
+                compiled.plan, executor=executor, params=bindings, trace=trace
+            )
+        finally:
+            trace.add_phase("execute", time.perf_counter() - started)
 
     def explain(self, text: str) -> str:
         plan = self.plan(text)
@@ -668,6 +776,7 @@ class ErbiumDB:
             "schema": self.schema.describe(),
             "backend": self.db.describe(),
             "health": self.health.value,
+            "observability": self.observability.describe(),
         }
         if self.mapping is not None:
             out["mapping"] = self.mapping.describe()

@@ -1,0 +1,324 @@
+"""Diagnostic bundles + the observability API surface.
+
+Covers the incident-response contract: ``GET /metrics`` shape and counter
+monotonicity, ``POST /admin/diagnostics`` (inline and persisted), bundle
+completeness in every health state (healthy, degraded, read-only), and
+admission control shedding with 429 + Retry-After under concurrent load.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import threading
+
+import pytest
+
+from repro import ErbiumDB
+from repro.api import ApiService
+from repro.core import Attribute, EntitySet, ERSchema
+from repro.errors import ReadOnlyError
+from repro.observability import build_bundle, write_bundle
+from repro.observability.bundle import BUNDLE_KIND
+from repro.reliability import FaultInjector, HealthState, RetryPolicy
+
+
+def _item_schema(name: str = "obs") -> ERSchema:
+    schema = ERSchema(name)
+    schema.add_entity(
+        EntitySet(
+            "item",
+            attributes=[Attribute("id", "int", required=True), Attribute("val", "varchar")],
+            key=["id"],
+        )
+    )
+    return schema
+
+
+def _memory_system(name: str = "obs") -> ErbiumDB:
+    system = ErbiumDB(name, _item_schema(name))
+    system.set_mapping()
+    for i in range(5):
+        system.insert("item", {"id": i, "val": f"v{i}"})
+    return system
+
+
+def _durable_system(tmp_path, fs=None) -> ErbiumDB:
+    system = ErbiumDB.open(
+        str(tmp_path / "db"),
+        name="obs",
+        schema=_item_schema(),
+        fs=fs,
+        probe_interval=None,
+        retry=RetryPolicy(sleep=lambda _d: None),
+    )
+    system.set_mapping()
+    return system
+
+
+# --------------------------------------------------------------------------
+# diagnostic bundles
+# --------------------------------------------------------------------------
+
+BUNDLE_KEYS = {
+    "kind",
+    "version",
+    "generated_at",
+    "config",
+    "health",
+    "plan_cache",
+    "metrics",
+    "query_metrics",
+    "run_summary",
+    "slow_queries",
+    "durability",
+    "storage",
+}
+
+
+class TestDiagnosticBundle:
+    def test_bundle_completeness_healthy(self):
+        system = _memory_system()
+        system.query("select count(*) as n from item")
+        bundle = build_bundle(system)
+        assert set(bundle) == BUNDLE_KEYS
+        assert bundle["kind"] == BUNDLE_KIND
+        assert bundle["health"]["state"] == "healthy"
+        assert bundle["plan_cache"]["size"] >= 1
+        assert bundle["query_metrics"]["executions"] >= 1
+        assert bundle["storage"]["tables"]
+        json.dumps(bundle)  # JSON-serializable as-is
+
+    def test_bundle_in_degraded_state(self, tmp_path):
+        fs = FaultInjector()
+        system = _durable_system(tmp_path, fs=fs)
+        system.insert("item", {"id": 1, "val": "x"})
+        # fail checkpointing only: WAL keeps working -> DEGRADED
+        fs.fail("replace", times=None, errno_code=errno.EIO)
+        with pytest.raises(Exception):
+            system.checkpoint()
+        assert system.health is HealthState.DEGRADED
+        bundle = build_bundle(system)
+        assert set(bundle) == BUNDLE_KEYS
+        assert bundle["health"]["state"] == "degraded"
+        assert bundle["health"]["history"], "transition history must be captured"
+        last = bundle["health"]["history"][-1]
+        assert last["to"] == "degraded"
+        assert "reason" in last and "at" in last
+        assert bundle["durability"] is not None
+        json.dumps(bundle)
+        system.close()
+
+    def test_bundle_in_read_only_state(self, tmp_path):
+        fs = FaultInjector()
+        system = _durable_system(tmp_path, fs=fs)
+        fs.fail("write", times=None, errno_code=errno.EIO)
+        with pytest.raises(ReadOnlyError):
+            system.insert("item", {"id": 1, "val": "x"})
+        assert system.health is HealthState.READ_ONLY
+        bundle = build_bundle(system)
+        assert set(bundle) == BUNDLE_KEYS
+        assert bundle["health"]["state"] == "read_only"
+        assert any(step["to"] == "read_only" for step in bundle["health"]["history"])
+        # WAL/checkpoint state present for responders
+        assert bundle["durability"]["health"]["state"] == "read_only"
+        json.dumps(bundle)
+        system.close()
+
+    def test_health_transition_metrics_recorded(self, tmp_path):
+        fs = FaultInjector()
+        system = _durable_system(tmp_path, fs=fs)
+        registry = system.observability.registry
+        fs.fail("write", times=None, errno_code=errno.EIO)
+        with pytest.raises(ReadOnlyError):
+            system.insert("item", {"id": 1, "val": "x"})
+        assert registry.counter("health.transitions").value >= 1
+        assert registry.counter("health.to_read_only").value == 1
+        assert registry.gauge("health.state").value == 2  # 0/1/2 encoding
+        fs.clear()
+        system.probe()
+        assert registry.counter("health.to_healthy").value >= 1
+        assert registry.gauge("health.state").value == 0
+        system.close()
+
+    def test_write_bundle_to_explicit_path(self, tmp_path):
+        system = _memory_system()
+        target = tmp_path / "bundle.json"
+        written = write_bundle(system, path=str(target))
+        assert written == str(target)
+        loaded = json.loads(target.read_text(encoding="utf-8"))
+        assert loaded["kind"] == BUNDLE_KIND
+        assert set(loaded) == BUNDLE_KEYS
+
+    def test_write_bundle_defaults_into_database_directory(self, tmp_path):
+        system = _durable_system(tmp_path)
+        written = write_bundle(system)
+        assert written.startswith(str(tmp_path / "db"))
+        assert json.loads(open(written, encoding="utf-8").read())["kind"] == BUNDLE_KIND
+        system.close()
+
+
+# --------------------------------------------------------------------------
+# GET /metrics
+# --------------------------------------------------------------------------
+
+
+class TestMetricsEndpoint:
+    def test_metrics_shape(self):
+        system = _memory_system()
+        service = ApiService(system)
+        service.post("/query", {"query": "select count(*) as n from item"})
+        response = service.get("/metrics")
+        assert response.status == 200
+        body = response.body
+        assert set(body) >= {
+            "health",
+            "metrics",
+            "query_metrics",
+            "run_summary",
+            "slow_queries",
+            "in_flight",
+            "max_in_flight",
+        }
+        assert set(body["metrics"]) == {"counters", "gauges", "histograms"}
+        assert body["metrics"]["counters"]["api.requests"] >= 1
+        assert body["query_metrics"]["executions"] >= 1
+        hist = body["metrics"]["histograms"]["api.request_seconds"]
+        assert {"count", "p50", "p95", "p99"} <= set(hist)
+
+    def test_counters_are_monotonic_across_scrapes(self):
+        system = _memory_system()
+        service = ApiService(system)
+        readings = []
+        for _ in range(3):
+            service.post("/query", {"query": "select count(*) as n from item"})
+            body = service.get("/metrics").body
+            readings.append(
+                (
+                    body["metrics"]["counters"]["api.requests"],
+                    body["query_metrics"]["executions"],
+                )
+            )
+        assert readings == sorted(readings)
+        assert readings[0][0] < readings[-1][0]
+        assert readings[0][1] < readings[-1][1]
+
+    def test_request_latency_histogram_grows(self):
+        system = _memory_system()
+        service = ApiService(system)
+        before = service.get("/metrics").body["metrics"]["histograms"][
+            "api.request_seconds"
+        ]["count"]
+        for _ in range(5):
+            service.get("/health")
+        after = service.get("/metrics").body["metrics"]["histograms"][
+            "api.request_seconds"
+        ]["count"]
+        assert after >= before + 5
+
+
+# --------------------------------------------------------------------------
+# POST /admin/diagnostics
+# --------------------------------------------------------------------------
+
+
+class TestDiagnosticsEndpoint:
+    def test_inline_bundle(self):
+        system = _memory_system()
+        service = ApiService(system)
+        response = service.post("/admin/diagnostics", {})
+        assert response.status == 200
+        assert response.body["bundle"]["kind"] == BUNDLE_KIND
+        assert "written_to" not in response.body
+
+    def test_write_to_path(self, tmp_path):
+        system = _memory_system()
+        service = ApiService(system)
+        target = tmp_path / "incident.json"
+        response = service.post(
+            "/admin/diagnostics", {"write": True, "path": str(target)}
+        )
+        assert response.status == 200
+        assert response.body["written_to"] == str(target)
+        assert json.loads(target.read_text(encoding="utf-8"))["kind"] == BUNDLE_KIND
+
+    def test_validation_errors(self):
+        system = _memory_system()
+        service = ApiService(system)
+        assert service.post("/admin/diagnostics", {"write": "yes"}).status == 400
+        assert service.post("/admin/diagnostics", {"path": 7}).status == 400
+
+    def test_openapi_documents_observability_routes(self):
+        system = _memory_system()
+        service = ApiService(system)
+        document = service.get("/openapi").body
+        assert "get" in document["paths"]["/metrics"]
+        assert "post" in document["paths"]["/admin/diagnostics"]
+        error_doc = document["components"]["schemas"]["Error"]
+        assert "overloaded" in error_doc["properties"]["error"]["properties"]["code"]["description"]
+
+
+# --------------------------------------------------------------------------
+# admission control
+# --------------------------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_sheds_with_429_under_concurrent_load(self):
+        system = _memory_system()
+        service = ApiService(system, max_in_flight=1)
+        release = threading.Event()
+        entered = threading.Event()
+
+        original = service._handle_health
+
+        def blocking_handler(params, body, principal):
+            entered.set()
+            release.wait(timeout=10)
+            return original(params, body, principal)
+
+        service._handle_health = blocking_handler
+        results = {}
+
+        def occupy():
+            results["blocked"] = service.get("/health")
+
+        worker = threading.Thread(target=occupy)
+        worker.start()
+        try:
+            assert entered.wait(timeout=10), "first request never started"
+            shed = service.get("/metrics")  # capacity 1 is taken: must shed
+            assert shed.status == 429
+            assert shed.body["error"]["code"] == "overloaded"
+            assert shed.headers["Retry-After"] == "1"
+        finally:
+            release.set()
+            worker.join(timeout=10)
+        assert results["blocked"].status == 200
+        # capacity freed: requests are admitted again
+        assert service.get("/metrics").status == 200
+        body = service.get("/metrics").body
+        assert body["metrics"]["counters"]["api.shed"] >= 1
+        assert body["in_flight"] >= 1  # the current scrape itself
+
+    def test_unlimited_by_default(self):
+        system = _memory_system()
+        service = ApiService(system)
+        assert service.max_in_flight is None
+        assert service.get("/metrics").body["max_in_flight"] is None
+
+    def test_invalid_max_in_flight_rejected(self):
+        system = _memory_system()
+        with pytest.raises(ValueError):
+            ApiService(system, max_in_flight=0)
+
+    def test_read_only_503_and_shed_429_share_retry_after(self, tmp_path):
+        fs = FaultInjector()
+        system = _durable_system(tmp_path, fs=fs)
+        service = ApiService(system)
+        fs.fail("write", times=None, errno_code=errno.EIO)
+        rejected = service.post("/entities/item", {"id": 9, "val": "x"})
+        assert rejected.status == 503
+        assert "Retry-After" in rejected.headers
+        assert int(rejected.headers["Retry-After"]) >= 1
+        system.close()

@@ -1,0 +1,127 @@
+"""Metrics registry unit tests: counters, gauges, histograms, snapshots."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotonic_increment(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_increment_rejected(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_thread_safety(self):
+        c = Counter("c")
+
+        def spin():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 80_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(3)
+        assert g.value == 3
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+
+
+class TestHistogram:
+    def test_snapshot_statistics(self):
+        h = Histogram("h")
+        for v in range(1, 101):  # 1..100
+            h.record(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100
+        assert snap["min"] == 1.0
+        assert snap["max"] == 100.0
+        assert snap["mean"] == pytest.approx(50.5)
+        assert snap["p50"] == pytest.approx(50, abs=2)
+        assert snap["p95"] == pytest.approx(95, abs=2)
+        assert snap["p99"] == pytest.approx(99, abs=2)
+
+    def test_empty_snapshot(self):
+        snap = Histogram("h").snapshot()
+        assert snap["count"] == 0
+
+    def test_reservoir_is_bounded_but_count_exact(self):
+        h = Histogram("h")
+        for v in range(10_000):
+            h.record(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 10_000
+        assert snap["reservoir"] <= 512
+        # percentiles reflect recent samples, not the evicted early ones
+        assert snap["p50"] > 5000
+
+    def test_thread_safety(self):
+        h = Histogram("h")
+
+        def spin():
+            for i in range(5_000):
+                h.record(float(i))
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert h.snapshot()["count"] == 20_000
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        assert r.gauge("y") is r.gauge("y")
+        assert r.histogram("z") is r.histogram("z")
+
+    def test_kind_mismatch_is_type_error(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.gauge("x")
+        with pytest.raises(TypeError):
+            r.histogram("x")
+
+    def test_snapshot_shape(self):
+        r = MetricsRegistry()
+        r.counter("a").inc(2)
+        r.gauge("b").set(7)
+        r.histogram("c").record(0.5)
+        snap = r.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["a"] == 2
+        assert snap["gauges"]["b"] == 7
+        assert snap["histograms"]["c"]["count"] == 1
+
+    def test_counters_monotonic_across_snapshots(self):
+        r = MetricsRegistry()
+        c = r.counter("a")
+        seen = []
+        for _ in range(5):
+            c.inc(3)
+            seen.append(r.snapshot()["counters"]["a"])
+        assert seen == sorted(seen)
+        assert seen[-1] == 15
