@@ -99,6 +99,52 @@ _PAGINATION_PARAMETERS = [
 ]
 
 _HANDLER_DOCS: Dict[str, Dict[str, Any]] = {
+    "admin_migrate": {
+        "requestBody": {
+            "required": [],
+            "schema": {
+                "type": "object",
+                "properties": {
+                    "spec": {
+                        "type": "object",
+                        "description": "Serialized mapping spec (the format "
+                        "checkpoints use) to migrate to online: WAL-logged "
+                        "lifecycle, incremental backfill, changelog capture, "
+                        "atomic flip.",
+                    },
+                    "batch_size": {
+                        "type": "integer",
+                        "description": "Instances copied per backfill batch "
+                        "(bounds how long the read view pins old versions).",
+                    },
+                    "reconcile_only": {
+                        "type": "boolean",
+                        "description": "Skip migration; diff the live catalog "
+                        "against the installed spec and return the findings.",
+                    },
+                    "apply_fixups": {
+                        "type": "array",
+                        "items": {"type": "string"},
+                        "description": "With reconcile_only: safety tiers "
+                        "('safe', 'guarded') of generated fixups to apply.",
+                    },
+                },
+            },
+        },
+        "responses": {
+            "200": {
+                "description": "The migration report (backfill/changelog "
+                "counts, flip LSN, post-flip reconcile) — or, in "
+                "reconcile-only mode, the reconcile report with its "
+                "OK/MISMATCH/FIXUP/MANUAL findings."
+            },
+            "409": {
+                "description": "Another migration is in progress, or the "
+                "flip rolled back (error code 'migration_failed'); the old "
+                "layout is still serving."
+            },
+        },
+    },
     "admin_checkpoint": {
         "requestBody": {
             "required": [],

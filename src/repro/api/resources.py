@@ -103,6 +103,7 @@ def default_router() -> Router:
     router.add(Route("GET", "/metrics", "metrics", "Metrics snapshot: counters, gauges, latency histograms, run summary"))
     router.add(Route("POST", "/admin/probe", "admin_probe", "Probe a degraded/read-only system back toward healthy"))
     router.add(Route("POST", "/admin/diagnostics", "admin_diagnostics", "Capture a diagnostic bundle (optionally persisted to disk)"))
+    router.add(Route("POST", "/admin/migrate", "admin_migrate", "Run a durable online migration to a new mapping spec (or reconcile only)"))
     router.add(Route("GET", "/openapi", "openapi", "Generated API documentation"))
     return router
 

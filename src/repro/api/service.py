@@ -40,6 +40,7 @@ from ..errors import (
     ErbiumError,
     InstanceError,
     LexerError,
+    MigrationError,
     ParseError,
     PlanningError,
     ReadOnlyError,
@@ -324,6 +325,10 @@ class ApiService:
             return 409, "serialization_conflict"
         if isinstance(exc, ConstraintViolation):
             return 409, "constraint_violation"
+        if isinstance(exc, MigrationError):
+            # a migration already running, or one that rolled back cleanly;
+            # the old layout is still serving either way
+            return 409, "migration_failed"
         if isinstance(exc, (TypeMismatchError, InstanceError)):
             return 422, "validation"
         if isinstance(exc, AccessDenied):
@@ -848,6 +853,80 @@ class ApiService:
             written_to = write_bundle(self.system, path=path, bundle=bundle)
             return Response(200, {"written_to": written_to, "bundle": bundle})
         return Response(200, {"bundle": bundle})
+
+    def _handle_admin_migrate(self, params, body, principal) -> Response:
+        """``POST /admin/migrate``: durable online migration, or reconcile.
+
+        ``{"spec": {...}, "batch_size": 512}`` runs the online protocol to
+        the given serialized mapping spec (WAL-logged lifecycle, incremental
+        backfill, changelog capture, atomic flip) and returns the migration
+        report including the post-flip reconcile.  Works on in-memory
+        systems too — durability, when enabled, makes the flip crash-atomic.
+
+        ``{"reconcile_only": true}`` skips migration and just diffs the live
+        catalog against the installed spec; add
+        ``"apply_fixups": ["safe"]`` (tiers: ``safe``, ``guarded``) to run
+        the generated repairs of those tiers.
+        """
+
+        reconcile_only = body.get("reconcile_only", False)
+        if not isinstance(reconcile_only, bool):
+            raise ApiError(400, "'reconcile_only' must be a boolean", code="validation")
+        if reconcile_only:
+            tiers = body.get("apply_fixups")
+            if tiers is not None and (
+                not isinstance(tiers, list) or not all(isinstance(t, str) for t in tiers)
+            ):
+                raise ApiError(
+                    400, "'apply_fixups' must be a list of tier names", code="validation"
+                )
+            from ..evolution.reconcile import apply_fixups
+
+            report = self.system.reconcile()
+            applied = 0
+            if tiers:
+                try:
+                    applied = apply_fixups(self.system, report, tiers=tuple(tiers))
+                except ErbiumError as exc:
+                    raise ApiError(400, str(exc), code="validation")
+            return Response(
+                200, {"reconcile": report.describe(), "fixups_applied": applied}
+            )
+
+        spec_doc = body.get("spec")
+        if not isinstance(spec_doc, dict) or not spec_doc:
+            raise ApiError(
+                400,
+                "'spec' must be a serialized mapping spec object "
+                "(or pass 'reconcile_only': true)",
+                code="validation",
+            )
+        batch_size = body.get("batch_size")
+        if batch_size is not None and (
+            not isinstance(batch_size, int) or isinstance(batch_size, bool) or batch_size < 1
+        ):
+            raise ApiError(400, "'batch_size' must be a positive integer", code="validation")
+        from ..durability.snapshot import spec_from_dict
+
+        # spec_from_dict defaults every missing field, so an unrelated object
+        # would silently compile to the default normalized design — reject
+        # keys the serialization format does not define instead
+        known = {"name", "hierarchy", "multivalued", "weak_entity", "relationship", "description"}
+        unknown = set(spec_doc) - known
+        if unknown:
+            raise ApiError(
+                400,
+                f"unknown mapping spec fields: {sorted(unknown)}; expected a "
+                "serialized spec with keys from "
+                f"{sorted(known)}",
+                code="validation",
+            )
+        try:
+            spec = spec_from_dict(spec_doc)
+        except (ErbiumError, KeyError, TypeError, ValueError) as exc:
+            raise ApiError(400, f"invalid mapping spec: {exc}", code="validation")
+        report = self.system.migrate_online(new_spec=spec, batch_size=batch_size)
+        return Response(200, {"migration": report.describe()})
 
     def _handle_openapi(self, params, body, principal) -> Response:
         return Response(

@@ -80,6 +80,12 @@ class DurabilityManager:
         self._timer_lock = threading.Lock()
         self._probe_timer: Optional[threading.Timer] = None
         self._closed = False
+        # While set, log_commit refuses new transactions: the WAL's layout
+        # epoch is ambiguous (a migration flip checkpoint failed) and any
+        # record appended before a covering checkpoint publishes could be
+        # replayed against the wrong physical layout.  Cleared by the next
+        # successful checkpoint.
+        self._commit_fence: Optional[str] = None
 
     # -- binding ---------------------------------------------------------------
 
@@ -155,6 +161,8 @@ class DurabilityManager:
             raise ReadOnlyError(
                 f"database is read-only: {self.health.reason or 'WAL unavailable'}"
             )
+        if self._commit_fence is not None:
+            raise ReadOnlyError(f"commits are fenced: {self._commit_fence}")
         batch: List[Dict[str, Any]] = list(records)  # retries re-iterate
         try:
             # the span covers retries and the policy fsync: "how long did
@@ -197,6 +205,59 @@ class DurabilityManager:
             self._wal_down(f"WAL abort-marker append failed: {exc}")
         except DurabilityError:
             pass
+
+    def log_migration(self, record: Dict[str, Any]) -> int:
+        """Append one migration lifecycle record as a committed mini-transaction.
+
+        The record (``migration_begin`` / ``backfill_batch`` /
+        ``migration_flip`` / ``migration_abort``) carries no table and is
+        skipped benignly by replay — it exists so the on-disk log narrates
+        the migration and so crash-point tests can truncate inside one.
+        Failure handling mirrors :meth:`log_commit`: the WAL going down
+        forces READ_ONLY, and the caller (the online migrator) aborts.
+        Lifecycle records bypass the commit fence — they are layout-neutral,
+        and the abort marker of a failed flip must still be loggable.
+        """
+
+        if self.health.read_only:
+            raise ReadOnlyError(
+                f"database is read-only: {self.health.reason or 'WAL unavailable'}"
+            )
+        try:
+            with phase_timer("wal_append"):
+                lsn = self.retry.call(
+                    lambda: self.wal.append_transaction([dict(record)]),
+                    retry_on=self._retryable,
+                    on_retry=self._count_retry,
+                )
+        except OSError as exc:
+            self._wal_down(f"WAL migration-record append failed: {exc}")
+            raise ReadOnlyError(
+                f"migration record not durable, entering read-only mode: {exc}"
+            ) from exc
+        except DurabilityError:
+            if self.wal.failed:
+                self._wal_down(self.wal.failure_reason or "WAL failed")
+            raise
+        return lsn
+
+    def fence_commits(self, reason: str) -> None:
+        """Refuse commits until the next successful checkpoint.
+
+        The online migrator raises this fence when a flip checkpoint fails
+        with the ``CURRENT`` pointer possibly renamed: until a checkpoint of
+        the (reverted) in-memory layout publishes, any appended record could
+        be replayed against the wrong layout.  The background probe's
+        checkpoint clears it.
+        """
+
+        self._commit_fence = reason
+        self.health.checkpoint_failed(reason)
+        self._schedule_probe()
+
+    @property
+    def commit_fence(self) -> Optional[str]:
+        return self._commit_fence
 
     def sync(self) -> None:
         """Force the log to disk now, regardless of fsync policy."""
@@ -263,6 +324,7 @@ class DurabilityManager:
 
         def completed(_info: Dict[str, Any]) -> None:
             # runs only once the checkpoint + CURRENT pointer are durable
+            self._commit_fence = None  # the new checkpoint covers every record
             self.wal.prune(lsn)
             self.health.checkpoint_succeeded()
 
@@ -411,6 +473,7 @@ class DurabilityManager:
             "checkpoint_version": info.get("version"),
             "checkpoint_lsn": info.get("lsn"),
             "health": self.health.describe(),
+            "commit_fence": self._commit_fence,
             "retry": self.retry.describe(),
             "retried_ops": self.retried_ops,
             "probe_interval": self.probe_interval,

@@ -46,6 +46,12 @@ def has_database(path: str) -> bool:
     return os.path.exists(os.path.join(path, "CURRENT"))
 
 
+#: Online-migration lifecycle markers; table-less, skipped benignly by replay.
+_MIGRATION_RECORD_KINDS = frozenset(
+    {"migration_begin", "backfill_batch", "migration_flip", "migration_abort"}
+)
+
+
 def apply_record(db: "Database", record: Dict[str, Any], watermarks: Dict[str, int]) -> bool:
     """Apply one redo record if it is above its table's LSN watermark.
 
@@ -58,6 +64,12 @@ def apply_record(db: "Database", record: Dict[str, Any], watermarks: Dict[str, i
     kind = record.get("t")
     table_name = record.get("table")
     lsn = int(record.get("lsn", 0))
+    if kind in _MIGRATION_RECORD_KINDS:
+        # online-migration lifecycle markers carry no table and describe no
+        # mutation: the shadow database they narrate was never WAL-logged,
+        # and the flip checkpoint is the migration's durable commit point —
+        # so replay skips them benignly (crash-before-flip = rollback)
+        return False
     if kind == "mapping_change":
         # reserved record type: mapping changes checkpoint immediately, so a
         # correct log never replays across one (checked before the table
@@ -93,13 +105,26 @@ def apply_record(db: "Database", record: Dict[str, Any], watermarks: Dict[str, i
     return True
 
 
-def replay(db: "Database", scan: WalScan, watermarks: Dict[str, int]) -> int:
-    """Replay every committed transaction of a scan; returns records applied."""
+def replay(
+    db: "Database", scan: WalScan, watermarks: Dict[str, int], lsn_floor: int = 0
+) -> int:
+    """Replay every committed transaction of a scan; returns records applied.
+
+    ``lsn_floor`` is a *global* skip threshold — the checkpoint LSN.  The
+    per-table watermarks already imply it for tables the checkpoint knows,
+    but after an online migration flip the checkpoint describes the *new*
+    layout while unpruned segments may still hold old-layout records (the
+    flip checkpoint's prune can fail without failing the flip); those
+    records are all at or below the checkpoint LSN and must be skipped
+    before the unknown-table guard would reject them.
+    """
 
     applied = 0
     touched = set()
     for transaction in scan.transactions:
         for record in transaction:
+            if int(record.get("lsn", 0)) <= lsn_floor:
+                continue
             if apply_record(db, record, watermarks):
                 applied += 1
                 touched.add(record["table"])
@@ -172,7 +197,7 @@ def recover_system(
         name: int(lsn) for name, lsn in state.get("table_lsns", {}).items()
     }
     scan = scan_segments(path, fs=fs) if fs is not None else scan_segments(path)
-    replay(db, scan, watermarks)
+    replay(db, scan, watermarks, lsn_floor=int(state.get("lsn", 0)))
     if fs is not None:
         truncate_torn_tail(scan, fs=fs)
     else:

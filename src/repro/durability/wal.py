@@ -30,7 +30,26 @@ Record types
 ``truncate``                ``{table}``;
 ``mapping_change``          informational DDL marker (mapping changes force
                             an immediate checkpoint, so replay never crosses
-                            one; recovery refuses the record if it ever does).
+                            one; recovery refuses the record if it ever does);
+``migration_begin``         online-migration lifecycle marker: a migration
+                            started (carries the serialized target mapping
+                            spec and change description);
+``backfill_batch``          one bounded backfill (or changelog catch-up)
+                            batch copied into the shadow database;
+``migration_flip``          the atomic flip is about to publish — the flip
+                            checkpoint that follows is the durable commit
+                            point of the migration;
+``migration_abort``         the migration was abandoned; the old layout
+                            stays authoritative.
+
+The four migration lifecycle records are appended as standalone committed
+mini-transactions (so a scan surfaces them) and carry **no** ``table`` key:
+recovery skips them benignly.  Crash semantics are *rollback by default* —
+a crash before the flip checkpoint's ``CURRENT`` rename recovers exactly the
+old layout (the shadow database was never WAL-logged), a crash after it
+recovers exactly the new one (replay skips records at or below the
+checkpoint LSN globally, so unpruned old-layout segments are never applied
+to the new layout).
 
 Group commit and fsync policy
 -----------------------------

@@ -6,6 +6,13 @@ round-tripping through logical instances (:mod:`repro.evolution.migration`),
 versions are kept and can be rolled back (:mod:`repro.evolution.versioning`),
 and the impact of a change on existing ERQL queries can be analyzed and —
 where mechanical — auto-rewritten (:mod:`repro.evolution.query_rewrite`).
+
+Two companion modules make migration *operational*:
+:mod:`repro.evolution.online` runs a migration against a live system —
+WAL-logged lifecycle, incremental backfill under an MVCC read view,
+changelog capture of concurrent writes, atomic flip — and
+:mod:`repro.evolution.reconcile` diffs the live physical catalog against
+the mapping spec with an OK / MISMATCH / FIXUP / MANUAL taxonomy.
 """
 
 from .changes import (
@@ -21,7 +28,18 @@ from .changes import (
     SchemaChange,
 )
 from .migration import MigrationReport, Migrator
+from .online import MigrationChangelog, OnlineMigrationReport, OnlineMigrator
 from .query_rewrite import QueryImpact, analyze_query_impact, impact_summary
+from .reconcile import (
+    FIXUP,
+    MANUAL,
+    MISMATCH,
+    OK,
+    ReconcileFinding,
+    ReconcileReport,
+    apply_fixups,
+    reconcile,
+)
 from .versioning import SchemaVersion, SchemaVersionHistory
 
 __all__ = [
@@ -37,6 +55,17 @@ __all__ = [
     "DropRelationship",
     "Migrator",
     "MigrationReport",
+    "OnlineMigrator",
+    "OnlineMigrationReport",
+    "MigrationChangelog",
+    "reconcile",
+    "apply_fixups",
+    "ReconcileReport",
+    "ReconcileFinding",
+    "OK",
+    "MISMATCH",
+    "FIXUP",
+    "MANUAL",
     "SchemaVersion",
     "SchemaVersionHistory",
     "QueryImpact",

@@ -56,6 +56,10 @@ class MigrationReport:
     entities_transformed: int = 0
     dropped_values: int = 0
     notes: List[str] = field(default_factory=list)
+    #: governance state (access grants, audit trail) exported from the
+    #: source system, ready for ``restore_state`` on the successor — the
+    #: same export/restore pair checkpoints and recovery use
+    governance: Optional[Dict[str, Any]] = None
 
 
 def _extract_instances(
@@ -92,19 +96,12 @@ def _extract_instances(
         if relationship.identifying:
             continue
         left, right = relationship.participants[0], relationship.participants[1]
-        seen = set()
-        for key in crud.entity_keys(left.entity):
-            for other in crud.related_keys(relationship.name, left.entity, key):
-                pair = (tuple(key), tuple(other))
-                if pair in seen:
-                    continue
-                seen.add(pair)
-                relationships.append(
-                    RelationshipInstance(
-                        relationship.name,
-                        {left.label: tuple(key), right.label: tuple(other)},
-                    )
+        for left_key, right_key in crud.relationship_pairs(relationship.name):
+            relationships.append(
+                RelationshipInstance(
+                    relationship.name, {left.label: left_key, right.label: right_key}
                 )
+            )
     return entities, relationships
 
 
@@ -185,10 +182,22 @@ def _transform_for_change(
 class Migrator:
     """Migrates data from one (schema, mapping, db) triple to another."""
 
-    def __init__(self, schema: ERSchema, mapping: Mapping, db: Database) -> None:
+    def __init__(
+        self,
+        schema: ERSchema,
+        mapping: Mapping,
+        db: Database,
+        access: Optional[Any] = None,
+        audit: Optional[Any] = None,
+    ) -> None:
         self.schema = schema
         self.mapping = mapping
         self.db = db
+        # governance objects of the source system, when the caller has any:
+        # their exported state rides in the report so the successor system
+        # can restore the same policy surface and audit trail
+        self.access = access
+        self.audit = audit
 
     def migrate(
         self,
@@ -243,6 +252,24 @@ class Migrator:
                 continue
             crud.insert_relationship(instance)
             report.relationships_migrated += 1
+
+        # Carry state that does not live in the rows, the way checkpoints
+        # do.  Catalog metadata blobs move verbatim (minus the old mapping's
+        # own keys — install() already wrote the new mapping's); the
+        # statistics cache is re-keyed to the rebuilt tables, which hold the
+        # same logical content the cached statistics describe; governance
+        # state is exported into the report for ``restore_state`` on the
+        # successor system.
+        for key in self.db.catalog.metadata_keys():
+            if key == "active_mapping" or key.startswith("mapping:"):
+                continue
+            new_db.catalog.put_metadata(key, self.db.catalog.get_metadata(key))
+        new_db.statistics.restore_state(self.db.statistics.export_state(), db=new_db)
+        if self.access is not None or self.audit is not None:
+            report.governance = {
+                "access": self.access.export_state() if self.access is not None else None,
+                "audit": self.audit.export_state() if self.audit is not None else None,
+            }
         return target_schema, new_mapping, new_db, report
 
 

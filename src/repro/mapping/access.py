@@ -283,7 +283,11 @@ class AccessPathBuilder:
 
         for other_table, attrs in tables_needed.items():
             other_alias = f"{alias}__{other_table}"
-            other_scan = SeqScan(other_table, alias=other_alias)
+            # keyed lookups reduce the ancestor side to the matching rows
+            # instead of rebuilding a hash table over the whole table
+            other_scan = self._base_scan(
+                other_table, other_alias, list(key_names), key_equals, key_names
+            )
             left_keys = [qualified(alias, k) for k in key_names]
             right_keys = [f"{other_alias}.{k}" for k in key_names]
             plan = HashJoin(plan, other_scan, left_keys, right_keys, join_type="inner")
@@ -406,15 +410,28 @@ class AccessPathBuilder:
             side_alias = f"{alias}__{attribute}"
             side_scan: PlanNode = SeqScan(placement.table, alias=side_alias)
             if key_equals and set(key_equals) == set(key_names):
-                condition = conjunction(
-                    [
-                        eq(col(f"{side_alias}.{k}"), _value_expr(key_equals[k]))
-                        for k in placement.owner_key_columns
-                        if k in key_equals
-                    ]
-                )
-                if condition is not None:
-                    side_scan = Filter(side_scan, condition)
+                owner_columns = tuple(placement.owner_key_columns)
+                side_table = self.db.catalog.table(placement.table)
+                if (
+                    all(k in key_equals for k in owner_columns)
+                    and side_table.index_prefix(owner_columns) is not None
+                ):
+                    side_scan = IndexLookup(
+                        placement.table,
+                        owner_columns,
+                        [tuple(key_equals[k] for k in owner_columns)],
+                        alias=side_alias,
+                    )
+                else:
+                    condition = conjunction(
+                        [
+                            eq(col(f"{side_alias}.{k}"), _value_expr(key_equals[k]))
+                            for k in owner_columns
+                            if k in key_equals
+                        ]
+                    )
+                    if condition is not None:
+                        side_scan = Filter(side_scan, condition)
             if len(placement.value_columns) == 1:
                 argument: Expression = col(f"{side_alias}.{placement.value_columns[0]}")
             else:

@@ -47,8 +47,30 @@ class CrudTemplates:
         self.mapping = mapping
         self.db = db
         self.access = AccessPathBuilder(schema, mapping, db)
+        # An online migration attaches a logical changelog here (see
+        # repro.evolution.online.MigrationChangelog): every committed write
+        # is captured at the entity/relationship level so the migrator can
+        # replay it onto the shadow database.  None means no capture — the
+        # hook is a single attribute check on the write path.
+        self.changelog = None
 
     # ------------------------------------------------------------------ helpers
+
+    def _log_change(self, op: str, args: Any) -> None:
+        """Capture one logical write for an in-flight online migration.
+
+        Called *inside* the write's transaction scope: the changelog
+        registers an undo callback on the current transaction, so a
+        rollback (full or to a statement savepoint) discards the entry with
+        the physical writes.  A *closed* changelog raises
+        :class:`~repro.errors.SerializationError` — a writer that captured
+        this (pre-flip) template object and raced past the flip must fail
+        and retry, at which point it resolves the post-flip templates.
+        """
+
+        log = self.changelog
+        if log is not None:
+            log.record(self.db.transactions.current, op, args)
 
     def _key_dict(self, entity: str, key: Sequence[Any]) -> Dict[str, Any]:
         names = self.schema.effective_key(entity)
@@ -82,6 +104,7 @@ class CrudTemplates:
         validated = validate_entity_instance(self.schema, instance)
         with self.db.transaction():
             self._insert_entity_rows(validated)
+            self._log_change("insert_entity", validated)
         return validated
 
     def insert_entities(self, instances: Sequence[EntityInstance]) -> List[EntityInstance]:
@@ -125,6 +148,8 @@ class CrudTemplates:
                         flush()  # the owner-existence check reads its table
                 self._insert_entity_rows(instance, emit=emit)
             flush()
+            for instance in validated:
+                self._log_change("insert_entity", instance)
         return validated
 
     def _insert_entity_rows(
@@ -458,9 +483,11 @@ class CrudTemplates:
             if name in key_names:
                 raise CrudTemplateError(f"cannot update key attribute {name!r}")
             self.schema.effective_attribute(entity, name)  # raises if unknown
+        key_values = tuple(key_equals[k] for k in key_names)
         with self.db.transaction():
             for name, value in changes.items():
                 self._update_attribute(entity, key_equals, name, value)
+            self._log_change("update_entity", (entity, key_values, dict(changes)))
 
     def _update_attribute(
         self, entity: str, key_equals: Dict[str, Any], name: str, value: Any
@@ -568,6 +595,7 @@ class CrudTemplates:
             touched += self._delete_relationship_traces(entity, key_values)
             touched += self._delete_multivalued(entity, key_values)
             touched += self._delete_base_rows(entity, key_equals, key_values)
+            self._log_change("delete_entity", (entity, key_values))
         return touched
 
     def _delete_multivalued(self, entity: str, key_values: Tuple[Any, ...]) -> int:
@@ -719,6 +747,7 @@ class CrudTemplates:
         relationship = self.schema.relationship(validated.relationship_set)
         with self.db.transaction():
             self._insert_relationship_rows(validated, relationship, placement)
+            self._log_change("insert_relationship", validated)
         return validated
 
     def insert_relationships(
@@ -752,6 +781,8 @@ class CrudTemplates:
                     flush()
                     self._insert_relationship_rows(instance, relationship, placement)
             flush()
+            for instance in validated:
+                self._log_change("insert_relationship", instance)
         return validated
 
     def _join_table_row(
@@ -820,15 +851,8 @@ class CrudTemplates:
         right_columns = placement.role_columns[right.label]
         table = self.db.catalog.table(placement.table)
 
-        def rows_matching(columns: List[str], key: Tuple[Any, ...]) -> List[int]:
-            return [
-                row_id
-                for row_id, row in table.rows_with_ids()
-                if tuple(row.get(c) for c in columns) == tuple(key)
-            ]
-
-        left_rows = rows_matching(left_columns, left_key)
-        right_rows = rows_matching(right_columns, right_key)
+        left_rows = table.lookup_ids(tuple(left_columns), tuple(left_key))
+        right_rows = table.lookup_ids(tuple(right_columns), tuple(right_key))
         if not left_rows:
             raise CrudTemplateError(
                 f"cannot link {relationship.name!r}: left instance {tuple(left_key)} not found"
@@ -870,24 +894,15 @@ class CrudTemplates:
             new_row.update(rel_values)
             self.db.insert(placement.table, new_row)
 
-        # Drop the right instance's placeholder row if it has become redundant.
-        for row_id in rows_matching(right_columns, right_key):
-            row = table.get_row(row_id)
-            if all(row.get(c) is None for c in left_columns):
-                linked = [
-                    rid
-                    for rid in rows_matching(right_columns, right_key)
-                    if not all(table.get_row(rid).get(c) is None for c in left_columns)
-                ]
-                if linked:
-                    self.db.delete(
-                        placement.table,
-                        lambda r, cols=tuple(right_columns), key=tuple(right_key), lc=tuple(left_columns): (
-                            tuple(r.get(c) for c in cols) == key
-                            and all(r.get(c) is None for c in lc)
-                        ),
-                    )
-                break
+        # Drop the right instance's placeholder rows once a linked row exists.
+        right_ids = table.lookup_ids(tuple(right_columns), tuple(right_key))
+        placeholders = [
+            rid
+            for rid in right_ids
+            if all(table.get_row(rid).get(c) is None for c in left_columns)
+        ]
+        if placeholders and len(placeholders) < len(right_ids):
+            self.db.delete_ids(placement.table, placeholders)
 
     def delete_relationship(
         self, relationship: str, endpoints: Dict[str, Sequence[Any]]
@@ -902,6 +917,9 @@ class CrudTemplates:
                 value = (value,)
             normalized[role] = tuple(value)
         with self.db.transaction():
+            # logged up front: if a branch below raises, the joined scope's
+            # savepoint rollback discards the entry with the physical writes
+            self._log_change("delete_relationship", (relationship, dict(normalized)))
             if placement.kind == "join_table":
                 def match(row: Dict[str, Any]) -> bool:
                     for role, key in normalized.items():
@@ -946,6 +964,45 @@ class CrudTemplates:
                 f"cannot delete occurrences of relationship {relationship!r} "
                 f"placed as {placement.kind!r}"
             )
+
+    def relationship_pairs(
+        self, relationship: str
+    ) -> List[Tuple[Tuple[Any, ...], Tuple[Any, ...]]]:
+        """Every (left_key, right_key) pair of ``relationship``, in one join.
+
+        The bulk counterpart of :meth:`related_keys`: one relationship join
+        over the whole population instead of one join per source instance,
+        so extraction-style consumers (offline migration, online backfill)
+        enumerate a relationship in O(n) rather than O(n**2).
+        """
+
+        rel = self.schema.relationship(relationship)
+        left, right = rel.participants[0], rel.participants[1]
+        from_role = self.access._role_for(rel, left.entity)
+        to_participant = rel.other(from_role)
+        plan = self.access.relationship_join(
+            relationship,
+            left.entity,
+            "src",
+            to_participant.entity,
+            "dst",
+            left_attributes=[],
+            right_attributes=[],
+        )
+        result = self.db.execute(plan)
+        src_keys = self.schema.effective_key(left.entity)
+        dst_keys = self.schema.effective_key(to_participant.entity)
+        pairs: List[Tuple[Tuple[Any, ...], Tuple[Any, ...]]] = []
+        seen = set()
+        for row in result.rows:
+            pair = (
+                tuple(row.get(qualified("src", k)) for k in src_keys),
+                tuple(row.get(qualified("dst", k)) for k in dst_keys),
+            )
+            if pair not in seen:
+                seen.add(pair)
+                pairs.append(pair)
+        return pairs
 
     def related_keys(
         self, relationship: str, from_entity: str, key: Sequence[Any]

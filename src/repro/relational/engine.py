@@ -516,6 +516,35 @@ class Database:
             )
             return len(to_delete)
 
+    def delete_ids(self, table_name: str, row_ids: Sequence[int]) -> int:
+        """Delete specific rows by id: the index-assisted path of :meth:`delete`.
+
+        Same undo-record, WAL-batching and referential-action semantics — the
+        caller has already located the victims (e.g. via an index lookup), so
+        no table scan happens here.
+        """
+
+        with self._write_statement():
+            table = self.catalog.table(table_name)
+            to_delete = [
+                (row_id, dict(table.get_row(row_id)))
+                for row_id in row_ids
+                if table.is_live(row_id)
+            ]
+            journal: List[Tuple[Any, ...]] = []
+            try:
+                for row_id, row in to_delete:
+                    self._apply_delete(table, row_id, row, journal)
+            except BaseException:
+                self._record_statement(
+                    f"partial delete from {table_name}", journal
+                )
+                raise
+            self._record_statement(
+                f"delete {len(to_delete)} rows from {table_name}", journal
+            )
+            return len(to_delete)
+
     def _apply_delete(
         self,
         table: Table,

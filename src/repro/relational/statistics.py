@@ -192,3 +192,39 @@ class StatisticsManager:
                 self._stats.clear()
             else:
                 self._stats.pop(table_name, None)
+
+    def export_state(self) -> Dict[str, Tuple[int, TableStats]]:
+        """Snapshot the cache for carrying across a database rebuild.
+
+        Entries are immutable ``(version, stats)`` tuples, so a shallow copy
+        is a faithful snapshot.
+        """
+
+        with self._lock:
+            return dict(self._stats)
+
+    def restore_state(
+        self, state: Dict[str, Tuple[int, TableStats]], db: Optional[Any] = None
+    ) -> None:
+        """Install an exported snapshot, optionally re-keyed to ``db``.
+
+        Without ``db`` the snapshot is installed verbatim.  With ``db`` each
+        entry is re-keyed to the live table's *current* data version — the
+        caller asserts the table's content matches what the statistics
+        describe (a migration that just reloaded the same logical rows).
+        Tables absent from ``db`` are dropped; they will be re-analyzed on
+        demand if a same-named table ever reappears.  Statistics only steer
+        cost-based choices, so an optimistic carry can cost plan quality,
+        never correctness.
+        """
+
+        with self._lock:
+            if db is None:
+                self._stats = dict(state)
+                return
+            rekeyed: Dict[str, Tuple[int, TableStats]] = {}
+            for name, (_version, stats) in state.items():
+                if not db.has_table(name):
+                    continue
+                rekeyed[name] = (db.table(name).version, stats)
+            self._stats = rekeyed

@@ -188,6 +188,9 @@ class ErbiumDB:
         # OrderedDict reordering is not atomic.  (Metrics counters carry
         # their own locks in the registry.)
         self._cache_lock = threading.Lock()
+        # Serializes online migrations: the protocol assumes one shadow
+        # database and one changelog at a time (held for the whole run).
+        self._migration_lock = threading.Lock()
         self._mapping_version = 0
         self._implicit_session = Session(self, autocommit=True)
 
@@ -270,6 +273,65 @@ class ErbiumDB:
 
     def access_paths(self) -> AccessPathBuilder:
         return AccessPathBuilder(self.schema, self.active_mapping(), self.db)
+
+    # ------------------------------------------------------------- evolution
+
+    def migrate_online(
+        self,
+        change=None,
+        new_schema=None,
+        new_spec=None,
+        transform=None,
+        batch_size: Optional[int] = None,
+        reconcile_after: bool = True,
+    ):
+        """Migrate to a new schema and/or physical design without stopping.
+
+        Runs the durable online protocol (see ``docs/evolution.md``): the
+        migration lifecycle is WAL-logged, existing data is backfilled into
+        a shadow database in bounded batches under an MVCC read view while
+        reads and writes keep serving against the old layout, concurrent
+        writes are captured in a changelog and replayed, and an atomic flip
+        swaps the system to the new layout with a synchronous checkpoint as
+        the durable commit point.  A crash at any moment recovers to exactly
+        the old layout or exactly the new one — never a mix.
+
+        Returns an :class:`~repro.evolution.online.OnlineMigrationReport`;
+        when ``reconcile_after`` is true (the default) it carries a
+        post-flip :func:`~repro.evolution.reconcile.reconcile` report.
+        """
+
+        from .errors import MigrationError
+        from .evolution.online import DEFAULT_BATCH_SIZE, OnlineMigrator
+
+        if not self._migration_lock.acquire(blocking=False):
+            raise MigrationError("another online migration is already in progress")
+        try:
+            migrator = OnlineMigrator(
+                self,
+                change=change,
+                new_schema=new_schema,
+                new_spec=new_spec,
+                transform=transform,
+                batch_size=batch_size if batch_size is not None else DEFAULT_BATCH_SIZE,
+                reconcile_after=reconcile_after,
+            )
+            return migrator.run()
+        finally:
+            self._migration_lock.release()
+
+    def reconcile(self):
+        """Diff the live physical catalog against the installed mapping spec.
+
+        Returns a :class:`~repro.evolution.reconcile.ReconcileReport` whose
+        findings carry an OK / MISMATCH / FIXUP / MANUAL decision each; pass
+        it to :func:`~repro.evolution.reconcile.apply_fixups` to run the
+        generated repairs of an allowed safety tier.
+        """
+
+        from .evolution.reconcile import reconcile as _reconcile
+
+        return _reconcile(self)
 
     # ------------------------------------------------------------ durability
 

@@ -208,3 +208,75 @@ class TestQueryImpact:
         by_query = {i.query: i for i in impacts}
         assert by_query[self.QUERIES[0]].status == "rewritten"
         assert "home_city" in by_query[self.QUERIES[0]].rewritten
+
+
+class TestMigrationStateCarry:
+    """Regression: migrate() must not lose statistics / metadata / governance.
+
+    The rebuild used to return a bare new database: the statistics cache was
+    cold, operator-set catalog metadata vanished, and governance state had no
+    path to the successor system.  ``migrate`` now carries all three the way
+    checkpoints do (export_state/restore_state).
+    """
+
+    def test_statistics_survive_migration(self):
+        system = build_university_system(students=12, instructors=3, courses=4)
+        # warm the statistics cache on the source
+        for table in system.db.catalog.tables():
+            system.db.statistics.stats_for(table)
+        warm = system.db.statistics.export_state()
+        assert warm  # the cache really was warm
+
+        migrator = Migrator(system.schema, system.active_mapping(), system.db)
+        _, _, new_db, _ = migrator.migrate(new_spec=named_mapping(system.schema, "M3"))
+
+        carried = new_db.statistics.export_state()
+        # same-named tables carry their statistics, re-keyed to the rebuilt
+        # table's live version so they are served without re-analysis
+        shared = set(warm) & {t.name for t in new_db.catalog.tables()}
+        assert shared and shared <= set(carried)
+        for name in shared:
+            version, stats = carried[name]
+            assert version == new_db.table(name).version
+            assert stats.row_count == warm[name][1].row_count
+            # a cache hit, not a rescan: stats_for returns the carried object
+            assert new_db.statistics.stats_for(new_db.table(name)) is stats
+
+    def test_catalog_metadata_survives_migration(self):
+        system = build_university_system(students=8, instructors=2, courses=3)
+        system.db.catalog.put_metadata("operator_note", {"ticket": "OPS-7"})
+        migrator = Migrator(system.schema, system.active_mapping(), system.db)
+        _, new_mapping, new_db, _ = migrator.migrate(
+            new_spec=named_mapping(system.schema, "M3")
+        )
+        assert new_db.catalog.get_metadata("operator_note") == {"ticket": "OPS-7"}
+        # but the *old* mapping's keys must not shadow the new install's
+        assert new_db.catalog.get_metadata("active_mapping") == {"name": new_mapping.name}
+
+    def test_governance_state_rides_in_the_report(self):
+        from repro.governance import AccessController, AuditLog, PIIRegistry, Policy
+
+        system = build_university_system(students=8, instructors=2, courses=3)
+        audit = AuditLog()
+        access = AccessController(system.schema, pii=PIIRegistry(system.schema), audit=audit)
+        access.grant(Policy(role="ops", entity="student", actions={"read"}))
+        audit.record(action="grant", principal="root", entity="student", outcome="ok")
+        system.attach_governance(access=access, audit=audit)
+
+        migrator = Migrator(
+            system.schema, system.active_mapping(), system.db,
+            access=system.access, audit=system.audit,
+        )
+        new_schema, _, _, report = migrator.migrate(
+            new_spec=named_mapping(system.schema, "M3")
+        )
+        assert report.governance is not None
+        # the export round-trips through restore_state on a successor system
+        restored_audit = AuditLog()
+        restored_audit.restore_state(report.governance["audit"])
+        assert restored_audit.export_state() == audit.export_state()
+        restored_access = AccessController(
+            new_schema, pii=PIIRegistry(new_schema), audit=restored_audit
+        )
+        restored_access.restore_state(report.governance["access"])
+        assert restored_access.export_state() == access.export_state()

@@ -1,16 +1,18 @@
 """Seeded chaos schedules: random faults over commit/checkpoint/reopen cycles.
 
 Each schedule drives one durable system through a random mix of autocommit
-writes, multi-statement transactions, checkpoints, probes, repairs and
-mid-run crash/reopen cycles while a seeded :class:`FaultInjector` fails a
-fraction of all filesystem operations.  Three invariants hold at every
-step, for every seed:
+writes, multi-statement transactions, checkpoints, probes, repairs, online
+schema migrations and mid-run crash/reopen cycles while a seeded
+:class:`FaultInjector` fails a fraction of all filesystem operations.
+Three invariants hold at every step, for every seed:
 
 * **memory never diverges from the log** — after any operation, acked or
   failed, the queryable state equals a shadow dict tracking exactly the
   acknowledged commits;
 * **no acked commit is lost** — crash (abandon without sync) and reopen
-  recovers precisely the shadow;
+  recovers precisely the shadow, *including across migration boundaries*:
+  an online migration under fault injection either flips atomically or
+  rolls back, and the acked shadow survives either outcome;
 * **recovery replays the exact committed prefix** — never a partial
   transaction, never an unacked write.
 
@@ -29,7 +31,13 @@ import pytest
 
 from repro import ErbiumDB
 from repro.core import Attribute, EntitySet, ERSchema
-from repro.errors import DurabilityError, ReadOnlyError, SerializationError
+from repro.errors import (
+    DurabilityError,
+    MigrationError,
+    ReadOnlyError,
+    SerializationError,
+)
+from repro.evolution import AddAttribute, DropAttribute
 from repro.reliability import FaultInjector, HealthState, RetryPolicy
 
 N_SCHEDULES = int(os.environ.get("ERBIUM_CHAOS_SCHEDULES", "200"))
@@ -82,6 +90,7 @@ class _Schedule:
         self.fs = FaultInjector(seed=seed, real_fsync=False)
         self.shadow: dict = {}
         self.next_id = 0
+        self.padded = False  # whether the migrate step added the pad column
         self.system = _open(self.path, self.fs, self.fsync, schema=_schema())
         self.system.set_mapping()  # writes checkpoint #1 on a clean disk
         self._arm()
@@ -165,6 +174,26 @@ class _Schedule:
         assert self.system.health is HealthState.HEALTHY, f"seed={self.seed}"
         self._arm()
 
+    def migrate(self) -> None:
+        """An online schema migration under fault injection.
+
+        Toggles a 'pad' attribute on/off via the full durable protocol
+        (WAL-logged lifecycle, batched backfill, changelog, atomic flip).
+        Injected fsync/write/replace faults during backfill or the flip
+        checkpoint make it abort or roll back — either way the old layout
+        keeps serving and the acked shadow is untouched.
+        """
+
+        if self.padded:
+            change = DropAttribute("item", "pad")
+        else:
+            change = AddAttribute("item", Attribute("pad", "varchar"))
+        try:
+            self.system.migrate_online(change=change, batch_size=3)
+            self.padded = not self.padded
+        except (MigrationError, ReadOnlyError, DurabilityError, OSError):
+            pass  # aborted or rolled back: old layout still authoritative
+
     def crash_and_reopen(self) -> None:
         """Abandon mid-run and recover on a clean disk: shadow must survive."""
 
@@ -180,14 +209,16 @@ class _Schedule:
         steps = self.rng.randint(6, 14)
         for _ in range(steps):
             roll = self.rng.random()
-            if roll < 0.45:
+            if roll < 0.42:
                 self.autocommit_write()
-            elif roll < 0.70:
+            elif roll < 0.64:
                 self.transaction()
-            elif roll < 0.82:
+            elif roll < 0.76:
                 self.checkpoint()
-            elif roll < 0.88:
+            elif roll < 0.82:
                 self.probe()
+            elif roll < 0.88:
+                self.migrate()
             elif roll < 0.94:
                 self.repair()
             else:
